@@ -1,0 +1,118 @@
+// Micro-benchmarks of the tensor kernels, including the DESIGN.md ablation
+// of im2col+GEMM convolution vs a naive 7-loop implementation.
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace zka;
+using tensor::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(1);
+  const Tensor a = Tensor::uniform({n, n}, rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform({n, n}, rng, -1.0f, 1.0f);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm(n, n, n, 1.0f, a.raw(), b.raw(), 0.0f, c.raw());
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  const tensor::ConvGeometry g{3, 32, 32, 3, 1, 1};
+  util::Rng rng(2);
+  const Tensor img = Tensor::uniform({3, 32, 32}, rng, -1.0f, 1.0f);
+  std::vector<float> col(
+      static_cast<std::size_t>(g.patch_size() * g.out_h() * g.out_w()));
+  for (auto _ : state) {
+    tensor::im2col(g, img.raw(), col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+// Naive direct convolution (the ablation baseline for im2col + GEMM).
+void conv_naive(const Tensor& input, const Tensor& weight, Tensor& out,
+                std::int64_t ic, std::int64_t oc, std::int64_t h,
+                std::int64_t w, std::int64_t k) {
+  const std::int64_t pad = (k - 1) / 2;
+  for (std::int64_t o = 0; o < oc; ++o) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (std::int64_t c = 0; c < ic; ++c) {
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = y - pad + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = x - pad + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += input[(c * h + iy) * w + ix] *
+                     weight[((o * ic + c) * k + ky) * k + kx];
+            }
+          }
+        }
+        out[(o * h + y) * w + x] = acc;
+      }
+    }
+  }
+}
+
+void BM_ConvNaive(benchmark::State& state) {
+  util::Rng rng(3);
+  const Tensor input = Tensor::uniform({8, 16, 16}, rng, -1.0f, 1.0f);
+  const Tensor weight = Tensor::uniform({16, 8, 3, 3}, rng, -0.1f, 0.1f);
+  Tensor out({16, 16, 16});
+  for (auto _ : state) {
+    conv_naive(input, weight, out, 8, 16, 16, 16, 3);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_ConvNaive);
+
+void BM_ConvIm2ColGemm(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  const Tensor input = Tensor::uniform({1, 8, 16, 16}, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = conv.forward(input);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_ConvIm2ColGemm);
+
+void BM_ConvBackward(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  const Tensor input = Tensor::uniform({4, 8, 16, 16}, rng, -1.0f, 1.0f);
+  const Tensor out = conv.forward(input);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor gx = conv.backward(out);
+    benchmark::DoNotOptimize(gx.raw());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_TensorElementwiseAdd(benchmark::State& state) {
+  util::Rng rng(5);
+  Tensor a = Tensor::uniform({1 << 16}, rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform({1 << 16}, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    a += b;
+    benchmark::DoNotOptimize(a.raw());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 16) * sizeof(float));
+}
+BENCHMARK(BM_TensorElementwiseAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// How does client data heterogeneity change the attack/defense balance?
+// Reproduces the Sec. V-D experiment interactively: sweeps the Dirichlet
+// concentration beta and reports attack-free accuracy, ASR and DPR for a
+// chosen zero-knowledge attack. Lower beta = more heterogeneous clients =
+// noisier benign updates = easier hiding for the attacker.
+//
+//   ./heterogeneity_study [--attack zka-r|zka-g|minmax|...]
+//                         [--defense bulyan] [--betas 0.1,0.5,0.9]
+#include <cstdio>
+#include <sstream>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/experiment.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+std::vector<double> parse_betas(const std::string& csv) {
+  std::vector<double> betas;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    betas.push_back(std::stod(token));
+  }
+  return betas;
+}
+
+// Label skew indicator: mean max class share per client shard.
+double skew_indicator(double beta, std::uint64_t seed) {
+  using namespace zka;
+  const auto dataset =
+      data::make_synthetic_dataset(models::Task::kFashion, 1000, seed);
+  util::Rng rng(seed);
+  const auto parts =
+      data::dirichlet_partition(dataset.labels, 10, 20, beta, rng);
+  double total = 0.0;
+  int counted = 0;
+  for (const auto& part : parts) {
+    if (part.size() < 5) continue;
+    std::vector<int> hist(10, 0);
+    for (const auto i : part) {
+      hist[static_cast<std::size_t>(
+          dataset.labels[static_cast<std::size_t>(i)])]++;
+    }
+    total += static_cast<double>(
+                 *std::max_element(hist.begin(), hist.end())) /
+             static_cast<double>(part.size());
+    ++counted;
+  }
+  return counted ? total / counted : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zka;
+  const util::CliArgs args(argc, argv);
+
+  const auto kind = fl::parse_attack_kind(args.get_string("attack", "zka-r"));
+  const auto betas = parse_betas(args.get_string("betas", "0.1,0.5,0.9"));
+
+  fl::SimulationConfig config;
+  config.num_clients = 50;
+  config.clients_per_round = 10;
+  config.malicious_fraction = 0.2;
+  config.rounds = args.get_int64("rounds", 12);
+  config.train_size = args.get_int64("train-size", 1000);
+  config.test_size = 300;
+  config.defense = args.get_string("defense", "bulyan");
+  config.seed = static_cast<std::uint64_t>(args.get_int64("seed", 9));
+
+  core::ZkaOptions zka;
+  zka.synthetic_size = 24;
+  zka.synthesis_epochs = 4;
+
+  util::Table table({"beta", "label skew", "acc_natk (%)", "max acc (%)",
+                     "ASR (%)", "DPR (%)"});
+  fl::BaselineCache baselines;
+  for (const double beta : betas) {
+    config.beta = beta;
+    const fl::ExperimentOutcome outcome =
+        fl::run_experiment(config, kind, zka, 1, baselines);
+    table.add_row(
+        {util::Table::fmt(beta, 1),
+         util::Table::fmt(skew_indicator(beta, config.seed), 2),
+         util::Table::fmt(outcome.acc_natk, 1),
+         util::Table::fmt(outcome.max_acc, 1),
+         util::Table::fmt(outcome.asr, 1),
+         std::isnan(outcome.dpr) ? "NA" : util::Table::fmt(outcome.dpr, 1)});
+    std::printf("ran beta=%.1f\n", beta);
+    std::fflush(stdout);
+  }
+  std::printf("\n%s vs %s while varying client heterogeneity:\n",
+              fl::attack_kind_name(kind), config.defense.c_str());
+  table.print();
+  std::printf(
+      "\nExpected shape (paper Tab. III): ASR grows as beta shrinks — "
+      "diverse benign updates make outlier detection harder.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "analysis/pca.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace zka::analysis {
+
+namespace {
+
+/// Centers rows in place and returns the [N, D] matrix.
+std::vector<double> center_rows(const tensor::Tensor& rows, std::int64_t n,
+                                std::int64_t d) {
+  std::vector<double> x(static_cast<std::size_t>(n * d));
+  for (std::int64_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) mean += rows[i * d + j];
+    mean /= static_cast<double>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i * d + j)] = rows[i * d + j] - mean;
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+PcaResult pca_project(const tensor::Tensor& rows, std::int64_t k,
+                      std::int64_t power_iterations) {
+  if (rows.rank() < 2 || rows.dim(0) < 2) {
+    throw std::invalid_argument("pca_project: need at least 2 samples");
+  }
+  const std::int64_t n = rows.dim(0);
+  const std::int64_t d = rows.numel() / n;
+  if (k <= 0 || k > std::min(n, d)) {
+    throw std::invalid_argument("pca_project: bad component count");
+  }
+  std::vector<double> x = center_rows(rows, n, d);
+
+  PcaResult result;
+  result.projection = tensor::Tensor({n, k});
+  result.component_variance.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < n * d; ++i) {
+    result.total_variance += x[static_cast<std::size_t>(i)] *
+                             x[static_cast<std::size_t>(i)];
+  }
+  result.total_variance /= static_cast<double>(n - 1);
+
+  // Power iteration on X^T X (via X to avoid forming D x D), with
+  // deflation: after extracting a component, subtract its contribution
+  // from the data.
+  std::vector<double> v(static_cast<std::size_t>(d));
+  std::vector<double> scores(static_cast<std::size_t>(n));
+  for (std::int64_t comp = 0; comp < k; ++comp) {
+    // Deterministic, non-degenerate start vector.
+    for (std::int64_t j = 0; j < d; ++j) {
+      v[static_cast<std::size_t>(j)] =
+          std::sin(static_cast<double>(j + 1) * (comp + 1) * 0.7) + 0.01;
+    }
+    for (std::int64_t it = 0; it < power_iterations; ++it) {
+      // scores = X v ; v' = X^T scores ; normalize.
+      for (std::int64_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::int64_t j = 0; j < d; ++j) {
+          acc += x[static_cast<std::size_t>(i * d + j)] *
+                 v[static_cast<std::size_t>(j)];
+        }
+        scores[static_cast<std::size_t>(i)] = acc;
+      }
+      double norm = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          acc += x[static_cast<std::size_t>(i * d + j)] *
+                 scores[static_cast<std::size_t>(i)];
+        }
+        v[static_cast<std::size_t>(j)] = acc;
+        norm += acc * acc;
+      }
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;  // no variance left
+      for (auto& vj : v) vj /= norm;
+    }
+    // Final scores and component variance.
+    double comp_var = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        acc += x[static_cast<std::size_t>(i * d + j)] *
+               v[static_cast<std::size_t>(j)];
+      }
+      scores[static_cast<std::size_t>(i)] = acc;
+      result.projection[i * k + comp] = static_cast<float>(acc);
+      comp_var += acc * acc;
+    }
+    result.component_variance.push_back(comp_var /
+                                        static_cast<double>(n - 1));
+    // Deflate: X <- X - scores v^T.
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        x[static_cast<std::size_t>(i * d + j)] -=
+            scores[static_cast<std::size_t>(i)] *
+            v[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return result;
+}
+
+double mean_feature_variance(const tensor::Tensor& rows) {
+  if (rows.rank() < 2 || rows.dim(0) < 2) {
+    throw std::invalid_argument("mean_feature_variance: need >= 2 samples");
+  }
+  const std::int64_t n = rows.dim(0);
+  const std::int64_t d = rows.numel() / n;
+  double total = 0.0;
+  for (std::int64_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) mean += rows[i * d + j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double diff = rows[i * d + j] - mean;
+      var += diff * diff;
+    }
+    total += var / static_cast<double>(n - 1);
+  }
+  return total / static_cast<double>(d);
+}
+
+}  // namespace zka::analysis

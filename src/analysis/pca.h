@@ -1,0 +1,34 @@
+// Principal component analysis for the Fig. 4 synthetic-data spread study.
+//
+// The paper projects ZKA-R/ZKA-G synthetic images with UMAP to show that
+// ZKA-R's set has higher variance. The claim is purely about spread, so we
+// use a variance-preserving linear projection (top-2 principal components
+// via power iteration with deflation) — see DESIGN.md substitutions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace zka::analysis {
+
+struct PcaResult {
+  /// Projected coordinates, [N, k].
+  tensor::Tensor projection;
+  /// Variance captured along each of the k components.
+  std::vector<double> component_variance;
+  /// Total variance of the (centered) input, summed over dimensions.
+  double total_variance = 0.0;
+};
+
+/// Projects rows of `rows` ([N, D], any rank->flattened per sample) onto
+/// the top `k` principal components.
+PcaResult pca_project(const tensor::Tensor& rows, std::int64_t k,
+                      std::int64_t power_iterations = 100);
+
+/// Mean per-dimension empirical variance of a sample set ([N, ...]);
+/// the statistic backing Fig. 4's "ZKA-R spreads wider than ZKA-G".
+double mean_feature_variance(const tensor::Tensor& rows);
+
+}  // namespace zka::analysis

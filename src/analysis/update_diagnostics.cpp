@@ -1,0 +1,88 @@
+#include "analysis/update_diagnostics.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace zka::analysis {
+
+UpdateDiagnostics diagnose_updates(
+    const std::vector<std::vector<float>>& updates,
+    const std::vector<bool>& is_malicious) {
+  if (updates.size() != is_malicious.size()) {
+    throw std::invalid_argument("diagnose_updates: flag/update size mismatch");
+  }
+  if (updates.empty()) {
+    throw std::invalid_argument("diagnose_updates: no updates");
+  }
+  const std::size_t dim = updates.front().size();
+  for (const auto& u : updates) {
+    if (u.size() != dim) {
+      throw std::invalid_argument("diagnose_updates: ragged updates");
+    }
+  }
+
+  UpdateDiagnostics d;
+  d.num_updates = updates.size();
+  std::vector<std::size_t> benign;
+  std::vector<std::size_t> malicious;
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    (is_malicious[k] ? malicious : benign).push_back(k);
+  }
+  d.num_malicious = malicious.size();
+  if (benign.size() < 2) {
+    throw std::invalid_argument("diagnose_updates: need >= 2 benign updates");
+  }
+
+  // Center = mean of all updates (what a statistic defense would anchor on).
+  std::vector<double> center(dim, 0.0);
+  for (const auto& u : updates) {
+    for (std::size_t i = 0; i < dim; ++i) center[i] += u[i];
+  }
+  for (auto& c : center) c /= static_cast<double>(updates.size());
+
+  auto delta_of = [&](std::size_t k) {
+    std::vector<float> delta(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      delta[i] = updates[k][i] - static_cast<float>(center[i]);
+    }
+    return delta;
+  };
+
+  util::RunningStat benign_norm;
+  util::RunningStat malicious_norm;
+  for (const std::size_t k : benign) {
+    benign_norm.push(util::l2_norm(delta_of(k)));
+  }
+  for (const std::size_t k : malicious) {
+    malicious_norm.push(util::l2_norm(delta_of(k)));
+  }
+  d.mean_benign_norm = benign_norm.mean();
+  d.mean_malicious_norm = malicious_norm.mean();
+
+  util::RunningStat bb_dist;
+  util::RunningStat bb_cos;
+  for (std::size_t a = 0; a < benign.size(); ++a) {
+    for (std::size_t b = a + 1; b < benign.size(); ++b) {
+      bb_dist.push(util::l2_distance(updates[benign[a]], updates[benign[b]]));
+      bb_cos.push(util::cosine_similarity(delta_of(benign[a]),
+                                          delta_of(benign[b])));
+    }
+  }
+  d.mean_benign_pairwise = bb_dist.mean();
+  d.mean_benign_cosine = bb_cos.mean();
+
+  util::RunningStat mb_dist;
+  util::RunningStat mb_cos;
+  for (const std::size_t m : malicious) {
+    for (const std::size_t b : benign) {
+      mb_dist.push(util::l2_distance(updates[m], updates[b]));
+      mb_cos.push(util::cosine_similarity(delta_of(m), delta_of(b)));
+    }
+  }
+  d.mean_cross_pairwise = mb_dist.mean();
+  d.mean_cross_cosine = mb_cos.mean();
+  return d;
+}
+
+}  // namespace zka::analysis

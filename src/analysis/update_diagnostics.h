@@ -1,0 +1,39 @@
+// Update-space diagnostics: the geometry a distance-based defense sees in
+// one FL round. Used by the ablation benches and handy for defense
+// research — the paper's stealth story is exactly about driving the
+// malicious/benign separability below the defense's resolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zka::analysis {
+
+struct UpdateDiagnostics {
+  std::size_t num_updates = 0;
+  std::size_t num_malicious = 0;
+  double mean_benign_norm = 0.0;        // ||u_b - center|| (center = mean)
+  double mean_malicious_norm = 0.0;
+  double mean_benign_pairwise = 0.0;    // mean ||u_b - u_b'||
+  double mean_cross_pairwise = 0.0;     // mean ||u_m - u_b||
+  double mean_benign_cosine = 0.0;      // mean cos(u_b - c, u_b' - c)
+  double mean_cross_cosine = 0.0;       // mean cos(u_m - c, u_b - c)
+
+  /// Cross-to-benign pairwise distance ratio: ~1 means the malicious
+  /// updates are geometrically indistinguishable from benign ones; >> 1
+  /// means any distance-based defense separates them trivially.
+  double separability() const noexcept {
+    return mean_benign_pairwise > 0.0
+               ? mean_cross_pairwise / mean_benign_pairwise
+               : 0.0;
+  }
+};
+
+/// Computes the diagnostics for one round's updates; `is_malicious[k]`
+/// flags update k. Throws std::invalid_argument on size mismatch or when
+/// there are fewer than two benign updates.
+UpdateDiagnostics diagnose_updates(
+    const std::vector<std::vector<float>>& updates,
+    const std::vector<bool>& is_malicious);
+
+}  // namespace zka::analysis

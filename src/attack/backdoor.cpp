@@ -1,0 +1,93 @@
+#include "attack/backdoor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/loader.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+
+namespace zka::attack {
+
+void apply_trigger(tensor::Tensor& images, std::int64_t trigger_size) {
+  if (images.rank() != 4) {
+    throw std::invalid_argument("apply_trigger: expected [N, C, H, W]");
+  }
+  const std::int64_t n = images.dim(0);
+  const std::int64_t c = images.dim(1);
+  const std::int64_t h = images.dim(2);
+  const std::int64_t w = images.dim(3);
+  const std::int64_t size = std::min({trigger_size, h, w});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < size; ++y) {
+        for (std::int64_t x = 0; x < size; ++x) {
+          images.at({s, ch, y, x}) = 1.0f;
+        }
+      }
+    }
+  }
+}
+
+BackdoorAttack::BackdoorAttack(data::Dataset dataset,
+                               models::ModelFactory factory,
+                               BackdoorOptions options, std::uint64_t seed)
+    : dataset_(std::move(dataset)), factory_(std::move(factory)),
+      options_(options), rng_(seed) {
+  if (dataset_.size() == 0) {
+    throw std::invalid_argument("BackdoorAttack: empty attacker dataset");
+  }
+  if (options_.target_label < 0 ||
+      options_.target_label >= dataset_.spec.num_classes) {
+    throw std::invalid_argument("BackdoorAttack: target label out of range");
+  }
+  // Poison a fraction of the attacker's samples once, up front.
+  const std::int64_t to_poison = static_cast<std::int64_t>(
+      options_.poison_fraction * static_cast<double>(dataset_.size()));
+  const auto picked = rng_.sample_without_replacement(
+      static_cast<std::size_t>(dataset_.size()),
+      static_cast<std::size_t>(std::clamp<std::int64_t>(
+          to_poison, 0, dataset_.size())));
+  for (const std::size_t i : picked) {
+    std::vector<std::int64_t> one{static_cast<std::int64_t>(i)};
+    tensor::Tensor img = dataset_.images.index_select0(one);
+    apply_trigger(img, options_.trigger_size);
+    // Write the stamped image back.
+    const std::int64_t pixels = dataset_.spec.pixels();
+    std::copy(img.data().begin(), img.data().end(),
+              dataset_.images.data().begin() +
+                  static_cast<std::int64_t>(i) * pixels);
+    dataset_.labels[i] = options_.target_label;
+  }
+}
+
+Update BackdoorAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  auto model = factory_(rng_.split(1)());
+  nn::set_flat_params(*model, ctx.global_model);
+  nn::Sgd optimizer(*model, {.learning_rate = options_.learning_rate});
+  nn::SoftmaxCrossEntropy loss;
+  data::DataLoader loader(dataset_, options_.batch_size);
+  for (std::int64_t epoch = 0; epoch < options_.local_epochs; ++epoch) {
+    loader.shuffle(rng_);
+    for (std::int64_t b = 0; b < loader.num_batches(); ++b) {
+      const data::Batch batch = loader.batch(b);
+      optimizer.zero_grad();
+      loss.forward(model->forward(batch.images), batch.labels);
+      model->backward(loss.backward());
+      optimizer.step();
+    }
+  }
+  Update crafted = nn::get_flat_params(*model);
+  if (options_.boost != 1.0f) {
+    // Model replacement: amplify the delta so the FedAvg dilution of
+    // 1/K is cancelled by a boost of ~K.
+    for (std::size_t i = 0; i < crafted.size(); ++i) {
+      crafted[i] = ctx.global_model[i] +
+                   options_.boost * (crafted[i] - ctx.global_model[i]);
+    }
+  }
+  return crafted;
+}
+
+}  // namespace zka::attack

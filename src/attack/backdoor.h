@@ -1,0 +1,54 @@
+// Targeted backdoor attack (Bagdasaryan et al., AISTATS 2020) — extension
+// beyond the paper's untargeted scope (their related-work Sec. VI).
+//
+// The attacker owns real data; it stamps a small bright trigger patch
+// into a fraction of its samples, relabels them to the target class,
+// trains locally, and optionally *boosts* the update (model replacement:
+// w_m = w(t) + scale * (w_trained - w(t))) so one accepted update can
+// implant the backdoor. Untargeted ASR stays near zero by design — the
+// point is high backdoor success on triggered inputs, measured with
+// fl::backdoor_success_rate.
+#pragma once
+
+#include "attack/attack.h"
+#include "data/dataset.h"
+#include "models/models.h"
+#include "util/rng.h"
+
+namespace zka::attack {
+
+struct BackdoorOptions {
+  std::int64_t target_label = 0;
+  /// Trigger: a patch of +1 pixels in the image corner.
+  std::int64_t trigger_size = 4;
+  /// Fraction of the attacker's samples that get stamped + relabeled.
+  double poison_fraction = 0.5;
+  /// Model-replacement boost (1 = plain local training).
+  float boost = 1.0f;
+  std::int64_t local_epochs = 2;
+  std::int64_t batch_size = 32;
+  float learning_rate = 0.05f;
+};
+
+/// Stamps the trigger patch (value +1) into the top-left corner of every
+/// image of `images` ([N, C, H, W]) in place.
+void apply_trigger(tensor::Tensor& images, std::int64_t trigger_size);
+
+class BackdoorAttack : public Attack {
+ public:
+  BackdoorAttack(data::Dataset dataset, models::ModelFactory factory,
+                 BackdoorOptions options, std::uint64_t seed);
+
+  Update craft(const AttackContext& ctx) override;
+  std::string name() const override { return "Backdoor"; }
+
+  std::int64_t target_label() const noexcept { return options_.target_label; }
+
+ private:
+  data::Dataset dataset_;  // already poisoned at construction
+  models::ModelFactory factory_;
+  BackdoorOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace zka::attack

@@ -1,0 +1,88 @@
+#include "attack/fang.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "defense/krum.h"
+
+namespace zka::attack {
+
+Update FangAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  const auto& benign = *ctx.benign_updates;
+  const std::size_t dim = ctx.global_model.size();
+  const std::size_t nb = benign.size();
+
+  Update crafted(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    float lo = benign[0][i];
+    float hi = benign[0][i];
+    double sum = 0.0;
+    for (std::size_t k = 0; k < nb; ++k) {
+      const float v = benign[k][i];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    const double mean = sum / static_cast<double>(nb);
+    const double direction = mean - static_cast<double>(ctx.global_model[i]);
+    const double b = rng_.uniform(1.0, 2.0);
+    if (direction >= 0.0) {
+      // Benign updates increase this coordinate: submit below the minimum.
+      crafted[i] = static_cast<float>(
+          lo >= 0.0f ? lo / b : lo * b);
+    } else {
+      // Benign updates decrease it: submit above the maximum.
+      crafted[i] = static_cast<float>(
+          hi >= 0.0f ? hi * b : hi / b);
+    }
+  }
+  return crafted;
+}
+
+Update FangKrumAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  const auto& benign = *ctx.benign_updates;
+  const std::size_t dim = ctx.global_model.size();
+
+  // Direction s: where the benign consensus wants each coordinate to go.
+  Update direction(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    double mean = 0.0;
+    for (const Update& u : benign) mean += u[i];
+    mean /= static_cast<double>(benign.size());
+    const double d = mean - static_cast<double>(ctx.global_model[i]);
+    direction[i] = d > 0.0 ? 1.0f : (d < 0.0 ? -1.0f : 0.0f);
+  }
+
+  const std::size_t copies =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   ctx.num_malicious_selected));
+  defense::MultiKrum krum(defense_f_, 1);
+  auto crafted_at = [&](double lambda) {
+    Update u(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      u[i] = ctx.global_model[i] -
+             static_cast<float>(lambda) * direction[i];
+    }
+    return u;
+  };
+  auto krum_picks_crafted = [&](const Update& crafted) {
+    std::vector<Update> pool(copies, crafted);
+    pool.insert(pool.end(), benign.begin(), benign.end());
+    const auto selected = krum.select(pool);
+    return !selected.empty() && selected.front() < copies;
+  };
+
+  double lambda = lambda_init_;
+  while (lambda >= lambda_threshold_ &&
+         !krum_picks_crafted(crafted_at(lambda))) {
+    lambda /= 2.0;
+  }
+  last_lambda_ = lambda >= lambda_threshold_ ? lambda : 0.0;
+  // Even when Krum cannot be fooled, submit the smallest-step variant:
+  // a mild push in the reverse direction.
+  return crafted_at(std::max(lambda, lambda_threshold_));
+}
+
+}  // namespace zka::attack

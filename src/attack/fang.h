@@ -1,0 +1,57 @@
+// Fang et al. (USENIX Security 2020) — local model poisoning against
+// TRmean/Median (the full-knowledge variant, the only one with public
+// source; the paper under reproduction uses the same choice, Sec. V-B).
+//
+// Per coordinate j the attacker estimates the benign direction
+// s_j = sign(mean_j(benign) - w(t)_j) and submits a value on the far side
+// of the benign range in the *opposite* direction: below min_j when the
+// benign mean is increasing, above max_j when decreasing, scaled by a
+// random factor in [1, 2] as in the original algorithm.
+#pragma once
+
+#include "attack/attack.h"
+#include "util/rng.h"
+
+namespace zka::attack {
+
+class FangAttack : public Attack {
+ public:
+  explicit FangAttack(std::uint64_t seed = 0xfa46) : rng_(seed) {}
+
+  Update craft(const AttackContext& ctx) override;
+  bool needs_benign_updates() const noexcept override { return true; }
+  std::string name() const override { return "Fang"; }
+
+ private:
+  util::Rng rng_;
+};
+
+/// Fang's Krum-directed variant (extension; requires knowing the defense,
+/// matching the original paper's strongest threat model). Crafts
+/// w' = w(t) - lambda * s with s = sign(mean(benign) - w(t)), then halves
+/// lambda until w' would be chosen by Krum from {w' x m, benign...} —
+/// i.e. the attacker simulates the defense it knows the server runs.
+class FangKrumAttack : public Attack {
+ public:
+  /// `defense_f` is the f the server's Krum uses; `lambda_init` the
+  /// starting step; `lambda_threshold` the give-up point.
+  explicit FangKrumAttack(std::size_t defense_f, double lambda_init = 1.0,
+                          double lambda_threshold = 1e-5)
+      : defense_f_(defense_f), lambda_init_(lambda_init),
+        lambda_threshold_(lambda_threshold) {}
+
+  Update craft(const AttackContext& ctx) override;
+  bool needs_benign_updates() const noexcept override { return true; }
+  std::string name() const override { return "Fang-Krum"; }
+
+  /// The lambda the last craft() settled on (0 if it gave up).
+  double last_lambda() const noexcept { return last_lambda_; }
+
+ private:
+  std::size_t defense_f_;
+  double lambda_init_;
+  double lambda_threshold_;
+  double last_lambda_ = 0.0;
+};
+
+}  // namespace zka::attack

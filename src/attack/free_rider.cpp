@@ -1,0 +1,27 @@
+#include "attack/free_rider.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace zka::attack {
+
+Update FreeRiderAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  const std::size_t dim = ctx.global_model.size();
+  const double drift =
+      util::l2_distance(ctx.global_model, ctx.prev_global_model);
+  // First round (or a converged model): fall back to a tiny absolute scale.
+  const double target_norm =
+      drift > 0.0 ? noise_fraction_ * drift : 1e-3;
+  const double per_coord =
+      target_norm / std::sqrt(static_cast<double>(dim));
+  Update crafted(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    crafted[i] = ctx.global_model[i] +
+                 static_cast<float>(rng_.normal(0.0, per_coord));
+  }
+  return crafted;
+}
+
+}  // namespace zka::attack

@@ -1,0 +1,30 @@
+// Free-rider (Lin et al. / Fraboni et al.) — extension baseline. Not an
+// untargeted attack: the client wants the global model without doing any
+// work, so it returns the broadcast model plus small Gaussian noise that
+// imitates the look of a real local update. Useful as a stealth reference
+// point — its DPR should be near-perfect while its ASR stays near zero.
+#pragma once
+
+#include "attack/attack.h"
+#include "util/rng.h"
+
+namespace zka::attack {
+
+class FreeRiderAttack : public Attack {
+ public:
+  /// Noise is scaled to `noise_fraction` of the round-to-round global
+  /// drift ||w(t) - w(t-1)|| (so it shrinks as training converges, like
+  /// genuine updates do).
+  explicit FreeRiderAttack(double noise_fraction = 0.5,
+                           std::uint64_t seed = 0xf4ee)
+      : noise_fraction_(noise_fraction), rng_(seed) {}
+
+  Update craft(const AttackContext& ctx) override;
+  std::string name() const override { return "FreeRider"; }
+
+ private:
+  double noise_fraction_;
+  util::Rng rng_;
+};
+
+}  // namespace zka::attack

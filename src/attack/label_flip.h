@@ -1,0 +1,37 @@
+// Classic label-flipping data poisoning (Tolpegin et al., ESORICS 2020) —
+// an extension baseline beyond the paper's comparison set. The attacker
+// *does* own data here; it trains the local model on labels mapped
+// y -> (L - 1) - y.
+#pragma once
+
+#include <memory>
+
+#include "attack/attack.h"
+#include "data/dataset.h"
+#include "models/models.h"
+#include "util/rng.h"
+
+namespace zka::attack {
+
+struct LabelFlipOptions {
+  std::int64_t local_epochs = 1;
+  std::int64_t batch_size = 32;
+  float learning_rate = 0.05f;
+};
+
+class LabelFlipAttack : public Attack {
+ public:
+  LabelFlipAttack(data::Dataset dataset, models::ModelFactory factory,
+                  LabelFlipOptions options, std::uint64_t seed);
+
+  Update craft(const AttackContext& ctx) override;
+  std::string name() const override { return "LabelFlip"; }
+
+ private:
+  data::Dataset dataset_;
+  models::ModelFactory factory_;
+  LabelFlipOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace zka::attack

@@ -1,0 +1,63 @@
+#include "attack/lie.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace zka::attack {
+
+void validate_context(const Attack& attack, const AttackContext& ctx) {
+  if (ctx.global_model.empty()) {
+    throw std::invalid_argument(attack.name() + ": empty global model");
+  }
+  if (ctx.prev_global_model.size() != ctx.global_model.size()) {
+    throw std::invalid_argument(attack.name() + ": prev model size mismatch");
+  }
+  if (attack.needs_benign_updates()) {
+    if (ctx.benign_updates == nullptr || ctx.benign_updates->empty()) {
+      throw std::invalid_argument(
+          attack.name() + " is omniscient and requires benign updates");
+    }
+    for (const Update& u : *ctx.benign_updates) {
+      if (u.size() != ctx.global_model.size()) {
+        throw std::invalid_argument(attack.name() +
+                                    ": benign update size mismatch");
+      }
+    }
+  }
+}
+
+double LieAttack::compute_z(std::int64_t n, std::int64_t m) {
+  // n participants, m of them malicious; s benign supporters needed.
+  const std::int64_t s = n / 2 + 1 - m;
+  const std::int64_t benign = n - m;
+  if (benign <= 0) return 0.0;
+  double p = static_cast<double>(benign - s) / static_cast<double>(benign);
+  p = std::clamp(p, 1e-6, 1.0 - 1e-6);
+  return util::inverse_normal_cdf(p);
+}
+
+Update LieAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  const auto& benign = *ctx.benign_updates;
+  const std::size_t dim = ctx.global_model.size();
+  const std::size_t nb = benign.size();
+
+  last_z_ = z_override_ != 0.0
+                ? z_override_
+                : compute_z(ctx.num_selected, ctx.num_malicious_selected);
+
+  Update crafted(dim);
+  std::vector<float> column(nb);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < nb; ++k) column[k] = benign[k][i];
+    const double mu = util::mean(std::span<const float>(column));
+    const double sigma = util::stddev(std::span<const float>(column));
+    crafted[i] = static_cast<float>(mu + last_z_ * sigma);
+  }
+  return crafted;
+}
+
+}  // namespace zka::attack

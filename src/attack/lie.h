@@ -1,0 +1,33 @@
+// "A Little Is Enough" (Baruch et al., NeurIPS 2019).
+//
+// Crafts w_m = mean(benign) + z * std(benign) coordinate-wise, where z is
+// the largest shift that keeps the malicious update within the range the
+// defense tolerates, derived from the normal quantile of the supporter
+// fraction: s = floor(n/2 + 1) - m, z = Phi^-1((n - m - s) / (n - m)).
+#pragma once
+
+#include "attack/attack.h"
+
+namespace zka::attack {
+
+class LieAttack : public Attack {
+ public:
+  /// z_override != 0 fixes z instead of deriving it from (n, m).
+  explicit LieAttack(double z_override = 0.0) : z_override_(z_override) {}
+
+  Update craft(const AttackContext& ctx) override;
+  bool needs_benign_updates() const noexcept override { return true; }
+  std::string name() const override { return "LIE"; }
+
+  /// The z used by the last craft() (for tests / logging).
+  double last_z() const noexcept { return last_z_; }
+
+  /// The paper's z formula, exposed for testing.
+  static double compute_z(std::int64_t n, std::int64_t m);
+
+ private:
+  double z_override_;
+  double last_z_ = 0.0;
+};
+
+}  // namespace zka::attack

@@ -1,0 +1,156 @@
+#include "attack/minmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace zka::attack {
+
+const char* perturbation_name(Perturbation p) noexcept {
+  switch (p) {
+    case Perturbation::kInverseUnit: return "inverse-unit";
+    case Perturbation::kInverseStd: return "inverse-std";
+    case Perturbation::kInverseSign: return "inverse-sign";
+  }
+  return "?";
+}
+
+Update perturbation_direction(Perturbation kind,
+                              const std::vector<Update>& benign) {
+  const std::size_t dim = benign.front().size();
+  const std::size_t nb = benign.size();
+  Update mean(dim, 0.0f);
+  for (const Update& u : benign) {
+    for (std::size_t i = 0; i < dim; ++i) mean[i] += u[i];
+  }
+  for (auto& m : mean) m /= static_cast<float>(nb);
+
+  Update perturb(dim, 0.0f);
+  switch (kind) {
+    case Perturbation::kInverseUnit: {
+      const double norm = util::l2_norm(mean);
+      for (std::size_t i = 0; i < dim; ++i) {
+        perturb[i] = norm > 0.0 ? static_cast<float>(-mean[i] / norm) : 0.0f;
+      }
+      break;
+    }
+    case Perturbation::kInverseStd: {
+      std::vector<float> column(nb);
+      for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t k = 0; k < nb; ++k) column[k] = benign[k][i];
+        perturb[i] = static_cast<float>(
+            -util::stddev(std::span<const float>(column)));
+      }
+      break;
+    }
+    case Perturbation::kInverseSign: {
+      for (std::size_t i = 0; i < dim; ++i) {
+        perturb[i] = mean[i] > 0.0f ? -1.0f : (mean[i] < 0.0f ? 1.0f : 0.0f);
+      }
+      break;
+    }
+  }
+  return perturb;
+}
+
+double maximize_gamma(const Update& mean, const Update& perturb,
+                      const std::function<bool(const Update&)>& fits) {
+  auto crafted_at = [&](double gamma) {
+    Update u(mean.size());
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+      u[i] = mean[i] + static_cast<float>(gamma) * perturb[i];
+    }
+    return u;
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  if (fits(crafted_at(hi))) {
+    while (fits(crafted_at(hi)) && hi < 1e6) {
+      lo = hi;
+      hi *= 2.0;
+    }
+  }
+  for (int iter = 0; iter < 30 && hi - lo > 0.01 * std::max(1.0, lo);
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (fits(crafted_at(mid))) lo = mid;
+    else hi = mid;
+  }
+  return lo;
+}
+
+namespace {
+
+Update benign_mean(const std::vector<Update>& benign) {
+  Update mean(benign.front().size(), 0.0f);
+  for (const Update& u : benign) {
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += u[i];
+  }
+  for (auto& m : mean) m /= static_cast<float>(benign.size());
+  return mean;
+}
+
+Update crafted_from(const Update& mean, const Update& perturb, double gamma) {
+  Update u(mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    u[i] = mean[i] + static_cast<float>(gamma) * perturb[i];
+  }
+  return u;
+}
+
+}  // namespace
+
+Update MinMaxAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  const auto& benign = *ctx.benign_updates;
+  const Update mean = benign_mean(benign);
+  const Update perturb = perturbation_direction(perturbation_, benign);
+
+  // Budget: max pairwise distance among benign updates.
+  double budget = 0.0;
+  for (std::size_t i = 0; i < benign.size(); ++i) {
+    for (std::size_t j = i + 1; j < benign.size(); ++j) {
+      budget = std::max(budget, util::l2_distance(benign[i], benign[j]));
+    }
+  }
+  auto fits = [&](const Update& u) {
+    double worst = 0.0;
+    for (const Update& b : benign) {
+      worst = std::max(worst, util::l2_distance(u, b));
+    }
+    return worst <= budget;
+  };
+  last_gamma_ = maximize_gamma(mean, perturb, fits);
+  return crafted_from(mean, perturb, last_gamma_);
+}
+
+Update MinSumAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  const auto& benign = *ctx.benign_updates;
+  const Update mean = benign_mean(benign);
+  const Update perturb = perturbation_direction(perturbation_, benign);
+
+  // Budget: max over benign i of sum_j ||b_i - b_j||^2.
+  double budget = 0.0;
+  for (std::size_t i = 0; i < benign.size(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < benign.size(); ++j) {
+      const double d = util::l2_distance(benign[i], benign[j]);
+      sum += d * d;
+    }
+    budget = std::max(budget, sum);
+  }
+  auto fits = [&](const Update& u) {
+    double sum = 0.0;
+    for (const Update& b : benign) {
+      const double d = util::l2_distance(u, b);
+      sum += d * d;
+    }
+    return sum <= budget;
+  };
+  last_gamma_ = maximize_gamma(mean, perturb, fits);
+  return crafted_from(mean, perturb, last_gamma_);
+}
+
+}  // namespace zka::attack

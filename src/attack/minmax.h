@@ -1,0 +1,74 @@
+// Min-Max attack (Shejwalkar & Houmansadr, NDSS 2021), the
+// defense-agnostic ("AGR-agnostic") variant compared against in the paper.
+//
+// Malicious update: mean(benign) + gamma * p where p is a fixed
+// perturbation direction and gamma is the largest value such that the
+// crafted update's maximum distance to any benign update does not exceed
+// the maximum pairwise distance among benign updates — i.e. the update is
+// as harmful as possible while staying inside the benign spread.
+#pragma once
+
+#include <functional>
+
+#include "attack/attack.h"
+
+namespace zka::attack {
+
+enum class Perturbation {
+  kInverseUnit,  // -mean / ||mean||
+  kInverseStd,   // -std (coordinate-wise)
+  kInverseSign,  // -sign(mean)
+};
+
+const char* perturbation_name(Perturbation p) noexcept;
+
+class MinMaxAttack : public Attack {
+ public:
+  explicit MinMaxAttack(Perturbation perturbation = Perturbation::kInverseStd)
+      : perturbation_(perturbation) {}
+
+  Update craft(const AttackContext& ctx) override;
+  bool needs_benign_updates() const noexcept override { return true; }
+  std::string name() const override { return "Min-Max"; }
+
+  /// The gamma found by the last craft() (for tests / logging).
+  double last_gamma() const noexcept { return last_gamma_; }
+
+ private:
+  Perturbation perturbation_;
+  double last_gamma_ = 0.0;
+};
+
+/// Min-Sum (same paper) — extension baseline. Identical template, but the
+/// constraint bounds the *sum* of squared distances from the crafted
+/// update to all benign updates by the maximum such sum among benign
+/// updates. The paper under reproduction cites it as the other
+/// defense-agnostic variant (weaker than Min-Max, hence not in its main
+/// comparison).
+class MinSumAttack : public Attack {
+ public:
+  explicit MinSumAttack(Perturbation perturbation = Perturbation::kInverseStd)
+      : perturbation_(perturbation) {}
+
+  Update craft(const AttackContext& ctx) override;
+  bool needs_benign_updates() const noexcept override { return true; }
+  std::string name() const override { return "Min-Sum"; }
+
+  double last_gamma() const noexcept { return last_gamma_; }
+
+ private:
+  Perturbation perturbation_;
+  double last_gamma_ = 0.0;
+};
+
+/// Shared by Min-Max/Min-Sum: the perturbation direction p computed from
+/// the benign updates (exposed for tests).
+Update perturbation_direction(Perturbation kind,
+                              const std::vector<Update>& benign);
+
+/// Largest gamma in [0, 1e6] such that fits(mean + gamma * p) holds,
+/// found by geometric growth + bisection to ~1% relative precision.
+double maximize_gamma(const Update& mean, const Update& perturb,
+                      const std::function<bool(const Update&)>& fits);
+
+}  // namespace zka::attack

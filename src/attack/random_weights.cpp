@@ -1,0 +1,14 @@
+#include "attack/random_weights.h"
+
+namespace zka::attack {
+
+Update RandomWeightsAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  Update crafted(ctx.global_model.size());
+  for (auto& w : crafted) {
+    w = static_cast<float>(rng_.uniform(-range_, range_));
+  }
+  return crafted;
+}
+
+}  // namespace zka::attack

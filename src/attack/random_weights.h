@@ -1,0 +1,26 @@
+// Random-weights strawman (Sec. IV-A of the paper): submit a freshly
+// drawn random model. Almost never passes distance defenses — the paper
+// reports 2.62% / 6.57% mKrum DPR — which is what motivates synthesizing
+// data instead of manipulating weights directly.
+#pragma once
+
+#include "attack/attack.h"
+#include "util/rng.h"
+
+namespace zka::attack {
+
+class RandomWeightsAttack : public Attack {
+ public:
+  /// Draws each weight uniformly from [-range, range].
+  explicit RandomWeightsAttack(float range = 0.5f, std::uint64_t seed = 0x3ad)
+      : range_(range), rng_(seed) {}
+
+  Update craft(const AttackContext& ctx) override;
+  std::string name() const override { return "RandomWeights"; }
+
+ private:
+  float range_;
+  util::Rng rng_;
+};
+
+}  // namespace zka::attack

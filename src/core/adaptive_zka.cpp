@@ -1,0 +1,66 @@
+#include "core/adaptive_zka.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/zka_g.h"
+#include "core/zka_r.h"
+#include "util/stats.h"
+
+namespace zka::core {
+
+AdaptiveZkaAttack::AdaptiveZkaAttack(models::Task task, ZkaVariant variant,
+                                     ZkaOptions options,
+                                     AdaptiveOptions adaptive,
+                                     std::uint64_t seed)
+    : variant_(variant), adaptive_(adaptive),
+      lambda_(options.classifier.lambda) {
+  lambda_ = std::clamp(lambda_, adaptive_.lambda_min, adaptive_.lambda_max);
+  options.classifier.lambda = lambda_;
+  if (variant_ == ZkaVariant::kReverse) {
+    auto attack = std::make_unique<ZkaRAttack>(task, options, seed);
+    as_reverse_ = attack.get();
+    inner_ = std::move(attack);
+  } else {
+    auto attack = std::make_unique<ZkaGAttack>(task, options, seed);
+    as_generator_ = attack.get();
+    inner_ = std::move(attack);
+  }
+}
+
+void AdaptiveZkaAttack::apply_lambda() {
+  if (as_reverse_ != nullptr) as_reverse_->set_classifier_lambda(lambda_);
+  if (as_generator_ != nullptr) as_generator_->set_classifier_lambda(lambda_);
+}
+
+attack::Update AdaptiveZkaAttack::craft(const attack::AttackContext& ctx) {
+  // Infer last round's fate from how the global model actually moved.
+  if (!last_submitted_.empty() &&
+      last_global_.size() == ctx.global_model.size()) {
+    std::vector<float> global_move(ctx.global_model.size());
+    std::vector<float> our_direction(ctx.global_model.size());
+    for (std::size_t i = 0; i < global_move.size(); ++i) {
+      global_move[i] = ctx.global_model[i] - last_global_[i];
+      our_direction[i] = last_submitted_[i] - last_global_[i];
+    }
+    const double cosine =
+        util::cosine_similarity(global_move, our_direction);
+    if (cosine >= adaptive_.accept_cosine) {
+      ++accepts_;
+      lambda_ /= std::sqrt(adaptive_.escalation);
+    } else {
+      ++rejects_;
+      lambda_ *= adaptive_.escalation;
+    }
+    lambda_ = std::clamp(lambda_, adaptive_.lambda_min,
+                         adaptive_.lambda_max);
+    apply_lambda();
+  }
+
+  attack::Update crafted = inner_->craft(ctx);
+  last_submitted_ = crafted;
+  last_global_.assign(ctx.global_model.begin(), ctx.global_model.end());
+  return crafted;
+}
+
+}  // namespace zka::core

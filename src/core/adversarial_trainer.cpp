@@ -1,0 +1,55 @@
+#include "core/adversarial_trainer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "nn/sgd.h"
+
+namespace zka::core {
+
+std::vector<double> AdversarialTrainer::train(
+    nn::Sequential& model, const tensor::Tensor& images,
+    std::int64_t decoy_label, std::span<const float> global,
+    std::span<const float> prev_global, util::Rng& rng) const {
+  if (images.rank() != 4 || images.dim(0) == 0) {
+    throw std::invalid_argument("AdversarialTrainer: expected [N,C,H,W]");
+  }
+  const std::int64_t n = images.dim(0);
+  nn::Sgd optimizer(model, {.learning_rate = options_.learning_rate});
+  nn::SoftmaxCrossEntropy loss;
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+
+  std::vector<double> epoch_losses;
+  epoch_losses.reserve(static_cast<std::size_t>(options_.epochs));
+  for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double total = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t begin = 0; begin < n; begin += options_.batch_size) {
+      const std::int64_t end = std::min(begin + options_.batch_size, n);
+      const std::span<const std::int64_t> rows(
+          order.data() + begin, static_cast<std::size_t>(end - begin));
+      const tensor::Tensor batch = images.index_select0(rows);
+      const std::vector<std::int64_t> labels(
+          static_cast<std::size_t>(end - begin), decoy_label);
+
+      optimizer.zero_grad();
+      const tensor::Tensor logits = model.forward(batch);
+      double batch_loss = loss.forward(logits, labels);
+      model.backward(loss.backward());
+      batch_loss += regularizer_.apply(model, global, prev_global);
+      optimizer.step();
+
+      total += batch_loss;
+      ++batches;
+    }
+    epoch_losses.push_back(total / static_cast<double>(std::max<std::int64_t>(
+                                       batches, 1)));
+  }
+  return epoch_losses;
+}
+
+}  // namespace zka::core

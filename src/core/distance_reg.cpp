@@ -1,0 +1,40 @@
+#include "core/distance_reg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace zka::core {
+
+double DistanceRegularizer::value(std::span<const float> w,
+                                  std::span<const float> global,
+                                  std::span<const float> prev_global) {
+  if (w.size() != global.size() || global.size() != prev_global.size()) {
+    throw std::invalid_argument("DistanceRegularizer: size mismatch");
+  }
+  return util::l2_distance(w, global) -
+         util::l2_distance(global, prev_global);
+}
+
+double DistanceRegularizer::apply(nn::Module& model,
+                                  std::span<const float> global,
+                                  std::span<const float> prev_global) const {
+  if (lambda_ == 0.0) return 0.0;
+  const std::vector<float> w = nn::get_flat_params(model);
+  if (w.size() != global.size() || global.size() != prev_global.size()) {
+    throw std::invalid_argument("DistanceRegularizer: size mismatch");
+  }
+  const double dist = util::l2_distance(w, global);
+  if (dist > 1e-12) {
+    std::vector<float> grad(w.size());
+    const double scale = lambda_ / dist;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      grad[i] = static_cast<float>(scale * (w[i] - global[i]));
+    }
+    nn::add_to_flat_grads(model, grad);
+  }
+  return lambda_ * (dist - util::l2_distance(global, prev_global));
+}
+
+}  // namespace zka::core

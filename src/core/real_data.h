@@ -1,0 +1,38 @@
+// The Fig. 7 comparator: identical to the ZKA step-2 pipeline (decoy label
+// Ỹ + distance-regularized classifier training), but on REAL attacker-owned
+// images instead of synthesized ones. The paper shows ZKA's synthetic data
+// beats this, i.e. data crafted for the attack outperforms data the task
+// was designed on.
+#pragma once
+
+#include "attack/attack.h"
+#include "core/zka_options.h"
+#include "data/dataset.h"
+#include "models/models.h"
+#include "util/rng.h"
+
+namespace zka::core {
+
+class RealDataAttack : public attack::Attack {
+ public:
+  /// `dataset` is the attacker's real data (assigned under the same
+  /// Dirichlet distribution as benign clients in the paper's setup).
+  RealDataAttack(models::Task task, data::Dataset dataset, ZkaOptions options,
+                 std::uint64_t seed);
+
+  attack::Update craft(const attack::AttackContext& ctx) override;
+  std::string name() const override { return "Real-data"; }
+
+  std::int64_t decoy_label() const noexcept { return decoy_label_; }
+
+ private:
+  models::ImageSpec spec_;
+  data::Dataset dataset_;
+  ZkaOptions options_;
+  models::ModelFactory factory_;
+  AdversarialTrainer trainer_;
+  util::Rng rng_;
+  std::int64_t decoy_label_;
+};
+
+}  // namespace zka::core

@@ -1,0 +1,73 @@
+#include "core/zka_g.h"
+
+#include "nn/loss.h"
+#include "nn/sgd.h"
+
+namespace zka::core {
+
+ZkaGAttack::ZkaGAttack(models::Task task, ZkaOptions options,
+                       std::uint64_t seed)
+    : task_(task),
+      spec_(models::task_spec(task)),
+      options_(options),
+      factory_(models::task_model_factory(task)),
+      trainer_(options.classifier),
+      rng_(seed),
+      decoy_label_(options.decoy_label >= 0
+                       ? options.decoy_label
+                       : static_cast<std::int64_t>(rng_.uniform_index(
+                             static_cast<std::uint64_t>(
+                                 spec_.num_classes)))) {
+  util::Rng gen_rng = rng_.split(0x9e4);
+  generator_ = models::make_tcnn_generator(spec_, options_.latent_dim,
+                                           gen_rng);
+  // Fixed latent batch: "we use the same random seed over multiple rounds".
+  latent_ = tensor::Tensor::normal({options_.synthetic_size,
+                                    options_.latent_dim},
+                                   gen_rng);
+}
+
+void ZkaGAttack::set_classifier_lambda(double lambda) {
+  options_.classifier.lambda = lambda;
+  trainer_ = AdversarialTrainer(options_.classifier);
+}
+
+attack::Update ZkaGAttack::craft(const attack::AttackContext& ctx) {
+  attack::validate_context(*this, ctx);
+
+  auto classifier = factory_(rng_.split(0x7e0)());
+  nn::set_flat_params(*classifier, ctx.global_model);
+
+  const std::vector<std::int64_t> decoy_labels(
+      static_cast<std::size_t>(options_.synthetic_size), decoy_label_);
+  loss_history_.clear();
+
+  if (options_.train_synthesis) {
+    // Maximize CE(classifier(G(Z)), Ỹ): scale = -1 under gradient descent.
+    nn::SoftmaxCrossEntropy loss(-1.0f);
+    nn::Sgd optimizer(*generator_, {.learning_rate = options_.synthesis_lr});
+    for (std::int64_t epoch = 0; epoch < options_.synthesis_epochs; ++epoch) {
+      optimizer.zero_grad();
+      classifier->zero_grad();
+      const tensor::Tensor images = generator_->forward(latent_);
+      const tensor::Tensor logits = classifier->forward(images);
+      const double scaled = loss.forward(logits, decoy_labels);
+      const tensor::Tensor grad_images =
+          classifier->backward(loss.backward());
+      generator_->backward(grad_images);
+      optimizer.step();
+      // Record the raw (positive) cross-entropy the attack is maximizing.
+      loss_history_.push_back(-scaled);
+    }
+  }
+
+  last_images_ = generator_->forward(latent_);
+
+  // Step 2: adversarial classifier training on (S, Ỹ) with L_d.
+  nn::set_flat_params(*classifier, ctx.global_model);
+  trainer_.train(*classifier, last_images_, decoy_label_, ctx.global_model,
+                 ctx.prev_global_model, rng_);
+  return nn::get_flat_params(*classifier);
+}
+
+}  // namespace zka::core

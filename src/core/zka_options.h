@@ -1,0 +1,34 @@
+// Shared configuration for the two ZKA variants.
+#pragma once
+
+#include <cstdint>
+
+#include "core/adversarial_trainer.h"
+
+namespace zka::core {
+
+struct ZkaOptions {
+  /// |S|: number of synthetic images generated per round. The paper uses
+  /// roughly the per-client benign dataset size.
+  std::int64_t synthetic_size = 32;
+  /// E: epochs of filter/generator training per round (Fig. 6 shows a few
+  /// suffice).
+  std::int64_t synthesis_epochs = 5;
+  /// Learning rate for the filter layer (ZKA-R) / generator (ZKA-G).
+  float synthesis_lr = 0.05f;
+  /// False selects the "Static" non-training variant of Tab. IV: the
+  /// randomly initialized filter/generator is used as-is every round.
+  bool train_synthesis = true;
+  /// Decoy class Ỹ assigned to every synthetic image; -1 draws it
+  /// uniformly at random when the attack is constructed (the paper's
+  /// choice).
+  std::int64_t decoy_label = -1;
+  /// ZKA-R only: kernel size J of the trainable filter layer (odd).
+  std::int64_t filter_kernel = 3;
+  /// ZKA-G only: dimension of the Gaussian latent vector Z.
+  std::int64_t latent_dim = 64;
+  /// Step-2 adversarial classifier training (includes lambda for L_d).
+  AdversarialTrainerOptions classifier = {};
+};
+
+}  // namespace zka::core

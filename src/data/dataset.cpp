@@ -1,0 +1,47 @@
+#include "data/dataset.h"
+
+#include <stdexcept>
+
+namespace zka::data {
+
+Dataset Dataset::subset(std::span<const std::int64_t> indices) const {
+  Dataset out;
+  out.spec = spec;
+  out.images = images.index_select0(indices);
+  out.labels.reserve(indices.size());
+  for (const std::int64_t i : indices) {
+    out.labels.push_back(labels.at(static_cast<std::size_t>(i)));
+  }
+  return out;
+}
+
+tensor::Tensor Dataset::image(std::int64_t i) const {
+  const std::int64_t idx[] = {i};
+  return images.index_select0(idx);
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& dataset,
+                                             std::int64_t train_size) {
+  if (train_size > dataset.size()) {
+    throw std::invalid_argument("train_test_split: train_size too large");
+  }
+  std::vector<std::int64_t> train_idx(static_cast<std::size_t>(train_size));
+  std::vector<std::int64_t> test_idx(
+      static_cast<std::size_t>(dataset.size() - train_size));
+  for (std::int64_t i = 0; i < train_size; ++i) train_idx[i] = i;
+  for (std::int64_t i = train_size; i < dataset.size(); ++i) {
+    test_idx[static_cast<std::size_t>(i - train_size)] = i;
+  }
+  return {dataset.subset(train_idx), dataset.subset(test_idx)};
+}
+
+std::vector<std::int64_t> class_histogram(const Dataset& dataset) {
+  std::vector<std::int64_t> hist(
+      static_cast<std::size_t>(dataset.spec.num_classes), 0);
+  for (const std::int64_t label : dataset.labels) {
+    hist.at(static_cast<std::size_t>(label)) += 1;
+  }
+  return hist;
+}
+
+}  // namespace zka::data

@@ -1,0 +1,37 @@
+// In-memory labeled image dataset ([N, C, H, W] + integer labels).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "models/models.h"
+#include "tensor/tensor.h"
+
+namespace zka::data {
+
+struct Dataset {
+  models::ImageSpec spec;
+  tensor::Tensor images;                // [N, C, H, W], values in [-1, 1]
+  std::vector<std::int64_t> labels;     // size N, in [0, num_classes)
+
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(labels.size());
+  }
+
+  /// Copies the rows at `indices` into a new dataset.
+  Dataset subset(std::span<const std::int64_t> indices) const;
+
+  /// Image `i` as a [1, C, H, W] tensor (for single-sample inference).
+  tensor::Tensor image(std::int64_t i) const;
+};
+
+/// Splits into (train, test) by taking the first `train_size` samples for
+/// training and the rest for testing. Throws if train_size > size.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& dataset,
+                                             std::int64_t train_size);
+
+/// Count of samples per class.
+std::vector<std::int64_t> class_histogram(const Dataset& dataset);
+
+}  // namespace zka::data

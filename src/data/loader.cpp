@@ -1,0 +1,55 @@
+#include "data/loader.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace zka::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size)
+    : dataset_(&dataset), batch_size_(batch_size) {
+  if (batch_size <= 0) throw std::invalid_argument("batch_size <= 0");
+  indices_.resize(static_cast<std::size_t>(dataset.size()));
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    indices_[static_cast<std::size_t>(i)] = i;
+  }
+}
+
+DataLoader::DataLoader(const Dataset& dataset,
+                       std::vector<std::int64_t> indices,
+                       std::int64_t batch_size)
+    : dataset_(&dataset), indices_(std::move(indices)),
+      batch_size_(batch_size) {
+  if (batch_size <= 0) throw std::invalid_argument("batch_size <= 0");
+  for (const std::int64_t i : indices_) {
+    if (i < 0 || i >= dataset.size()) {
+      throw std::out_of_range("DataLoader: index out of dataset range");
+    }
+  }
+}
+
+std::int64_t DataLoader::num_batches() const noexcept {
+  return (size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::shuffle(util::Rng& rng) { rng.shuffle(indices_); }
+
+Batch DataLoader::batch(std::int64_t b) const {
+  if (b < 0 || b >= num_batches()) {
+    throw std::out_of_range("DataLoader::batch out of range");
+  }
+  const std::int64_t begin = b * batch_size_;
+  const std::int64_t end = std::min<std::int64_t>(begin + batch_size_, size());
+  std::vector<std::int64_t> rows(
+      indices_.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices_.begin() + static_cast<std::ptrdiff_t>(end));
+  Batch out;
+  out.images = dataset_->images.index_select0(rows);
+  out.labels.reserve(rows.size());
+  for (const std::int64_t r : rows) {
+    out.labels.push_back(dataset_->labels[static_cast<std::size_t>(r)]);
+  }
+  return out;
+}
+
+}  // namespace zka::data

@@ -1,0 +1,48 @@
+// Mini-batch iteration over a Dataset (or an index view of one).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace zka::util {
+class Rng;
+}
+
+namespace zka::data {
+
+struct Batch {
+  tensor::Tensor images;               // [B, C, H, W]
+  std::vector<std::int64_t> labels;    // size B
+};
+
+class DataLoader {
+ public:
+  /// Iterates over the whole dataset.
+  DataLoader(const Dataset& dataset, std::int64_t batch_size);
+  /// Iterates over a subset given by indices into `dataset`.
+  DataLoader(const Dataset& dataset, std::vector<std::int64_t> indices,
+             std::int64_t batch_size);
+
+  /// Number of batches per epoch (last batch may be smaller).
+  std::int64_t num_batches() const noexcept;
+
+  /// Reshuffles the iteration order (call once per epoch).
+  void shuffle(util::Rng& rng);
+
+  /// Materializes batch `b` in the current order.
+  Batch batch(std::int64_t b) const;
+
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(indices_.size());
+  }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<std::int64_t> indices_;
+  std::int64_t batch_size_;
+};
+
+}  // namespace zka::data

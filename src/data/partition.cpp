@@ -1,0 +1,81 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace zka::data {
+
+std::vector<std::vector<std::int64_t>> iid_partition(std::int64_t n,
+                                                     std::int64_t num_clients,
+                                                     util::Rng& rng) {
+  if (num_clients <= 0) throw std::invalid_argument("num_clients <= 0");
+  std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(all);
+  std::vector<std::vector<std::int64_t>> parts(
+      static_cast<std::size_t>(num_clients));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    parts[i % static_cast<std::size_t>(num_clients)].push_back(all[i]);
+  }
+  return parts;
+}
+
+std::vector<std::vector<std::int64_t>> dirichlet_partition(
+    const std::vector<std::int64_t>& labels, std::int64_t num_classes,
+    std::int64_t num_clients, double beta, util::Rng& rng) {
+  if (num_clients <= 0) throw std::invalid_argument("num_clients <= 0");
+  if (beta <= 0.0) throw std::invalid_argument("beta must be positive");
+
+  // Bucket sample indices by class, shuffled within each class.
+  std::vector<std::vector<std::int64_t>> by_class(
+      static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::int64_t y = labels[i];
+    if (y < 0 || y >= num_classes) {
+      throw std::invalid_argument("dirichlet_partition: label out of range");
+    }
+    by_class[static_cast<std::size_t>(y)].push_back(
+        static_cast<std::int64_t>(i));
+  }
+  for (auto& bucket : by_class) rng.shuffle(bucket);
+
+  std::vector<std::vector<std::int64_t>> parts(
+      static_cast<std::size_t>(num_clients));
+  for (const auto& bucket : by_class) {
+    if (bucket.empty()) continue;
+    const std::vector<double> props =
+        rng.dirichlet(beta, static_cast<std::size_t>(num_clients));
+    // Convert proportions to cumulative cut points over the bucket.
+    std::size_t start = 0;
+    double cum = 0.0;
+    for (std::size_t c = 0; c < parts.size(); ++c) {
+      cum += props[c];
+      const std::size_t end =
+          c + 1 == parts.size()
+              ? bucket.size()
+              : std::min(bucket.size(),
+                         static_cast<std::size_t>(cum * bucket.size()));
+      for (std::size_t i = start; i < end; ++i) parts[c].push_back(bucket[i]);
+      start = end;
+    }
+  }
+
+  // Guarantee non-empty clients: move one sample from the largest client.
+  for (auto& part : parts) {
+    if (!part.empty()) continue;
+    auto largest = std::max_element(
+        parts.begin(), parts.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (largest->size() <= 1) {
+      throw std::runtime_error(
+          "dirichlet_partition: not enough samples for all clients");
+    }
+    part.push_back(largest->back());
+    largest->pop_back();
+  }
+  return parts;
+}
+
+}  // namespace zka::data

@@ -1,0 +1,27 @@
+// Client data partitioning: IID and Dirichlet(β) label-skew (the paper's
+// heterogeneity model, Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zka::util {
+class Rng;
+}
+
+namespace zka::data {
+
+/// Shuffles indices [0, n) and deals them round-robin to `num_clients`.
+std::vector<std::vector<std::int64_t>> iid_partition(std::int64_t n,
+                                                     std::int64_t num_clients,
+                                                     util::Rng& rng);
+
+/// Label-skew partition: for each class, the per-client share of that
+/// class's samples is drawn from Dirichlet(beta, ..., beta). Smaller beta
+/// means more heterogeneity. Clients that end up empty are topped up with
+/// one sample stolen from the largest client, so every client can train.
+std::vector<std::vector<std::int64_t>> dirichlet_partition(
+    const std::vector<std::int64_t>& labels, std::int64_t num_classes,
+    std::int64_t num_clients, double beta, util::Rng& rng);
+
+}  // namespace zka::data

@@ -1,0 +1,153 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace zka::data {
+
+namespace {
+
+/// Deterministic per-(class, channel) pattern parameters derived by hashing,
+/// so prototypes need no stored tables and are identical across runs.
+struct PatternParams {
+  double freq1, angle1, phase1;   // first grating
+  double freq2, angle2, phase2;   // second grating
+  double blob_y, blob_x, blob_sigma, blob_gain;
+  double bias;                    // per-channel base intensity (color cast)
+};
+
+PatternParams pattern_params(models::Task task, std::int64_t label,
+                             std::int64_t channel) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL ^
+                    (static_cast<std::uint64_t>(label) * 0x100000001b3ULL) ^
+                    (static_cast<std::uint64_t>(channel + 1) * 0x9e3779b9ULL) ^
+                    (task == models::Task::kCifar ? 0xabcdef1234ULL : 0x55ULL);
+  auto next = [&h] { return zka::util::splitmix64(h); };
+  auto unit = [&next] {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  };
+  PatternParams p{};
+  // Gratings: class-dependent orientation and frequency. The grayscale task
+  // gets well-separated frequencies; the RGB task draws from a narrower,
+  // overlapping range so classes are harder to tell apart.
+  const bool rgb = task == models::Task::kCifar;
+  const double f_lo = rgb ? 0.25 : 0.2;
+  const double f_hi = rgb ? 0.55 : 0.9;
+  p.freq1 = f_lo + (f_hi - f_lo) * unit();
+  p.angle1 = std::numbers::pi * unit();
+  p.phase1 = 2.0 * std::numbers::pi * unit();
+  p.freq2 = f_lo + (f_hi - f_lo) * unit();
+  p.angle2 = std::numbers::pi * unit();
+  p.phase2 = 2.0 * std::numbers::pi * unit();
+  p.blob_y = 0.2 + 0.6 * unit();
+  p.blob_x = 0.2 + 0.6 * unit();
+  p.blob_sigma = rgb ? (0.22 + 0.15 * unit()) : (0.12 + 0.12 * unit());
+  p.blob_gain = rgb ? (0.5 + 0.4 * unit()) : (0.8 + 0.6 * unit());
+  p.bias = rgb ? (0.6 * unit() - 0.3) : 0.0;
+  return p;
+}
+
+float prototype_value(const PatternParams& p, std::int64_t h, std::int64_t w,
+                      std::int64_t y, std::int64_t x, bool rgb) {
+  const double fy = static_cast<double>(y) / static_cast<double>(h);
+  const double fx = static_cast<double>(x) / static_cast<double>(w);
+  const double u1 = std::cos(p.angle1) * x + std::sin(p.angle1) * y;
+  const double u2 = std::cos(p.angle2) * x + std::sin(p.angle2) * y;
+  double v = 0.45 * std::sin(p.freq1 * u1 + p.phase1) +
+             (rgb ? 0.35 : 0.25) * std::sin(p.freq2 * u2 + p.phase2);
+  const double dy = fy - p.blob_y;
+  const double dx = fx - p.blob_x;
+  v += p.blob_gain *
+       std::exp(-(dy * dy + dx * dx) / (2.0 * p.blob_sigma * p.blob_sigma));
+  v += p.bias;
+  return static_cast<float>(std::clamp(v, -1.0, 1.0));
+}
+
+}  // namespace
+
+tensor::Tensor class_prototype(models::Task task, std::int64_t label) {
+  const models::ImageSpec spec = models::task_spec(task);
+  if (label < 0 || label >= spec.num_classes) {
+    throw std::invalid_argument("class_prototype: label out of range");
+  }
+  tensor::Tensor img({1, spec.channels, spec.height, spec.width});
+  const bool rgb = task == models::Task::kCifar;
+  for (std::int64_t c = 0; c < spec.channels; ++c) {
+    const PatternParams p = pattern_params(task, label, c);
+    for (std::int64_t y = 0; y < spec.height; ++y) {
+      for (std::int64_t x = 0; x < spec.width; ++x) {
+        img.at({0, c, y, x}) = prototype_value(p, spec.height, spec.width, y,
+                                               x, rgb);
+      }
+    }
+  }
+  return img;
+}
+
+Dataset make_synthetic_dataset(models::Task task, std::int64_t n,
+                               std::uint64_t seed,
+                               const SyntheticOptions& options) {
+  if (n < 0) throw std::invalid_argument("make_synthetic_dataset: n < 0");
+  const models::ImageSpec spec = models::task_spec(task);
+  const bool rgb = task == models::Task::kCifar;
+  const float noise =
+      options.noise_stddev > 0.0f ? options.noise_stddev : (rgb ? 0.45f : 0.3f);
+
+  util::Rng rng(seed);
+  Dataset out;
+  out.spec = spec;
+  out.images = tensor::Tensor({n, spec.channels, spec.height, spec.width});
+  out.labels.resize(static_cast<std::size_t>(n));
+
+  // Precompute prototypes once per class.
+  std::vector<tensor::Tensor> protos;
+  protos.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (std::int64_t k = 0; k < spec.num_classes; ++k) {
+    protos.push_back(class_prototype(task, k));
+  }
+
+  const std::int64_t plane = spec.height * spec.width;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t label =
+        static_cast<std::int64_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(spec.num_classes)));
+    out.labels[static_cast<std::size_t>(i)] = label;
+    const tensor::Tensor& proto = protos[static_cast<std::size_t>(label)];
+    const std::int64_t max_s = options.max_shift;
+    const std::int64_t dy =
+        max_s > 0 ? static_cast<std::int64_t>(
+                        rng.uniform_index(2 * static_cast<std::uint64_t>(max_s) + 1)) -
+                        max_s
+                  : 0;
+    const std::int64_t dx =
+        max_s > 0 ? static_cast<std::int64_t>(
+                        rng.uniform_index(2 * static_cast<std::uint64_t>(max_s) + 1)) -
+                        max_s
+                  : 0;
+    const float contrast = static_cast<float>(
+        rng.uniform(1.0 - options.contrast_jitter, 1.0 + options.contrast_jitter));
+    float* dst = out.images.raw() + i * spec.channels * plane;
+    for (std::int64_t c = 0; c < spec.channels; ++c) {
+      const float* src = proto.raw() + c * plane;
+      for (std::int64_t y = 0; y < spec.height; ++y) {
+        // Toroidal shift keeps all structure in frame.
+        const std::int64_t sy = ((y + dy) % spec.height + spec.height) %
+                                spec.height;
+        for (std::int64_t x = 0; x < spec.width; ++x) {
+          const std::int64_t sx = ((x + dx) % spec.width + spec.width) %
+                                  spec.width;
+          float v = contrast * src[sy * spec.width + sx] +
+                    static_cast<float>(rng.normal(0.0, noise));
+          dst[c * plane + y * spec.width + x] = std::clamp(v, -1.0f, 1.0f);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace zka::data

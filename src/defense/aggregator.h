@@ -1,0 +1,64 @@
+// Robust aggregation (defense) interface.
+//
+// Updates are flat model-parameter vectors (the FL wire format from
+// nn::get_flat_params). Selection-style defenses (mKrum, Bulyan, FoolsGold)
+// also report *which* updates contributed, which is what the paper's DPR
+// metric (Eq. 5) is computed from; statistic defenses (Median, TRmean)
+// blend coordinates from all updates and report no selection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace zka::defense {
+
+using Update = std::vector<float>;
+
+struct AggregationResult {
+  Update model;
+  /// Indices (into the submitted update list) of updates that were selected
+  /// for aggregation. Empty for statistic defenses that use all updates.
+  std::vector<std::size_t> selected;
+};
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Aggregates the round's updates; weights[i] is the sample count of
+  /// client i (used by weighted FedAvg; robust rules may ignore it).
+  /// Requires at least one update; all updates must have equal size.
+  virtual AggregationResult aggregate(
+      const std::vector<Update>& updates,
+      const std::vector<std::int64_t>& weights) = 0;
+
+  /// Called by the server before collecting a round's updates, with the
+  /// global model it just broadcast. Most rules ignore it; defenses that
+  /// need server-side context (e.g. FLTrust trains a reference update on
+  /// its root dataset) override it.
+  virtual void begin_round(std::span<const float> global_model,
+                           std::int64_t round) {
+    (void)global_model;
+    (void)round;
+  }
+
+  /// True if the defense *selects* updates (DPR is only defined then).
+  virtual bool selects_clients() const noexcept = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Throws std::invalid_argument unless updates is non-empty and rectangular.
+void validate_updates(const std::vector<Update>& updates,
+                      const std::vector<std::int64_t>& weights);
+
+/// Named construction for benches/CLIs: fedavg, median, trmean, mkrum,
+/// bulyan, foolsgold, normclip. `num_byzantine` is the defense's assumed
+/// attacker bound f.
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
+                                            std::size_t num_byzantine);
+
+}  // namespace zka::defense

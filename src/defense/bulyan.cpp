@@ -1,0 +1,46 @@
+#include "defense/bulyan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "defense/krum.h"
+#include "util/stats.h"
+
+namespace zka::defense {
+
+AggregationResult Bulyan::aggregate(const std::vector<Update>& updates,
+                                    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  const std::size_t n = updates.size();
+  // theta = n - 2f selections, clamped so at least one update survives.
+  const std::size_t theta = n > 2 * f_ ? n - 2 * f_ : 1;
+  // Keep beta = theta - 2f values per coordinate, at least one.
+  const std::size_t keep = theta > 2 * f_ ? theta - 2 * f_ : 1;
+
+  MultiKrum krum(f_, theta, /*iterative=*/true);
+  AggregationResult result;
+  result.selected = krum.select(updates);
+
+  const std::size_t dim = updates.front().size();
+  result.model.resize(dim);
+  std::vector<float> column(result.selected.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < result.selected.size(); ++k) {
+      column[k] = updates[result.selected[k]][i];
+    }
+    const float med = util::median(std::vector<float>(column));
+    // Average the `keep` values closest to the median.
+    std::sort(column.begin(), column.end(),
+              [med](float a, float b) {
+                return std::abs(a - med) < std::abs(b - med);
+              });
+    double acc = 0.0;
+    const std::size_t kk = std::min(keep, column.size());
+    for (std::size_t k = 0; k < kk; ++k) acc += column[k];
+    result.model[i] = static_cast<float>(acc / static_cast<double>(kk));
+  }
+  return result;
+}
+
+}  // namespace zka::defense

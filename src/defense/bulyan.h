@@ -1,0 +1,23 @@
+// Bulyan (El Mhamdi et al., ICML 2018): Multi-Krum selection of
+// theta = n - 2f updates followed by a coordinate-wise trimmed aggregation
+// that keeps the theta - 2f values closest to the per-coordinate median.
+#pragma once
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+class Bulyan : public Aggregator {
+ public:
+  explicit Bulyan(std::size_t num_byzantine) : f_(num_byzantine) {}
+
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return true; }
+  std::string name() const override { return "Bulyan"; }
+
+ private:
+  std::size_t f_;
+};
+
+}  // namespace zka::defense

@@ -1,0 +1,48 @@
+#include "defense/centered_clip.h"
+
+#include <cmath>
+
+#include "defense/statistic.h"
+#include "util/stats.h"
+
+namespace zka::defense {
+
+AggregationResult CenteredClipping::aggregate(
+    const std::vector<Update>& updates,
+    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().size();
+
+  if (center_.size() != dim) {
+    // First round (or model size changed): seed the center with the
+    // coordinate-wise median, a robust starting point.
+    Median median_rule;
+    center_ = median_rule.aggregate(updates, weights).model;
+  }
+
+  std::vector<double> norms(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    norms[k] = util::l2_distance(updates[k], center_);
+  }
+  last_tau_ = tau_ > 0.0 ? tau_ : util::median(std::vector<double>(norms));
+
+  std::vector<double> correction(dim, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double scale =
+        (norms[k] > last_tau_ && norms[k] > 0.0) ? last_tau_ / norms[k] : 1.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      correction[i] += scale * (static_cast<double>(updates[k][i]) -
+                                center_[i]);
+    }
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    center_[i] += static_cast<float>(correction[i] / static_cast<double>(n));
+  }
+
+  AggregationResult result;
+  result.model = center_;
+  return result;
+}
+
+}  // namespace zka::defense

@@ -1,0 +1,33 @@
+// Centered clipping (Karimireddy et al., ICML 2021) — extension defense.
+// Keeps a running center v across rounds and aggregates
+//   v <- v + mean_k clip(u_k - v, tau),
+// where clip bounds the L2 norm of the correction to tau. Unlike the
+// stateless rules, the center carries memory between rounds, which damps
+// attacks that rely on a single large displacement.
+#pragma once
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+class CenteredClipping : public Aggregator {
+ public:
+  /// `tau` is the clip radius; <= 0 auto-tunes each round to the median
+  /// distance between the updates and the current center.
+  explicit CenteredClipping(double tau = 0.0) : tau_(tau) {}
+
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return false; }
+  std::string name() const override { return "CenteredClip"; }
+
+  /// The clip radius used by the last aggregate() (for tests).
+  double last_tau() const noexcept { return last_tau_; }
+
+ private:
+  double tau_;
+  double last_tau_ = 0.0;
+  Update center_;  // empty until the first round
+};
+
+}  // namespace zka::defense

@@ -1,0 +1,45 @@
+#include "defense/distance.h"
+
+#include <algorithm>
+
+namespace zka::defense {
+
+std::vector<std::vector<double>> pairwise_sq_distances(
+    const std::vector<Update>& updates) {
+  const std::size_t n = updates.size();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const Update& a = updates[i];
+      const Update& b = updates[j];
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        const double diff = static_cast<double>(a[k]) - b[k];
+        acc += diff * diff;
+      }
+      d[i][j] = acc;
+      d[j][i] = acc;
+    }
+  }
+  return d;
+}
+
+double krum_score(const std::vector<std::vector<double>>& sq_dist,
+                  std::size_t i, std::size_t num_neighbors,
+                  const std::vector<bool>& excluded) {
+  std::vector<double> dists;
+  dists.reserve(sq_dist.size());
+  for (std::size_t j = 0; j < sq_dist.size(); ++j) {
+    if (j == i || excluded[j]) continue;
+    dists.push_back(sq_dist[i][j]);
+  }
+  const std::size_t k = std::min(num_neighbors, dists.size());
+  std::partial_sort(dists.begin(),
+                    dists.begin() + static_cast<std::ptrdiff_t>(k),
+                    dists.end());
+  double score = 0.0;
+  for (std::size_t j = 0; j < k; ++j) score += dists[j];
+  return score;
+}
+
+}  // namespace zka::defense

@@ -1,0 +1,21 @@
+// Pairwise-distance helpers shared by Krum, Bulyan and FoolsGold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+/// Symmetric matrix (as nested vectors) of squared L2 distances.
+std::vector<std::vector<double>> pairwise_sq_distances(
+    const std::vector<Update>& updates);
+
+/// Krum score of update `i`: sum of its `num_neighbors` smallest squared
+/// distances to other updates.
+double krum_score(const std::vector<std::vector<double>>& sq_dist,
+                  std::size_t i, std::size_t num_neighbors,
+                  const std::vector<bool>& excluded);
+
+}  // namespace zka::defense

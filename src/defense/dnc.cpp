@@ -1,0 +1,97 @@
+#include "defense/dnc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "defense/fedavg.h"
+
+namespace zka::defense {
+
+AggregationResult Dnc::aggregate(const std::vector<Update>& updates,
+                                 const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().size();
+  const std::size_t discard = std::min(
+      n - 1, static_cast<std::size_t>(std::llround(
+                 options_.filter_fraction *
+                 static_cast<double>(options_.num_byzantine))));
+
+  std::vector<bool> accepted(n, true);
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // Random coordinate block.
+    const std::size_t b = std::min(options_.subsample_dim, dim);
+    std::vector<std::size_t> coords(b);
+    if (b == dim) {
+      std::iota(coords.begin(), coords.end(), 0);
+    } else {
+      const auto picked = rng_.sample_without_replacement(dim, b);
+      coords.assign(picked.begin(), picked.end());
+    }
+
+    // Centered submatrix A [n, b].
+    std::vector<double> mean(b, 0.0);
+    for (const Update& u : updates) {
+      for (std::size_t j = 0; j < b; ++j) mean[j] += u[coords[j]];
+    }
+    for (auto& m : mean) m /= static_cast<double>(n);
+    std::vector<double> a(n * b);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < b; ++j) {
+        a[i * b + j] = updates[i][coords[j]] - mean[j];
+      }
+    }
+
+    // Power iteration for the top right singular vector v in R^b.
+    std::vector<double> v(b);
+    for (std::size_t j = 0; j < b; ++j) {
+      v[j] = std::sin(0.37 * static_cast<double>(j + 1)) + 0.011;
+    }
+    std::vector<double> av(n);
+    for (int it = 0; it < options_.power_iterations; ++it) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < b; ++j) acc += a[i * b + j] * v[j];
+        av[i] = acc;
+      }
+      double norm = 0.0;
+      for (std::size_t j = 0; j < b; ++j) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) acc += a[i * b + j] * av[i];
+        v[j] = acc;
+        norm += acc * acc;
+      }
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;  // centered data is degenerate
+      for (auto& x : v) x /= norm;
+    }
+
+    // Outlier scores: squared projection on v.
+    std::vector<std::pair<double, std::size_t>> scores(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < b; ++j) acc += a[i * b + j] * v[j];
+      scores[i] = {acc * acc, i};
+    }
+    std::sort(scores.begin(), scores.end());
+    // Discard the `discard` highest-scoring updates this iteration.
+    for (std::size_t k = n - discard; k < n; ++k) {
+      accepted[scores[k].second] = false;
+    }
+  }
+
+  AggregationResult result;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (accepted[i]) result.selected.push_back(i);
+  }
+  if (result.selected.empty()) {
+    // Everything filtered (tiny rounds): fall back to the single
+    // lowest-score update to keep the server making progress.
+    result.selected.push_back(0);
+  }
+  result.model = mean_of(updates, result.selected);
+  return result;
+}
+
+}  // namespace zka::defense

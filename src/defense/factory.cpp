@@ -1,0 +1,41 @@
+#include <stdexcept>
+
+#include "defense/aggregator.h"
+#include "defense/bulyan.h"
+#include "defense/centered_clip.h"
+#include "defense/dnc.h"
+#include "defense/fedavg.h"
+#include "defense/foolsgold.h"
+#include "defense/geometric_median.h"
+#include "defense/krum.h"
+#include "defense/norm_clip.h"
+#include "defense/statistic.h"
+
+namespace zka::defense {
+
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
+                                            std::size_t num_byzantine) {
+  if (name == "fedavg") return std::make_unique<FedAvg>();
+  if (name == "median") return std::make_unique<Median>();
+  if (name == "trmean") return std::make_unique<TrimmedMean>(num_byzantine);
+  if (name == "krum") return std::make_unique<MultiKrum>(num_byzantine, 1);
+  if (name == "mkrum") return std::make_unique<MultiKrum>(num_byzantine);
+  if (name == "bulyan") return std::make_unique<Bulyan>(num_byzantine);
+  if (name == "foolsgold") return std::make_unique<FoolsGold>();
+  if (name == "normclip") return std::make_unique<NormClipping>();
+  if (name == "geomedian") return std::make_unique<GeometricMedian>();
+  if (name == "centeredclip") return std::make_unique<CenteredClipping>();
+  if (name == "dnc") {
+    DncOptions options;
+    options.num_byzantine = num_byzantine;
+    return std::make_unique<Dnc>(options);
+  }
+  if (name == "fltrust") {
+    throw std::invalid_argument(
+        "fltrust needs a root dataset: construct defense::FlTrust directly "
+        "and pass it via SimulationConfig::custom_defense");
+  }
+  throw std::invalid_argument("unknown aggregator: " + name);
+}
+
+}  // namespace zka::defense

@@ -1,0 +1,22 @@
+// FedAvg (McMahan et al.): sample-count-weighted mean. Not robust; this is
+// the paper's attack-free reference aggregator.
+#pragma once
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+class FedAvg : public Aggregator {
+ public:
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return false; }
+  std::string name() const override { return "FedAvg"; }
+};
+
+/// Unweighted mean of the given updates (shared helper; mKrum and Bulyan
+/// average their selected subsets with it).
+Update mean_of(const std::vector<Update>& updates,
+               const std::vector<std::size_t>& subset);
+
+}  // namespace zka::defense

@@ -1,0 +1,101 @@
+#include "defense/fltrust.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "data/loader.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+#include "util/stats.h"
+
+namespace zka::defense {
+
+FlTrust::FlTrust(data::Dataset root, models::ModelFactory factory,
+                 FlTrustOptions options, std::uint64_t seed)
+    : root_(std::move(root)), factory_(std::move(factory)),
+      options_(options), rng_(seed) {
+  if (root_.size() == 0) {
+    throw std::invalid_argument("FlTrust: root dataset is empty");
+  }
+}
+
+void FlTrust::begin_round(std::span<const float> global_model,
+                          std::int64_t round) {
+  global_.assign(global_model.begin(), global_model.end());
+
+  // Train the server's reference update from the broadcast model.
+  util::Rng round_rng = rng_.split(static_cast<std::uint64_t>(round) + 1);
+  auto model = factory_(round_rng.split(1)());
+  nn::set_flat_params(*model, global_);
+  nn::Sgd optimizer(*model, {.learning_rate = options_.learning_rate});
+  nn::SoftmaxCrossEntropy loss;
+  data::DataLoader loader(root_, options_.batch_size);
+  for (std::int64_t epoch = 0; epoch < options_.local_epochs; ++epoch) {
+    loader.shuffle(round_rng);
+    for (std::int64_t b = 0; b < loader.num_batches(); ++b) {
+      const data::Batch batch = loader.batch(b);
+      optimizer.zero_grad();
+      loss.forward(model->forward(batch.images), batch.labels);
+      model->backward(loss.backward());
+      optimizer.step();
+    }
+  }
+  server_update_ = nn::get_flat_params(*model);
+}
+
+AggregationResult FlTrust::aggregate(
+    const std::vector<Update>& updates,
+    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  if (global_.size() != updates.front().size() ||
+      server_update_.size() != updates.front().size()) {
+    throw std::logic_error(
+        "FlTrust::aggregate called without a matching begin_round");
+  }
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().size();
+
+  // Deltas relative to the broadcast model.
+  std::vector<float> server_delta(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    server_delta[i] = server_update_[i] - global_[i];
+  }
+  const double server_norm = util::l2_norm(server_delta);
+
+  last_scores_.assign(n, 0.0);
+  std::vector<double> aggregated(dim, 0.0);
+  double score_total = 0.0;
+  AggregationResult result;
+  std::vector<float> delta(dim);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      delta[i] = updates[k][i] - global_[i];
+    }
+    // Trust score: ReLU(cosine similarity to the server delta).
+    const double cos = util::cosine_similarity(delta, server_delta);
+    const double trust = std::max(cos, 0.0);
+    last_scores_[k] = trust;
+    if (trust <= 0.0) continue;
+    result.selected.push_back(k);
+    score_total += trust;
+    // Normalize the client delta to the server delta's magnitude.
+    const double norm = util::l2_norm(delta);
+    const double rescale = norm > 0.0 ? server_norm / norm : 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      aggregated[i] += trust * rescale * delta[i];
+    }
+  }
+
+  result.model = global_;
+  if (score_total > 0.0) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      result.model[i] += static_cast<float>(aggregated[i] / score_total);
+    }
+  }
+  // If every update was distrusted, the model simply does not move.
+  return result;
+}
+
+}  // namespace zka::defense

@@ -1,0 +1,85 @@
+#include "defense/foolsgold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace zka::defense {
+
+AggregationResult FoolsGold::aggregate(
+    const std::vector<Update>& updates,
+    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().size();
+
+  // Pairwise cosine similarity.
+  std::vector<std::vector<double>> cs(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double sim = util::cosine_similarity(updates[i], updates[j]);
+      cs[i][j] = sim;
+      cs[j][i] = sim;
+    }
+  }
+
+  // v_i = max_j cs_ij; pardoning rescale, then logit squash.
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) v[i] = std::max(v[i], cs[i][j]);
+    }
+  }
+  std::vector<double> wv(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double m = v[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      // Pardoning: rescale similarity by the ratio of maxima.
+      if (v[j] > v[i] && v[j] > 0.0) {
+        m = std::max(m, cs[i][j] * v[i] / v[j]);
+      }
+    }
+    wv[i] = 1.0 - m;
+  }
+  const double wv_max = *std::max_element(wv.begin(), wv.end());
+  for (auto& w : wv) {
+    if (wv_max > 0.0) w /= wv_max;        // rescale to [.., 1]
+    w = std::clamp(w, 0.0, 1.0);
+    // Logit squash, clamped away from the poles.
+    const double x = std::clamp(w, 1e-5, 1.0 - 1e-5);
+    w = 0.5 * std::log(x / (1.0 - x)) + 0.5;
+    w = std::clamp(w, 0.0, 1.0);
+  }
+
+  double total = 0.0;
+  for (const double w : wv) total += w;
+  AggregationResult result;
+  result.model.assign(dim, 0.0f);
+  if (total <= 0.0) {
+    // Everything looked like a Sybil: fall back to the plain mean.
+    for (const Update& u : updates) {
+      for (std::size_t i = 0; i < dim; ++i) result.model[i] += u[i];
+    }
+    for (auto& x : result.model) x /= static_cast<float>(n);
+    last_weights_.assign(n, 1.0 / static_cast<double>(n));
+    for (std::size_t k = 0; k < n; ++k) result.selected.push_back(k);
+    return result;
+  }
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = wv[k] / total;
+    for (std::size_t i = 0; i < dim; ++i) acc[i] += w * updates[k][i];
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    result.model[i] = static_cast<float>(acc[i]);
+  }
+  last_weights_ = wv;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (wv[k] >= select_threshold_) result.selected.push_back(k);
+  }
+  return result;
+}
+
+}  // namespace zka::defense

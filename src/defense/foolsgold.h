@@ -1,0 +1,36 @@
+// FoolsGold (Fung et al., RAID 2020) — Sybil defense, provided as an
+// extension beyond the paper's four defenses. Down-weights clients whose
+// updates are mutually too similar (Sybils submitting near-identical
+// updates), using pairwise cosine similarity. This implementation operates
+// on the current round's updates (memoryless variant); the original
+// accumulates per-client history, which a sampled-clients simulator cannot
+// maintain meaningfully when only 10 of 100 clients appear per round.
+#pragma once
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+class FoolsGold : public Aggregator {
+ public:
+  /// Clients whose FoolsGold weight falls below `select_threshold` count as
+  /// rejected for DPR purposes.
+  explicit FoolsGold(double select_threshold = 0.1)
+      : select_threshold_(select_threshold) {}
+
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return true; }
+  std::string name() const override { return "FoolsGold"; }
+
+  /// The per-client aggregation weights from the last call (for tests).
+  const std::vector<double>& last_weights() const noexcept {
+    return last_weights_;
+  }
+
+ private:
+  double select_threshold_;
+  std::vector<double> last_weights_;
+};
+
+}  // namespace zka::defense

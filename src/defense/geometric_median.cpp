@@ -1,0 +1,62 @@
+#include "defense/geometric_median.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace zka::defense {
+
+AggregationResult GeometricMedian::aggregate(
+    const std::vector<Update>& updates,
+    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().size();
+
+  // Start from the weighted arithmetic mean.
+  double total_weight = 0.0;
+  for (const auto w : weights) total_weight += static_cast<double>(w);
+  std::vector<double> point(dim, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w =
+        total_weight > 0.0 ? weights[k] / total_weight : 1.0 / n;
+    for (std::size_t i = 0; i < dim; ++i) point[i] += w * updates[k][i];
+  }
+
+  std::vector<double> next(dim);
+  last_iterations_ = 0;
+  for (int iter = 0; iter < max_iterations_; ++iter) {
+    ++last_iterations_;
+    // Weiszfeld step: weighted average with weights w_k / dist_k.
+    double denom = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      double sq = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double d = updates[k][i] - point[i];
+        sq += d * d;
+      }
+      const double dist = std::max(std::sqrt(sq), smoothing_);
+      const double w = (total_weight > 0.0 ? weights[k] : 1.0) / dist;
+      denom += w;
+      for (std::size_t i = 0; i < dim; ++i) next[i] += w * updates[k][i];
+    }
+    double movement = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      next[i] /= denom;
+      const double d = next[i] - point[i];
+      movement += d * d;
+    }
+    point.swap(next);
+    if (std::sqrt(movement) < tolerance_) break;
+  }
+
+  AggregationResult result;
+  result.model.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    result.model[i] = static_cast<float>(point[i]);
+  }
+  return result;
+}
+
+}  // namespace zka::defense

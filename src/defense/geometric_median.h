@@ -1,0 +1,33 @@
+// Geometric median aggregation (RFA, Pillutla et al.) — extension defense.
+// Computes the smoothed Weiszfeld fixed point of the updates: the point
+// minimizing the sum of Euclidean distances, which is robust to a minority
+// of arbitrarily placed outliers.
+#pragma once
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+class GeometricMedian : public Aggregator {
+ public:
+  explicit GeometricMedian(int max_iterations = 50, double tolerance = 1e-6,
+                           double smoothing = 1e-8)
+      : max_iterations_(max_iterations), tolerance_(tolerance),
+        smoothing_(smoothing) {}
+
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return false; }
+  std::string name() const override { return "GeoMedian"; }
+
+  /// Iterations actually used by the last aggregate() (for tests).
+  int last_iterations() const noexcept { return last_iterations_; }
+
+ private:
+  int max_iterations_;
+  double tolerance_;
+  double smoothing_;
+  int last_iterations_ = 0;
+};
+
+}  // namespace zka::defense

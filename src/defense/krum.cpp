@@ -1,0 +1,68 @@
+#include "defense/krum.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "defense/distance.h"
+#include "defense/fedavg.h"
+
+namespace zka::defense {
+
+std::vector<std::size_t> MultiKrum::select(
+    const std::vector<Update>& updates) const {
+  const std::size_t n = updates.size();
+  std::size_t m = m_ == 0 ? (n > f_ ? n - f_ : 1) : m_;
+  m = std::min(m, n);
+  if (n == 1) return {0};
+  // Krum needs n - f - 2 >= 1 neighbors; degrade gracefully on tiny rounds.
+  const std::size_t neighbors = n > f_ + 2 ? n - f_ - 2 : 1;
+
+  const auto sq_dist = pairwise_sq_distances(updates);
+  std::vector<bool> excluded(n, false);
+  std::vector<std::size_t> selected;
+  selected.reserve(m);
+
+  if (!iterative_) {
+    // One-shot scoring: rank all updates, keep the m lowest scores.
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ranked.emplace_back(krum_score(sq_dist, i, neighbors, excluded), i);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    for (std::size_t k = 0; k < m; ++k) selected.push_back(ranked[k].second);
+    std::sort(selected.begin(), selected.end());
+    return selected;
+  }
+
+  for (std::size_t round = 0; round < m; ++round) {
+    double best_score = std::numeric_limits<double>::infinity();
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (excluded[i]) continue;
+      const double score = krum_score(sq_dist, i, neighbors, excluded);
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    excluded[best] = true;
+    selected.push_back(best);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+AggregationResult MultiKrum::aggregate(
+    const std::vector<Update>& updates,
+    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  AggregationResult result;
+  result.selected = select(updates);
+  result.model = mean_of(updates, result.selected);
+  return result;
+}
+
+}  // namespace zka::defense

@@ -1,0 +1,42 @@
+// Krum / Multi-Krum (Blanchard et al., NeurIPS 2017).
+//
+// Each update is scored by the sum of squared L2 distances to its
+// n - f - 2 nearest neighbors; low score means "centrally located".
+// Multi-Krum iteratively selects the lowest-scoring update m times
+// (rescoring after each removal) and averages the selection.
+#pragma once
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+class MultiKrum : public Aggregator {
+ public:
+  /// `num_byzantine` is the assumed attacker bound f; `num_selected` is m
+  /// (0 selects the default m = n - f at aggregate time; m = 1 is plain
+  /// Krum). By default all updates are scored once and the m lowest-score
+  /// ones are kept; `iterative` re-scores after each removal (the variant
+  /// Bulyan builds on). One-shot scoring is the robust choice when
+  /// colluding attackers submit identical updates: under iterative
+  /// selection with large m, a mutual-distance-zero pair wins the tail
+  /// slots once most benign updates are already excluded.
+  MultiKrum(std::size_t num_byzantine, std::size_t num_selected = 0,
+            bool iterative = false)
+      : f_(num_byzantine), m_(num_selected), iterative_(iterative) {}
+
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return true; }
+  std::string name() const override { return m_ == 1 ? "Krum" : "mKrum"; }
+
+  /// The selection indices for a given round, without averaging (used by
+  /// Bulyan, which post-processes the selected set).
+  std::vector<std::size_t> select(const std::vector<Update>& updates) const;
+
+ private:
+  std::size_t f_;
+  std::size_t m_;
+  bool iterative_;
+};
+
+}  // namespace zka::defense

@@ -1,0 +1,51 @@
+#include "defense/norm_clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "defense/statistic.h"
+#include "util/stats.h"
+
+namespace zka::defense {
+
+AggregationResult NormClipping::aggregate(
+    const std::vector<Update>& updates,
+    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().size();
+
+  // Center = coordinate-wise median.
+  Median median_rule;
+  const Update center = median_rule.aggregate(updates, weights).model;
+
+  // Clip radius = median of the deviation norms.
+  std::vector<double> norms(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = static_cast<double>(updates[k][i]) - center[i];
+      acc += d * d;
+    }
+    norms[k] = std::sqrt(acc);
+  }
+  const double radius = util::median(std::vector<double>(norms));
+
+  AggregationResult result;
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double scale =
+        (norms[k] > radius && norms[k] > 0.0) ? radius / norms[k] : 1.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc[i] += center[i] + scale * (static_cast<double>(updates[k][i]) -
+                                     center[i]);
+    }
+  }
+  result.model.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    result.model[i] = static_cast<float>(acc[i] / static_cast<double>(n));
+  }
+  return result;
+}
+
+}  // namespace zka::defense

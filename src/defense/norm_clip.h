@@ -1,0 +1,18 @@
+// Norm clipping (extension): bounds each update's deviation from the
+// coordinate-wise median center to the median deviation norm, then averages.
+// A cheap, selection-free robustness baseline.
+#pragma once
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+class NormClipping : public Aggregator {
+ public:
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return false; }
+  std::string name() const override { return "NormClip"; }
+};
+
+}  // namespace zka::defense

@@ -1,0 +1,54 @@
+#include "defense/statistic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zka::defense {
+
+AggregationResult Median::aggregate(const std::vector<Update>& updates,
+                                    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  const std::size_t dim = updates.front().size();
+  const std::size_t n = updates.size();
+  AggregationResult result;
+  result.model.resize(dim);
+  std::vector<float> column(n);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < n; ++k) column[k] = updates[k][i];
+    const std::size_t mid = n / 2;
+    std::nth_element(column.begin(), column.begin() + mid, column.end());
+    float v = column[mid];
+    if (n % 2 == 0) {
+      std::nth_element(column.begin(), column.begin() + mid - 1,
+                       column.begin() + mid);
+      v = (v + column[mid - 1]) / 2.0f;
+    }
+    result.model[i] = v;
+  }
+  return result;
+}
+
+AggregationResult TrimmedMean::aggregate(
+    const std::vector<Update>& updates,
+    const std::vector<std::int64_t>& weights) {
+  validate_updates(updates, weights);
+  const std::size_t n = updates.size();
+  if (n <= 2 * trim_) {
+    throw std::invalid_argument("TrimmedMean: need more than 2*trim updates");
+  }
+  const std::size_t dim = updates.front().size();
+  AggregationResult result;
+  result.model.resize(dim);
+  std::vector<float> column(n);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < n; ++k) column[k] = updates[k][i];
+    std::sort(column.begin(), column.end());
+    double acc = 0.0;
+    for (std::size_t k = trim_; k < n - trim_; ++k) acc += column[k];
+    result.model[i] =
+        static_cast<float>(acc / static_cast<double>(n - 2 * trim_));
+  }
+  return result;
+}
+
+}  // namespace zka::defense

@@ -1,0 +1,35 @@
+// Coordinate-wise statistic defenses (Yin et al. 2018): Median and
+// Trimmed mean. They blend all updates, so DPR is undefined for them
+// (the paper reports "NA").
+#pragma once
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+class Median : public Aggregator {
+ public:
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return false; }
+  std::string name() const override { return "Median"; }
+};
+
+class TrimmedMean : public Aggregator {
+ public:
+  /// Removes the `trim` largest and `trim` smallest values per coordinate
+  /// before averaging. Requires updates.size() > 2 * trim at aggregate time.
+  explicit TrimmedMean(std::size_t trim) : trim_(trim) {}
+
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights) override;
+  bool selects_clients() const noexcept override { return false; }
+  std::string name() const override { return "TRmean"; }
+
+  std::size_t trim() const noexcept { return trim_; }
+
+ private:
+  std::size_t trim_;
+};
+
+}  // namespace zka::defense

@@ -1,0 +1,40 @@
+#include "fl/client.h"
+
+#include "data/loader.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+#include "util/rng.h"
+
+namespace zka::fl {
+
+Client::Client(std::int64_t id, const data::Dataset& dataset,
+               std::vector<std::int64_t> indices, models::ModelFactory factory,
+               ClientOptions options)
+    : id_(id), dataset_(&dataset), indices_(std::move(indices)),
+      factory_(std::move(factory)), options_(options) {}
+
+std::vector<float> Client::train(std::span<const float> global,
+                                 std::uint64_t seed) const {
+  util::Rng rng(seed);
+  auto model = factory_(rng.split(1)());
+  nn::set_flat_params(*model, global);
+  if (indices_.empty()) return nn::get_flat_params(*model);
+
+  nn::Sgd optimizer(*model, {.learning_rate = options_.learning_rate});
+  nn::SoftmaxCrossEntropy loss;
+  data::DataLoader loader(*dataset_, indices_, options_.batch_size);
+  for (std::int64_t epoch = 0; epoch < options_.local_epochs; ++epoch) {
+    loader.shuffle(rng);
+    for (std::int64_t b = 0; b < loader.num_batches(); ++b) {
+      const data::Batch batch = loader.batch(b);
+      optimizer.zero_grad();
+      const tensor::Tensor logits = model->forward(batch.images);
+      loss.forward(logits, batch.labels);
+      model->backward(loss.backward());
+      optimizer.step();
+    }
+  }
+  return nn::get_flat_params(*model);
+}
+
+}  // namespace zka::fl

@@ -1,0 +1,203 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace zka::fl {
+
+double SimulationResult::dpr() const noexcept {
+  if (!defense_selects) return std::nan("");
+  std::int64_t selected = 0;
+  std::int64_t passed = 0;
+  for (const RoundRecord& r : rounds) {
+    selected += r.malicious_selected;
+    passed += r.malicious_passed;
+  }
+  return defense_pass_rate(passed, selected);
+}
+
+double SimulationResult::benign_pass_rate() const noexcept {
+  if (!defense_selects) return std::nan("");
+  std::int64_t selected = 0;
+  std::int64_t passed = 0;
+  for (const RoundRecord& r : rounds) {
+    selected += r.benign_selected;
+    passed += r.benign_passed;
+  }
+  return defense_pass_rate(passed, selected);
+}
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(std::move(config)),
+      factory_(models::task_model_factory(config_.task)) {
+  if (config_.clients_per_round <= 0 ||
+      config_.clients_per_round > config_.num_clients) {
+    throw std::invalid_argument("Simulation: bad clients_per_round");
+  }
+  if (config_.malicious_fraction < 0.0 || config_.malicious_fraction > 0.5) {
+    // The threat model caps adversarial control at 50% (Sec. III-A).
+    throw std::invalid_argument(
+        "Simulation: malicious_fraction must be in [0, 0.5]");
+  }
+
+  util::Rng rng(config_.seed);
+  train_ = data::make_synthetic_dataset(config_.task, config_.train_size,
+                                        rng.split(0xda7a)());
+  test_ = data::make_synthetic_dataset(config_.task, config_.test_size,
+                                       rng.split(0x7e57)());
+
+  util::Rng part_rng = rng.split(0x9a27);
+  const auto parts =
+      config_.beta > 0.0
+          ? data::dirichlet_partition(train_.labels, train_.spec.num_classes,
+                                      config_.num_clients, config_.beta,
+                                      part_rng)
+          : data::iid_partition(train_.size(), config_.num_clients, part_rng);
+
+  clients_.reserve(static_cast<std::size_t>(config_.num_clients));
+  for (std::int64_t i = 0; i < config_.num_clients; ++i) {
+    clients_.emplace_back(i, train_, parts[static_cast<std::size_t>(i)],
+                          factory_, config_.client);
+  }
+  num_malicious_ = static_cast<std::int64_t>(
+      config_.malicious_fraction * static_cast<double>(config_.num_clients));
+  aggregator_ = config_.custom_defense
+                    ? config_.custom_defense()
+                    : defense::make_aggregator(config_.defense,
+                                               config_.defense_f);
+  if (aggregator_ == nullptr) {
+    throw std::invalid_argument("Simulation: custom_defense returned null");
+  }
+}
+
+data::Dataset Simulation::malicious_data() const {
+  std::vector<std::int64_t> indices;
+  for (std::int64_t c = 0; c < num_malicious_; ++c) {
+    const auto& shard = clients_[static_cast<std::size_t>(c)].indices();
+    indices.insert(indices.end(), shard.begin(), shard.end());
+  }
+  return train_.subset(indices);
+}
+
+SimulationResult Simulation::run(attack::Attack* attack) {
+  if (attack != nullptr && num_malicious_ == 0) {
+    throw std::invalid_argument("Simulation: attack given but 0 malicious");
+  }
+  util::Rng rng(config_.seed ^ 0xf00dULL);
+  std::vector<float> global = nn::get_flat_params(*factory_(rng.split(2)()));
+  std::vector<float> prev_global = global;
+
+  SimulationResult result;
+  result.defense_selects = aggregator_->selects_clients();
+  result.rounds.reserve(static_cast<std::size_t>(config_.rounds));
+
+  for (std::int64_t round = 0; round < config_.rounds; ++round) {
+    aggregator_->begin_round(global, round);
+    util::Rng round_rng = rng.split(0x1000 + static_cast<std::uint64_t>(round));
+    // Uniform client sampling without replacement.
+    const auto sampled = round_rng.sample_without_replacement(
+        static_cast<std::size_t>(config_.num_clients),
+        static_cast<std::size_t>(config_.clients_per_round));
+
+    std::vector<std::size_t> benign_ids;
+    std::vector<std::size_t> malicious_ids;
+    for (const std::size_t c : sampled) {
+      if (attack != nullptr &&
+          static_cast<std::int64_t>(c) < num_malicious_) {
+        malicious_ids.push_back(c);
+      } else {
+        benign_ids.push_back(c);
+      }
+    }
+
+    // Benign local training (parallel across clients, deterministic seeds).
+    std::vector<defense::Update> benign_updates(benign_ids.size());
+    auto train_one = [&](std::size_t k) {
+      const Client& client = clients_[benign_ids[k]];
+      const std::uint64_t seed = config_.seed * 0x9e3779b97f4a7c15ULL +
+                                 static_cast<std::uint64_t>(round) * 1315423911ULL +
+                                 static_cast<std::uint64_t>(client.id());
+      benign_updates[k] = client.train(global, seed);
+    };
+    if (config_.parallel_clients) {
+      util::global_thread_pool().parallel_for(benign_ids.size(), train_one);
+    } else {
+      for (std::size_t k = 0; k < benign_ids.size(); ++k) train_one(k);
+    }
+
+    // Craft the malicious update once; all malicious clients submit it.
+    defense::Update malicious_update;
+    if (!malicious_ids.empty()) {
+      attack::AttackContext ctx;
+      ctx.global_model = global;
+      ctx.prev_global_model = prev_global;
+      ctx.benign_updates =
+          attack->needs_benign_updates() ? &benign_updates : nullptr;
+      ctx.round = round;
+      ctx.num_selected = config_.clients_per_round;
+      ctx.num_malicious_selected =
+          static_cast<std::int64_t>(malicious_ids.size());
+      ctx.learning_rate = config_.client.learning_rate;
+      malicious_update = attack->craft(ctx);
+      if (malicious_update.size() != global.size()) {
+        throw std::runtime_error(attack->name() +
+                                 " crafted an update of wrong size");
+      }
+    }
+
+    // Assemble the round's submissions in sampling order.
+    std::vector<defense::Update> updates;
+    std::vector<std::int64_t> weights;
+    std::vector<bool> is_malicious;
+    updates.reserve(sampled.size());
+    std::size_t benign_cursor = 0;
+    for (const std::size_t c : sampled) {
+      const bool mal =
+          attack != nullptr && static_cast<std::int64_t>(c) < num_malicious_;
+      is_malicious.push_back(mal);
+      if (mal) {
+        updates.push_back(malicious_update);
+      } else {
+        updates.push_back(std::move(benign_updates[benign_cursor]));
+        ++benign_cursor;
+      }
+      weights.push_back(std::max<std::int64_t>(
+          clients_[c].num_samples(), 1));
+    }
+
+    const defense::AggregationResult agg =
+        aggregator_->aggregate(updates, weights);
+    prev_global = std::move(global);
+    global = agg.model;
+
+    RoundRecord record;
+    record.round = round;
+    record.malicious_selected =
+        static_cast<std::int64_t>(malicious_ids.size());
+    record.benign_selected = static_cast<std::int64_t>(benign_ids.size());
+    if (aggregator_->selects_clients()) {
+      for (const std::size_t idx : agg.selected) {
+        if (is_malicious.at(idx)) ++record.malicious_passed;
+        else ++record.benign_passed;
+      }
+    }
+    if (config_.eval_every > 0 &&
+        (round % config_.eval_every == 0 || round + 1 == config_.rounds)) {
+      record.accuracy = evaluate_accuracy(factory_, global, test_);
+      result.max_accuracy = std::max(result.max_accuracy, record.accuracy);
+      result.final_accuracy = record.accuracy;
+    }
+    result.rounds.push_back(record);
+    if (round_callback_) round_callback_(result.rounds.back());
+  }
+  result.final_model = std::move(global);
+  return result;
+}
+
+}  // namespace zka::fl

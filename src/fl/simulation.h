@@ -1,0 +1,110 @@
+// The FL emulator: N clients, K sampled uniformly per round, a fraction of
+// them controlled by one adversary, a robust aggregation defense on the
+// server, and per-round accuracy / defense-selection bookkeeping — the
+// paper's experimental apparatus (Sec. V-A).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+#include "data/dataset.h"
+#include "defense/aggregator.h"
+#include "fl/client.h"
+#include "models/models.h"
+
+namespace zka::fl {
+
+struct SimulationConfig {
+  models::Task task = models::Task::kFashion;
+  std::int64_t num_clients = 100;
+  std::int64_t clients_per_round = 10;
+  /// Fraction of the N clients the adversary controls (paper: 0.2).
+  double malicious_fraction = 0.2;
+  std::int64_t rounds = 30;
+  /// Dirichlet concentration beta; values <= 0 select an IID partition.
+  double beta = 0.5;
+  std::int64_t train_size = 2000;
+  std::int64_t test_size = 500;
+  ClientOptions client = {};
+  /// Aggregator name for defense::make_aggregator.
+  std::string defense = "fedavg";
+  /// The server's assumed Byzantine bound f (also TRmean's trim count).
+  std::size_t defense_f = 2;
+  /// When set, overrides `defense`: the factory is invoked once at
+  /// construction to build the aggregator (e.g. an FlTrust instance that
+  /// needs a root dataset, or a user-defined rule).
+  std::function<std::unique_ptr<defense::Aggregator>()> custom_defense;
+  std::uint64_t seed = 1;
+  /// Train the sampled benign clients of a round on the thread pool.
+  bool parallel_clients = true;
+  /// Evaluate test accuracy every k rounds (1 = every round).
+  std::int64_t eval_every = 1;
+};
+
+struct RoundRecord {
+  std::int64_t round = 0;
+  /// Test accuracy after this round's aggregation; NaN if not evaluated.
+  double accuracy = std::nan("");
+  std::int64_t malicious_selected = 0;  // sampled malicious clients
+  std::int64_t malicious_passed = 0;    // of those, kept by the defense
+  std::int64_t benign_selected = 0;
+  std::int64_t benign_passed = 0;
+};
+
+struct SimulationResult {
+  std::vector<RoundRecord> rounds;
+  double max_accuracy = 0.0;
+  double final_accuracy = 0.0;
+  /// The global model after the last round (flat parameter vector).
+  std::vector<float> final_model;
+  /// Whether the defense reports selections (DPR defined).
+  bool defense_selects = false;
+
+  /// Defense pass rate over the whole run (Eq. 5); NaN when undefined.
+  double dpr() const noexcept;
+  /// Benign analogue of DPR (how often benign updates survive).
+  double benign_pass_rate() const noexcept;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config);
+
+  /// Runs the configured number of rounds. `attack` may be nullptr for an
+  /// attack-free run; otherwise every sampled malicious client submits the
+  /// update crafted once per round by `attack`.
+  SimulationResult run(attack::Attack* attack);
+
+  /// Invoked after every round (e.g. to capture synthesis loss curves).
+  void set_round_callback(std::function<void(const RoundRecord&)> callback) {
+    round_callback_ = std::move(callback);
+  }
+
+  const SimulationConfig& config() const noexcept { return config_; }
+  const data::Dataset& train_data() const noexcept { return train_; }
+  const data::Dataset& test_data() const noexcept { return test_; }
+  std::int64_t num_malicious() const noexcept { return num_malicious_; }
+
+  /// The pooled real data of the malicious clients' shards — what the
+  /// adversary would own if it used its clients' data (RealDataAttack,
+  /// LabelFlipAttack).
+  data::Dataset malicious_data() const;
+
+ private:
+  SimulationConfig config_;
+  models::ModelFactory factory_;
+  data::Dataset train_;
+  data::Dataset test_;
+  std::vector<Client> clients_;
+  std::int64_t num_malicious_ = 0;
+  std::unique_ptr<defense::Aggregator> aggregator_;
+  std::function<void(const RoundRecord&)> round_callback_;
+};
+
+}  // namespace zka::fl

@@ -1,0 +1,27 @@
+#include "fl/trace.h"
+
+#include <cmath>
+
+namespace zka::fl {
+
+util::Table trace_table(const SimulationResult& result) {
+  util::Table table({"round", "accuracy", "malicious_selected",
+                     "malicious_passed", "benign_selected", "benign_passed"});
+  for (const RoundRecord& r : result.rounds) {
+    table.add_row({std::to_string(r.round),
+                   std::isnan(r.accuracy) ? ""
+                                          : util::Table::fmt(r.accuracy, 4),
+                   std::to_string(r.malicious_selected),
+                   std::to_string(r.malicious_passed),
+                   std::to_string(r.benign_selected),
+                   std::to_string(r.benign_passed)});
+  }
+  return table;
+}
+
+void write_trace_csv(const SimulationResult& result,
+                     const std::string& path) {
+  trace_table(result).write_csv(path);
+}
+
+}  // namespace zka::fl

@@ -1,0 +1,19 @@
+// Round-trace export: turns a SimulationResult into a CSV table so runs
+// can be plotted or diffed outside the process.
+#pragma once
+
+#include <string>
+
+#include "fl/simulation.h"
+#include "util/table.h"
+
+namespace zka::fl {
+
+/// One row per round: round, accuracy, malicious selected/passed, benign
+/// selected/passed (empty accuracy cell for non-evaluated rounds).
+util::Table trace_table(const SimulationResult& result);
+
+/// Writes trace_table(result) as CSV to `path`.
+void write_trace_csv(const SimulationResult& result, const std::string& path);
+
+}  // namespace zka::fl

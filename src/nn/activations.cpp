@@ -1,0 +1,82 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace zka::nn {
+
+namespace {
+void check_grad_shape(const Tensor& cached, const Tensor& grad,
+                      const char* layer) {
+  if (!cached.same_shape(grad)) {
+    throw std::invalid_argument(std::string(layer) +
+                                " backward: grad shape mismatch");
+  }
+}
+}  // namespace
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& x : out.data()) x = x > 0.0f ? x : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  check_grad_shape(cached_input_, grad_output, "ReLU");
+  Tensor grad = grad_output;
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& x : out.data()) x = x > 0.0f ? x : slope_ * x;
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  check_grad_shape(cached_input_, grad_output, "LeakyReLU");
+  Tensor grad = grad_output;
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad[i] *= slope_;
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  for (auto& x : out.data()) x = std::tanh(x);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  check_grad_shape(cached_output_, grad_output, "Tanh");
+  Tensor grad = grad_output;
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    grad[i] *= 1.0f - cached_output_[i] * cached_output_[i];
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  Tensor out = input;
+  for (auto& x : out.data()) x = 1.0f / (1.0f + std::exp(-x));
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  check_grad_shape(cached_output_, grad_output, "Sigmoid");
+  Tensor grad = grad_output;
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    grad[i] *= cached_output_[i] * (1.0f - cached_output_[i]);
+  }
+  return grad;
+}
+
+}  // namespace zka::nn

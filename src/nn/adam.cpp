@@ -1,0 +1,48 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace zka::nn {
+
+Adam::Adam(std::vector<Parameter*> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(options_.beta1,
+                                      static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(options_.beta2,
+                                      static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    auto value = p.value.data();
+    auto grad = p.grad.data();
+    auto m = m_[k].data();
+    auto v = v_[k].data();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      float g = grad[i];
+      if (options_.weight_decay != 0.0f) {
+        g += options_.weight_decay * value[i];
+      }
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      value[i] -= options_.learning_rate * m_hat /
+                  (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->grad.fill(0.0f);
+}
+
+}  // namespace zka::nn

@@ -1,0 +1,44 @@
+// Adam optimizer (Kingma & Ba). Used by the extension experiments for
+// generator training; SGD remains the default everywhere the paper's
+// pipeline is reproduced.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace zka::nn {
+
+struct AdamOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamOptions options);
+  explicit Adam(Module& module, AdamOptions options)
+      : Adam(module.parameters(), options) {}
+
+  /// Applies one bias-corrected update from the accumulated gradients.
+  void step();
+
+  /// Zeroes the gradients of all managed parameters.
+  void zero_grad();
+
+  std::int64_t steps_taken() const noexcept { return t_; }
+  float learning_rate() const noexcept { return options_.learning_rate; }
+  void set_learning_rate(float lr) noexcept { options_.learning_rate = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamOptions options_;
+  std::vector<Tensor> m_;  // first-moment estimates
+  std::vector<Tensor> v_;  // second-moment estimates
+  std::int64_t t_ = 0;
+};
+
+}  // namespace zka::nn

@@ -1,0 +1,133 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace zka::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float epsilon, float momentum)
+    : channels_(channels), epsilon_(epsilon), momentum_(momentum),
+      gamma_(Tensor({channels}, 1.0f)), beta_(Tensor({channels})),
+      running_mean_(Tensor({channels})),
+      running_var_(Tensor({channels}, 1.0f)) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels <= 0");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: expected [N, " +
+                                std::to_string(channels_) + ", H, W], got " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t spatial = h * w;
+  const std::int64_t m = n * spatial;
+
+  Tensor out(input.shape());
+  cached_xhat_ = Tensor(input.shape());
+  cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0);
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    if (training_) {
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* plane = input.raw() + (s * channels_ + c) * spatial;
+        for (std::int64_t i = 0; i < spatial; ++i) mean += plane[i];
+      }
+      mean /= static_cast<double>(m);
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* plane = input.raw() + (s * channels_ + c) * spatial;
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          const double d = plane[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(m);  // biased, as in training-mode BN
+      running_mean_.value[c] =
+          momentum_ * running_mean_.value[c] +
+          (1.0f - momentum_) * static_cast<float>(mean);
+      running_var_.value[c] = momentum_ * running_var_.value[c] +
+                              (1.0f - momentum_) * static_cast<float>(var);
+    } else {
+      mean = running_mean_.value[c];
+      var = running_var_.value[c];
+    }
+    const double inv_std = 1.0 / std::sqrt(var + epsilon_);
+    cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* in_plane = input.raw() + (s * channels_ + c) * spatial;
+      float* xhat_plane =
+          cached_xhat_.raw() + (s * channels_ + c) * spatial;
+      float* out_plane = out.raw() + (s * channels_ + c) * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        const float xhat =
+            static_cast<float>((in_plane[i] - mean) * inv_std);
+        xhat_plane[i] = xhat;
+        out_plane[i] = g * xhat + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (grad_output.shape() != input_shape_) {
+    throw std::invalid_argument("BatchNorm2d backward: grad shape mismatch");
+  }
+  const std::int64_t n = input_shape_[0];
+  const std::int64_t spatial = input_shape_[2] * input_shape_[3];
+  const std::int64_t m = n * spatial;
+
+  Tensor grad_input(input_shape_);
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Reductions: sum(dy), sum(dy * xhat).
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* dy = grad_output.raw() + (s * channels_ + c) * spatial;
+      const float* xhat = cached_xhat_.raw() + (s * channels_ + c) * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xhat[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    const double inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
+    const double g = gamma_.value[c];
+    if (training_) {
+      const double mean_dy = sum_dy / static_cast<double>(m);
+      const double mean_dy_xhat = sum_dy_xhat / static_cast<double>(m);
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* dy = grad_output.raw() + (s * channels_ + c) * spatial;
+        const float* xhat =
+            cached_xhat_.raw() + (s * channels_ + c) * spatial;
+        float* dx = grad_input.raw() + (s * channels_ + c) * spatial;
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          dx[i] = static_cast<float>(
+              g * inv_std *
+              (dy[i] - mean_dy - xhat[i] * mean_dy_xhat));
+        }
+      }
+    } else {
+      // Eval mode: statistics are constants.
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* dy = grad_output.raw() + (s * channels_ + c) * spatial;
+        float* dx = grad_input.raw() + (s * channels_ + c) * spatial;
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          dx[i] = static_cast<float>(g * inv_std * dy[i]);
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace zka::nn

@@ -1,0 +1,46 @@
+// 2-D batch normalization over NCHW input (per-channel statistics).
+//
+// Training mode normalizes with batch statistics and maintains running
+// estimates; eval mode normalizes with the running estimates. Note for FL
+// use: the running statistics are part of the parameter vector on purpose
+// — federated aggregation of BatchNorm state is exactly the kind of
+// side-channel robust aggregators must handle, and keeping them in the
+// flat wire format means defenses see them too.
+#pragma once
+
+#include "nn/module.h"
+
+namespace zka::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float epsilon = 1e-5f,
+                       float momentum = 0.9f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  /// gamma, beta, running mean, running variance — all aggregated in FL.
+  std::vector<Parameter*> parameters() override {
+    return {&gamma_, &beta_, &running_mean_, &running_var_};
+  }
+  std::string name() const override { return "BatchNorm2d"; }
+
+  void set_training(bool training) noexcept { training_ = training; }
+  bool training() const noexcept { return training_; }
+
+ private:
+  std::int64_t channels_;
+  float epsilon_;
+  float momentum_;
+  bool training_ = true;
+  Parameter gamma_;
+  Parameter beta_;
+  Parameter running_mean_;  // grad unused; carried as state
+  Parameter running_var_;
+  // Cached for backward.
+  Tensor cached_xhat_;
+  std::vector<double> cached_inv_std_;
+  tensor::Shape input_shape_;
+};
+
+}  // namespace zka::nn

@@ -1,0 +1,99 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace zka::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Tensor({out_channels, in_channels * kernel * kernel})),
+      bias_(Tensor({out_channels})) {
+  const float fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float bound = std::sqrt(6.0f / fan_in);
+  for (auto& w : weight_.value.data()) {
+    w = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d: expected [N, " +
+                                std::to_string(in_channels_) + ", H, W], got " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  cached_input_ = input;
+  geometry_ = tensor::ConvGeometry{in_channels_, input.dim(2), input.dim(3),
+                                   kernel_, stride_, pad_};
+  const std::int64_t n = input.dim(0);
+  const std::int64_t oh = geometry_.out_h();
+  const std::int64_t ow = geometry_.out_w();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+  const std::int64_t spatial = oh * ow;
+  const std::int64_t patch = geometry_.patch_size();
+  const std::int64_t in_plane = in_channels_ * input.dim(2) * input.dim(3);
+  Tensor out({n, out_channels_, oh, ow});
+  std::vector<float> col(static_cast<std::size_t>(patch * spatial));
+  for (std::int64_t s = 0; s < n; ++s) {
+    tensor::im2col(geometry_, input.raw() + s * in_plane, col.data());
+    float* dst = out.raw() + s * out_channels_ * spatial;
+    tensor::gemm(out_channels_, spatial, patch, 1.0f, weight_.value.raw(),
+                 col.data(), 0.0f, dst);
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float b = bias_.value[c];
+      float* plane = dst + c * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) plane[i] += b;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::int64_t n = cached_input_.dim(0);
+  const std::int64_t oh = geometry_.out_h();
+  const std::int64_t ow = geometry_.out_w();
+  const std::int64_t spatial = oh * ow;
+  const std::int64_t patch = geometry_.patch_size();
+  const std::int64_t in_plane =
+      in_channels_ * cached_input_.dim(2) * cached_input_.dim(3);
+  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != out_channels_ || grad_output.dim(2) != oh ||
+      grad_output.dim(3) != ow) {
+    throw std::invalid_argument("Conv2d backward: bad grad shape " +
+                                tensor::shape_to_string(grad_output.shape()));
+  }
+  Tensor grad_input(cached_input_.shape());
+  std::vector<float> col(static_cast<std::size_t>(patch * spatial));
+  std::vector<float> grad_col(static_cast<std::size_t>(patch * spatial));
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* gout = grad_output.raw() + s * out_channels_ * spatial;
+    // dW += dY @ colᵀ  (dY is [OC, spatial], col is [patch, spatial]).
+    tensor::im2col(geometry_, cached_input_.raw() + s * in_plane, col.data());
+    tensor::gemm_a_bt(out_channels_, patch, spatial, 1.0f, gout, col.data(),
+                      1.0f, weight_.grad.raw());
+    // db += spatial sums.
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float* plane = gout + c * spatial;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < spatial; ++i) acc += plane[i];
+      bias_.grad[c] += acc;
+    }
+    // dcol = Wᵀ @ dY, then scatter back with col2im.
+    tensor::gemm_at_b(patch, spatial, out_channels_, 1.0f, weight_.value.raw(),
+                      gout, 0.0f, grad_col.data());
+    tensor::col2im(geometry_, grad_col.data(), grad_input.raw() + s * in_plane);
+  }
+  return grad_input;
+}
+
+}  // namespace zka::nn

@@ -1,0 +1,42 @@
+// 2-D convolution over NCHW input, lowered to GEMM via im2col.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace zka::util {
+class Rng;
+}
+
+namespace zka::nn {
+
+class Conv2d : public Module {
+ public:
+  /// Square kernel / stride / symmetric padding. Weight layout is
+  /// [out_channels, in_channels * kernel * kernel]; He-uniform init.
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+         util::Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Conv2d"; }
+
+  std::int64_t in_channels() const noexcept { return in_channels_; }
+  std::int64_t out_channels() const noexcept { return out_channels_; }
+  std::int64_t kernel() const noexcept { return kernel_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+  tensor::ConvGeometry geometry_{};
+};
+
+}  // namespace zka::nn

@@ -1,0 +1,106 @@
+#include "nn/conv_transpose2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace zka::nn {
+
+ConvTranspose2d::ConvTranspose2d(std::int64_t in_channels,
+                                 std::int64_t out_channels, std::int64_t kernel,
+                                 std::int64_t stride, std::int64_t pad,
+                                 util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Tensor({in_channels, out_channels * kernel * kernel})),
+      bias_(Tensor({out_channels})) {
+  const float fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float bound = std::sqrt(6.0f / fan_in);
+  for (auto& w : weight_.value.data()) {
+    w = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("ConvTranspose2d: expected [N, " +
+                                std::to_string(in_channels_) +
+                                ", H, W], got " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  cached_input_ = input;
+  const std::int64_t n = input.dim(0);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t oh = (h - 1) * stride_ - 2 * pad_ + kernel_;
+  const std::int64_t ow = (w - 1) * stride_ - 2 * pad_ + kernel_;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("ConvTranspose2d: non-positive output size");
+  }
+  geometry_ = tensor::ConvGeometry{out_channels_, oh, ow, kernel_, stride_, pad_};
+  const std::int64_t spatial_in = h * w;
+  const std::int64_t spatial_out = oh * ow;
+  const std::int64_t patch = geometry_.patch_size();  // OC*K*K
+  Tensor out({n, out_channels_, oh, ow});
+  std::vector<float> col(static_cast<std::size_t>(patch * spatial_in));
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* x = input.raw() + s * in_channels_ * spatial_in;
+    // col[OC*K*K, H*W] = Wᵀ[OCKK, IC] @ x[IC, H*W].
+    tensor::gemm_at_b(patch, spatial_in, in_channels_, 1.0f,
+                      weight_.value.raw(), x, 0.0f, col.data());
+    // Scatter columns into the (zero-initialized) output image.
+    float* dst = out.raw() + s * out_channels_ * spatial_out;
+    tensor::col2im(geometry_, col.data(), dst);
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float b = bias_.value[c];
+      float* plane = dst + c * spatial_out;
+      for (std::int64_t i = 0; i < spatial_out; ++i) plane[i] += b;
+    }
+  }
+  return out;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  const std::int64_t n = cached_input_.dim(0);
+  const std::int64_t h = cached_input_.dim(2);
+  const std::int64_t w = cached_input_.dim(3);
+  const std::int64_t spatial_in = h * w;
+  const std::int64_t spatial_out = geometry_.in_h * geometry_.in_w;
+  const std::int64_t patch = geometry_.patch_size();
+  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != out_channels_ ||
+      grad_output.dim(2) != geometry_.in_h ||
+      grad_output.dim(3) != geometry_.in_w) {
+    throw std::invalid_argument("ConvTranspose2d backward: bad grad shape " +
+                                tensor::shape_to_string(grad_output.shape()));
+  }
+  Tensor grad_input(cached_input_.shape());
+  std::vector<float> col_g(static_cast<std::size_t>(patch * spatial_in));
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* gout = grad_output.raw() + s * out_channels_ * spatial_out;
+    const float* x = cached_input_.raw() + s * in_channels_ * spatial_in;
+    // Gather the output gradient into columns (adjoint of the scatter).
+    tensor::im2col(geometry_, gout, col_g.data());
+    // dW[IC, OCKK] += x[IC, HW] @ col_g[OCKK, HW]ᵀ.
+    tensor::gemm_a_bt(in_channels_, patch, spatial_in, 1.0f, x, col_g.data(),
+                      1.0f, weight_.grad.raw());
+    // db += spatial sums of the output gradient.
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float* plane = gout + c * spatial_out;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < spatial_out; ++i) acc += plane[i];
+      bias_.grad[c] += acc;
+    }
+    // dx[IC, HW] = W[IC, OCKK] @ col_g[OCKK, HW].
+    tensor::gemm(in_channels_, spatial_in, patch, 1.0f, weight_.value.raw(),
+                 col_g.data(), 0.0f,
+                 grad_input.raw() + s * in_channels_ * spatial_in);
+  }
+  return grad_input;
+}
+
+}  // namespace zka::nn

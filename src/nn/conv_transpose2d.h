@@ -1,0 +1,45 @@
+// Transposed (fractionally strided) 2-D convolution over NCHW input.
+//
+// Used by the ZKA-G generator (TCNN) to upsample a latent feature map into
+// an image. Implemented as the exact adjoint of Conv2d: forward scatters
+// with col2im, backward gathers with im2col.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace zka::util {
+class Rng;
+}
+
+namespace zka::nn {
+
+class ConvTranspose2d : public Module {
+ public:
+  /// Output spatial size: (H-1)*stride - 2*pad + kernel.
+  /// Weight layout: [in_channels, out_channels * kernel * kernel]
+  /// (mirrors torch's ConvTranspose2d [in, out, kH, kW]).
+  ConvTranspose2d(std::int64_t in_channels, std::int64_t out_channels,
+                  std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                  util::Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "ConvTranspose2d"; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+  // Geometry of the *equivalent forward conv* that maps the transposed
+  // conv's output back to its input: in_channels = out_channels_ here.
+  tensor::ConvGeometry geometry_{};
+};
+
+}  // namespace zka::nn

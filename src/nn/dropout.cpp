@@ -1,0 +1,39 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace zka::nn {
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || rate_ == 0.0f) {
+    mask_ = Tensor();
+    return input;
+  }
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const bool keep = rng_.uniform() >= rate_;
+    mask_[i] = keep ? keep_scale : 0.0f;
+    out[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.numel() == 0) return grad_output;  // eval mode pass-through
+  if (!grad_output.same_shape(mask_)) {
+    throw std::invalid_argument("Dropout backward: grad shape mismatch");
+  }
+  Tensor grad = grad_output;
+  grad *= mask_;
+  return grad;
+}
+
+}  // namespace zka::nn

@@ -1,0 +1,32 @@
+// Inverted dropout. Stateless layers elsewhere in this framework have no
+// train/eval distinction; Dropout carries its own `training` flag, and the
+// FL client leaves it on during local training and off for evaluation.
+#pragma once
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace zka::nn {
+
+class Dropout : public Module {
+ public:
+  /// Drops activations with probability `rate` during training and scales
+  /// the survivors by 1/(1-rate) so the expected activation is unchanged.
+  explicit Dropout(float rate, std::uint64_t seed = 0xd20);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  void set_training(bool training) noexcept { training_ = training; }
+  bool training() const noexcept { return training_; }
+  float rate() const noexcept { return rate_; }
+
+ private:
+  float rate_;
+  bool training_ = true;
+  util::Rng rng_;
+  Tensor mask_;  // scaled keep mask of the last training forward
+};
+
+}  // namespace zka::nn

@@ -1,0 +1,34 @@
+#include "nn/flatten.h"
+
+#include <stdexcept>
+
+namespace zka::nn {
+
+Tensor Flatten::forward(const Tensor& input) {
+  if (input.rank() < 1) throw std::invalid_argument("Flatten: rank-0 input");
+  input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0);
+  const std::int64_t features = n > 0 ? input.numel() / n : 0;
+  return input.reshape({n, features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshape(input_shape_);
+}
+
+Tensor Unflatten::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != channels_ * height_ * width_) {
+    throw std::invalid_argument("Unflatten: expected [N, " +
+                                std::to_string(channels_ * height_ * width_) +
+                                "], got " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  return input.reshape({input.dim(0), channels_, height_, width_});
+}
+
+Tensor Unflatten::backward(const Tensor& grad_output) {
+  return grad_output.reshape(
+      {grad_output.dim(0), channels_ * height_ * width_});
+}
+
+}  // namespace zka::nn

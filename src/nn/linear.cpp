@@ -1,0 +1,64 @@
+#include "nn/linear.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace zka::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor({out_features, in_features})),
+      bias_(Tensor({out_features})) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features));  // He-uniform.
+  for (auto& w : weight_.value.data()) {
+    w = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear: expected [N, " +
+                                std::to_string(in_features_) + "], got " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  cached_input_ = input;
+  const std::int64_t n = input.dim(0);
+  Tensor out({n, out_features_});
+  tensor::gemm_a_bt(n, out_features_, in_features_, 1.0f, input.raw(),
+                    weight_.value.raw(), 0.0f, out.raw());
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = out.raw() + i * out_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const std::int64_t n = cached_input_.dim(0);
+  if (grad_output.rank() != 2 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != out_features_) {
+    throw std::invalid_argument("Linear backward: bad grad shape " +
+                                tensor::shape_to_string(grad_output.shape()));
+  }
+  // dW += dYᵀ @ X ; dY is [N, out], X is [N, in].
+  tensor::gemm_at_b(out_features_, in_features_, n, 1.0f, grad_output.raw(),
+                    cached_input_.raw(), 1.0f, weight_.grad.raw());
+  // db += column sums of dY.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = grad_output.raw() + i * out_features_;
+    for (std::int64_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+  }
+  // dX = dY @ W.
+  Tensor grad_input({n, in_features_});
+  tensor::gemm(n, in_features_, out_features_, 1.0f, grad_output.raw(),
+               weight_.value.raw(), 0.0f, grad_input.raw());
+  return grad_input;
+}
+
+}  // namespace zka::nn

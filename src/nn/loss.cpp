@@ -1,0 +1,87 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace zka::nn {
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_rows requires rank-2 logits");
+  }
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t l = logits.dim(1);
+  Tensor probs(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* in = logits.raw() + i * l;
+    float* out = probs.raw() + i * l;
+    const float hi = *std::max_element(in, in + l);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < l; ++j) {
+      out[j] = std::exp(in[j] - hi);
+      sum += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t j = 0; j < l; ++j) out[j] *= inv;
+  }
+  return probs;
+}
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const std::int64_t> labels) {
+  if (logits.rank() != 2 ||
+      logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: bad logits/labels");
+  }
+  const std::int64_t l = logits.dim(1);
+  Tensor targets(logits.shape());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || labels[i] >= l) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    targets[static_cast<std::int64_t>(i) * l + labels[i]] = 1.0f;
+  }
+  return forward(logits, targets);
+}
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const Tensor& soft_targets) {
+  if (!logits.same_shape(soft_targets)) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: target shape mismatch");
+  }
+  probs_ = softmax_rows(logits);
+  targets_ = soft_targets;
+  const std::int64_t n = logits.dim(0);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < probs_.numel(); ++i) {
+    if (targets_[i] != 0.0f) {
+      loss -= static_cast<double>(targets_[i]) *
+              std::log(std::max(probs_[i], 1e-12f));
+    }
+  }
+  return scale_ * loss / static_cast<double>(std::max<std::int64_t>(n, 1));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (probs_.numel() == 0) {
+    throw std::logic_error("SoftmaxCrossEntropy::backward before forward");
+  }
+  const std::int64_t n = probs_.dim(0);
+  Tensor grad = probs_;
+  grad -= targets_;
+  grad *= scale_ / static_cast<float>(std::max<std::int64_t>(n, 1));
+  return grad;
+}
+
+double accuracy(const Tensor& logits, std::span<const std::int64_t> labels) {
+  if (labels.empty()) return 0.0;
+  const auto preds = logits.argmax_rows();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+}  // namespace zka::nn

@@ -1,0 +1,50 @@
+// Softmax + cross-entropy with hard labels or soft target distributions.
+//
+// Soft targets are what ZKA-R optimizes against (the maximally ambiguous
+// Y_D = [1/L, ..., 1/L]); the sign-flippable `scale` is what ZKA-G uses to
+// *maximize* cross-entropy w.r.t. the decoy label Ỹ (scale = -1).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace zka::nn {
+
+using tensor::Tensor;
+
+/// Row-wise numerically stable softmax of rank-2 logits.
+Tensor softmax_rows(const Tensor& logits);
+
+class SoftmaxCrossEntropy {
+ public:
+  /// `scale` multiplies the loss (and thus its gradient); -1 turns
+  /// minimization into maximization under a gradient-descent optimizer.
+  explicit SoftmaxCrossEntropy(float scale = 1.0f) : scale_(scale) {}
+
+  /// Mean cross-entropy over the batch against integer class labels.
+  double forward(const Tensor& logits, std::span<const std::int64_t> labels);
+
+  /// Mean cross-entropy against per-row target distributions [N, L].
+  double forward(const Tensor& logits, const Tensor& soft_targets);
+
+  /// Gradient w.r.t. the logits of the last forward call:
+  /// scale * (softmax - target) / N.
+  Tensor backward() const;
+
+  /// Softmax probabilities from the last forward call.
+  const Tensor& probabilities() const noexcept { return probs_; }
+
+  float scale() const noexcept { return scale_; }
+  void set_scale(float scale) noexcept { scale_ = scale; }
+
+ private:
+  float scale_;
+  Tensor probs_;
+  Tensor targets_;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, std::span<const std::int64_t> labels);
+
+}  // namespace zka::nn

@@ -1,0 +1,69 @@
+#include "nn/module.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zka::nn {
+
+std::int64_t num_params(Module& module) {
+  std::int64_t n = 0;
+  for (const Parameter* p : module.parameters()) n += p->value.numel();
+  return n;
+}
+
+std::vector<float> get_flat_params(Module& module) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<std::size_t>(num_params(module)));
+  for (const Parameter* p : module.parameters()) {
+    const auto data = p->value.data();
+    flat.insert(flat.end(), data.begin(), data.end());
+  }
+  return flat;
+}
+
+void set_flat_params(Module& module, std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (Parameter* p : module.parameters()) {
+    const std::size_t n = static_cast<std::size_t>(p->value.numel());
+    if (offset + n > flat.size()) {
+      throw std::invalid_argument("set_flat_params: vector too short");
+    }
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+              flat.begin() + static_cast<std::ptrdiff_t>(offset + n),
+              p->value.data().begin());
+    offset += n;
+  }
+  if (offset != flat.size()) {
+    throw std::invalid_argument("set_flat_params: vector too long (" +
+                                std::to_string(flat.size()) + " vs " +
+                                std::to_string(offset) + " params)");
+  }
+}
+
+std::vector<float> get_flat_grads(Module& module) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<std::size_t>(num_params(module)));
+  for (const Parameter* p : module.parameters()) {
+    const auto data = p->grad.data();
+    flat.insert(flat.end(), data.begin(), data.end());
+  }
+  return flat;
+}
+
+void add_to_flat_grads(Module& module, std::span<const float> delta) {
+  std::size_t offset = 0;
+  for (Parameter* p : module.parameters()) {
+    const std::size_t n = static_cast<std::size_t>(p->grad.numel());
+    if (offset + n > delta.size()) {
+      throw std::invalid_argument("add_to_flat_grads: vector too short");
+    }
+    auto grad = p->grad.data();
+    for (std::size_t i = 0; i < n; ++i) grad[i] += delta[offset + i];
+    offset += n;
+  }
+  if (offset != delta.size()) {
+    throw std::invalid_argument("add_to_flat_grads: vector too long");
+  }
+}
+
+}  // namespace zka::nn

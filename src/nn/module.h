@@ -1,0 +1,71 @@
+// Layer-wise neural-network framework with explicit forward/backward.
+//
+// There is no tape autograd: each Module caches what its backward pass
+// needs during forward, and backward(grad_output) both accumulates
+// parameter gradients and returns the gradient w.r.t. the module input.
+// That input gradient is exactly what the ZKA attacks exploit — they
+// backpropagate through a *frozen* global classifier into a trainable
+// filter layer (ZKA-R) or generator (ZKA-G) by simply not stepping the
+// classifier's parameters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace zka::nn {
+
+using tensor::Tensor;
+
+/// A learnable tensor plus its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the output and caches whatever backward() will need.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Accumulates parameter gradients (+=) and returns dLoss/dInput.
+  /// Must be called after forward() with a grad of the forward output's
+  /// shape. Valid to call multiple times only after another forward().
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters in a stable order (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// Zeroes all parameter gradients.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->grad.fill(0.0f);
+  }
+};
+
+/// Total number of scalar parameters.
+std::int64_t num_params(Module& module);
+
+/// Concatenates all parameter values into one flat vector. This is the FL
+/// wire format: clients exchange flat vectors, defenses operate on them.
+std::vector<float> get_flat_params(Module& module);
+
+/// Loads a flat vector produced by get_flat_params back into the module.
+/// Throws std::invalid_argument on size mismatch.
+void set_flat_params(Module& module, std::span<const float> flat);
+
+/// Concatenates all parameter gradients into one flat vector.
+std::vector<float> get_flat_grads(Module& module);
+
+/// Adds `delta` (flat, same layout as get_flat_params) onto the gradients.
+/// Used to inject regularizer gradients such as the distance term L_d.
+void add_to_flat_grads(Module& module, std::span<const float> delta);
+
+}  // namespace zka::nn

@@ -1,0 +1,71 @@
+#include "nn/pooling.h"
+
+#include <stdexcept>
+
+namespace zka::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel_ <= 0 || stride_ <= 0) {
+    throw std::invalid_argument("MaxPool2d: kernel/stride must be positive");
+  }
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("MaxPool2d: expected NCHW input, got " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("MaxPool2d: window larger than input");
+  }
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  std::int64_t o = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const std::int64_t plane_off = (s * c + ch) * h * w;
+      const float* plane = input.raw() + plane_off;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x, ++o) {
+          float best = plane[(y * stride_) * w + (x * stride_)];
+          std::int64_t best_idx = (y * stride_) * w + (x * stride_);
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            const std::int64_t iy = y * stride_ + ky;
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t ix = x * stride_ + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = iy * w + ix;
+              }
+            }
+          }
+          out[o] = best;
+          argmax_[static_cast<std::size_t>(o)] = plane_off + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  if (grad_output.numel() != static_cast<std::int64_t>(argmax_.size())) {
+    throw std::invalid_argument("MaxPool2d backward: grad numel mismatch");
+  }
+  Tensor grad_input(input_shape_);
+  for (std::size_t o = 0; o < argmax_.size(); ++o) {
+    grad_input[argmax_[o]] += grad_output[static_cast<std::int64_t>(o)];
+  }
+  return grad_input;
+}
+
+}  // namespace zka::nn

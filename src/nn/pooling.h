@@ -1,0 +1,24 @@
+// Max pooling over NCHW input; backward routes gradients to the argmax taps.
+#pragma once
+
+#include "nn/module.h"
+
+namespace zka::nn {
+
+class MaxPool2d : public Module {
+ public:
+  /// Square window, stride defaults to the window size (non-overlapping).
+  explicit MaxPool2d(std::int64_t kernel, std::int64_t stride = 0);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  tensor::Shape input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+}  // namespace zka::nn

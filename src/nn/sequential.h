@@ -1,0 +1,37 @@
+// Ordered container of modules; forward chains them, backward reverses.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.h"
+
+namespace zka::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer and returns a reference for optional further wiring.
+  Module& add(std::unique_ptr<Module> layer);
+
+  template <typename Layer, typename... Args>
+  Layer& emplace(Args&&... args) {
+    auto layer = std::make_unique<Layer>(std::forward<Args>(args)...);
+    Layer& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const noexcept { return layers_.size(); }
+  Module& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace zka::nn

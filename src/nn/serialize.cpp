@@ -1,0 +1,71 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace zka::nn {
+
+namespace {
+constexpr char kMagic[4] = {'Z', 'K', 'A', 'W'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::uint64_t params_checksum(std::span<const float> params) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const float value : params) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (bits >> shift) & 0xffU;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+void save_params(const std::string& path, std::span<const float> params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  const std::uint64_t checksum = params_checksum(params);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+std::vector<float> load_params(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_params: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_params: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    throw std::runtime_error("load_params: unsupported version in " + path);
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error("load_params: truncated header in " + path);
+  std::vector<float> params(count);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in) throw std::runtime_error("load_params: truncated payload in " + path);
+  if (stored != params_checksum(params)) {
+    throw std::runtime_error("load_params: checksum mismatch in " + path);
+  }
+  return params;
+}
+
+}  // namespace zka::nn

@@ -1,0 +1,24 @@
+// Binary (de)serialization of flat parameter vectors — checkpointing for
+// federations and crafted updates. Format: magic "ZKAW", u32 version,
+// u64 count, raw little-endian float32 payload, u64 FNV-1a checksum.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace zka::nn {
+
+/// Writes the parameter vector to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_params(const std::string& path, std::span<const float> params);
+
+/// Reads a parameter vector written by save_params. Throws
+/// std::runtime_error on I/O failure, bad magic/version, or checksum
+/// mismatch (truncated/corrupted file).
+std::vector<float> load_params(const std::string& path);
+
+/// FNV-1a over the raw bytes of the parameter payload (exposed for tests).
+std::uint64_t params_checksum(std::span<const float> params) noexcept;
+
+}  // namespace zka::nn

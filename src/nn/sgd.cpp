@@ -1,0 +1,39 @@
+#include "nn/sgd.h"
+
+namespace zka::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  if (options_.momentum != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Parameter* p : params_) {
+      velocity_.emplace_back(p->value.shape());
+    }
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    auto value = p.value.data();
+    auto grad = p.grad.data();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      float g = grad[i];
+      if (options_.weight_decay != 0.0f) {
+        g += options_.weight_decay * value[i];
+      }
+      if (options_.momentum != 0.0f) {
+        auto v = velocity_[k].data();
+        v[i] = options_.momentum * v[i] + g;
+        g = v[i];
+      }
+      value[i] -= options_.learning_rate * g;
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->grad.fill(0.0f);
+}
+
+}  // namespace zka::nn

@@ -1,0 +1,37 @@
+// Stochastic gradient descent with optional momentum and weight decay.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace zka::nn {
+
+struct SgdOptions {
+  float learning_rate = 0.01f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdOptions options);
+  explicit Sgd(Module& module, SgdOptions options)
+      : Sgd(module.parameters(), options) {}
+
+  /// Applies one update from the accumulated gradients.
+  void step();
+
+  /// Zeroes the gradients of all managed parameters.
+  void zero_grad();
+
+  float learning_rate() const noexcept { return options_.learning_rate; }
+  void set_learning_rate(float lr) noexcept { options_.learning_rate = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  SgdOptions options_;
+  std::vector<Tensor> velocity_;  // allocated lazily when momentum != 0
+};
+
+}  // namespace zka::nn

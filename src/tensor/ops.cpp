@@ -1,0 +1,145 @@
+#include "tensor/ops.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace zka::tensor {
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c) noexcept {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at_b(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+               const float* a, const float* b, float beta, float* c) noexcept {
+  // A is [K, M]; compute C[M,N] = alpha * sum_p A[p,i] * B[p,j] + beta*C.
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+               const float* a, const float* b, float beta, float* c) noexcept {
+  // B is [N, K]; C[i,j] = alpha * dot(A[i,:], B[j,:]) + beta*C[i,j].
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = alpha * static_cast<float>(acc) +
+                (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2) {
+    throw std::invalid_argument("matmul requires rank-2 tensors");
+  }
+  if (a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul inner dimensions differ: " +
+                                shape_to_string(a.shape()) + " @ " +
+                                shape_to_string(b.shape()));
+  }
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.raw(), b.raw(), 0.0f, c.raw());
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("transpose2d requires rank 2");
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  Tensor t({cols, rows});
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      t[j * rows + i] = a[i * cols + j];
+    }
+  }
+  return t;
+}
+
+void im2col(const ConvGeometry& g, const float* image, float* col) noexcept {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t spatial = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out = col + row * spatial;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride - g.pad + ky;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(out + y * ow, 0,
+                        static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src = plane + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride - g.pad + kx;
+            out[y * ow + x] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  assert(row == g.patch_size());
+}
+
+void col2im(const ConvGeometry& g, const float* col, float* image) noexcept {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t spatial = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in = col + row * spatial;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride - g.pad + ky;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = plane + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride - g.pad + kx;
+            if (ix >= 0 && ix < g.in_w) dst[ix] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+  assert(row == g.patch_size());
+}
+
+}  // namespace zka::tensor

@@ -1,0 +1,59 @@
+// Dense kernels backing the NN layers: GEMM and im2col/col2im lowering for
+// (transposed) convolutions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace zka::tensor {
+
+/// C[M,N] = alpha * A[M,K] @ B[K,N] + beta * C. Row-major raw buffers.
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c) noexcept;
+
+/// C[M,N] += A^T where A is [K,M] times B [K,N]  (i.e. C = alpha*Aᵀ@B + beta*C).
+void gemm_at_b(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+               const float* a, const float* b, float beta, float* c) noexcept;
+
+/// C[M,N] = alpha * A[M,K] @ Bᵀ where B is [N,K], plus beta*C.
+void gemm_a_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+               const float* a, const float* b, float beta, float* c) noexcept;
+
+/// 2-D matrix multiply on tensors: [M,K] @ [K,N] -> [M,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor transpose2d(const Tensor& a);
+
+/// Convolution geometry (square kernels, symmetric padding/stride).
+struct ConvGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const noexcept {
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+  std::int64_t out_w() const noexcept {
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+  std::int64_t patch_size() const noexcept {
+    return in_channels * kernel * kernel;
+  }
+};
+
+/// Lowers one [C,H,W] image into columns [C*K*K, OH*OW]; out-of-image taps
+/// are zero. `col` must hold patch_size() * out_h() * out_w() floats.
+void im2col(const ConvGeometry& g, const float* image, float* col) noexcept;
+
+/// Adjoint of im2col: accumulates columns back into the [C,H,W] image
+/// (image must be zeroed by the caller beforehand if a fresh result is
+/// wanted; contributions are added).
+void col2im(const ConvGeometry& g, const float* col, float* image) noexcept;
+
+}  // namespace zka::tensor

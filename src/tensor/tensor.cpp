@@ -1,0 +1,261 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace zka::tensor {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor() : shape_{0} {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_numel(shape_)) {
+    throw std::invalid_argument("data size " + std::to_string(data_.size()) +
+                                " does not match shape " +
+                                shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+std::int64_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) {
+    throw std::out_of_range("axis " + std::to_string(axis) +
+                            " out of range for shape " +
+                            shape_to_string(shape_));
+  }
+  return shape_[axis];
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
+  assert(idx.size() == shape_.size());
+  std::int64_t flat = 0;
+  std::size_t axis = 0;
+  for (const std::int64_t i : idx) {
+    assert(i >= 0 && i < shape_[axis]);
+    flat = flat * shape_[axis] + i;
+    ++axis;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshape " + shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape) +
+                                " changes element count");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::slice0(std::int64_t begin, std::int64_t end) const {
+  if (shape_.empty()) throw std::invalid_argument("slice0 on rank-0 tensor");
+  if (begin < 0 || end < begin || end > shape_[0]) {
+    throw std::out_of_range("slice0 range [" + std::to_string(begin) + ", " +
+                            std::to_string(end) + ") out of bounds");
+  }
+  Shape out_shape = shape_;
+  out_shape[0] = end - begin;
+  const std::int64_t row = numel() / std::max<std::int64_t>(shape_[0], 1);
+  std::vector<float> out(static_cast<std::size_t>((end - begin) * row));
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * row),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * row), out.begin());
+  return Tensor(std::move(out_shape), std::move(out));
+}
+
+Tensor Tensor::index_select0(std::span<const std::int64_t> indices) const {
+  if (shape_.empty()) {
+    throw std::invalid_argument("index_select0 on rank-0 tensor");
+  }
+  Shape out_shape = shape_;
+  out_shape[0] = static_cast<std::int64_t>(indices.size());
+  const std::int64_t row = numel() / std::max<std::int64_t>(shape_[0], 1);
+  std::vector<float> out(static_cast<std::size_t>(out_shape[0] * row));
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const std::int64_t i = indices[r];
+    if (i < 0 || i >= shape_[0]) {
+      throw std::out_of_range("index_select0 index out of range");
+    }
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(i * row),
+              data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * row),
+              out.begin() + static_cast<std::ptrdiff_t>(r) * row);
+  }
+  return Tensor(std::move(out_shape), std::move(out));
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(*this, other, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(*this, other, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  check_same_shape(*this, other, "*=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float scalar) noexcept {
+  for (float& x : data_) x += scalar;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) noexcept {
+  for (float& x : data_) x *= scalar;
+  return *this;
+}
+
+float Tensor::sum() const noexcept {
+  double total = 0.0;
+  for (const float x : data_) total += x;
+  return static_cast<float>(total);
+}
+
+float Tensor::mean() const noexcept {
+  return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::int64_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error("argmax of empty tensor");
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+std::vector<std::int64_t> Tensor::argmax_rows() const {
+  if (rank() != 2) throw std::invalid_argument("argmax_rows requires rank 2");
+  const std::int64_t rows = shape_[0];
+  const std::int64_t cols = shape_[1];
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* begin = data_.data() + r * cols;
+    out[static_cast<std::size_t>(r)] = static_cast<std::int64_t>(
+        std::max_element(begin, begin + cols) - begin);
+  }
+  return out;
+}
+
+double Tensor::l2_norm() const noexcept {
+  double sum = 0.0;
+  for (const float x : data_) sum += static_cast<double>(x) * x;
+  return std::sqrt(sum);
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Tensor operator-(Tensor lhs, const Tensor& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, const Tensor& rhs) {
+  lhs *= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, float scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+Tensor operator*(float scalar, Tensor rhs) {
+  rhs *= scalar;
+  return rhs;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float tol) noexcept {
+  if (!a.same_shape(b)) return false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace zka::tensor

@@ -1,0 +1,123 @@
+// Value-semantic, contiguous, row-major float32 tensor.
+//
+// Deliberately small: just what the NN framework and the attacks need.
+// Shapes are vectors of int64_t; rank is typically 1 (flat parameter
+// vectors), 2 (dense activations / GEMM operands) or 4 (NCHW images).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace zka::util {
+class Rng;
+}
+
+namespace zka::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Product of all dimensions; 1 for a rank-0 shape.
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]".
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty rank-1 tensor of size 0.
+  Tensor();
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+  /// Tensor adopting `data`; data.size() must equal shape_numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// Uniform random entries in [lo, hi).
+  static Tensor uniform(Shape shape, util::Rng& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+  /// Gaussian random entries.
+  static Tensor normal(Shape shape, util::Rng& rng, float mean = 0.0f,
+                       float stddev = 1.0f);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  std::int64_t dim(std::size_t axis) const;
+  std::size_t rank() const noexcept { return shape_.size(); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+  float* raw() noexcept { return data_.data(); }
+  const float* raw() const noexcept { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Multi-index access (rank must match the number of indices).
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  /// Same data, new shape; numel must be preserved.
+  Tensor reshape(Shape new_shape) const;
+
+  /// Slice along axis 0: rows [begin, end). Copies.
+  Tensor slice0(std::int64_t begin, std::int64_t end) const;
+
+  /// Gather rows along axis 0 by index. Copies.
+  Tensor index_select0(std::span<const std::int64_t> indices) const;
+
+  void fill(float value) noexcept;
+
+  // Elementwise in-place arithmetic; shapes must match exactly.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);
+  Tensor& operator+=(float scalar) noexcept;
+  Tensor& operator*=(float scalar) noexcept;
+
+  // Reductions.
+  float sum() const noexcept;
+  float mean() const noexcept;
+  float min() const;
+  float max() const;
+  /// Index of the maximum element (first on ties). Requires numel > 0.
+  std::int64_t argmax() const;
+  /// Per-row argmax of a rank-2 tensor.
+  std::vector<std::int64_t> argmax_rows() const;
+
+  /// L2 norm over all elements.
+  double l2_norm() const noexcept;
+
+  bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Out-of-place elementwise arithmetic.
+Tensor operator+(Tensor lhs, const Tensor& rhs);
+Tensor operator-(Tensor lhs, const Tensor& rhs);
+Tensor operator*(Tensor lhs, const Tensor& rhs);
+Tensor operator*(Tensor lhs, float scalar);
+Tensor operator*(float scalar, Tensor rhs);
+
+/// True iff shapes match and all entries are within `tol`.
+bool allclose(const Tensor& a, const Tensor& b, float tol = 1e-5f) noexcept;
+
+}  // namespace zka::tensor

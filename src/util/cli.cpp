@@ -1,0 +1,75 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace zka::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const noexcept {
+  return flags_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::raw(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+int CliArgs::get_int(const std::string& name, int fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  return std::stoi(*v);
+}
+
+std::int64_t CliArgs::get_int64(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  return std::stoll(*v);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  return std::stod(*v);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes" || *v == "on") {
+    return true;
+  }
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("invalid boolean for --" + name + ": " + *v);
+}
+
+}  // namespace zka::util

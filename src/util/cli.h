@@ -1,0 +1,45 @@
+// Minimal command-line flag parser for the bench/example binaries.
+// Accepts `--key value`, `--key=value` and boolean `--flag` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace zka::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was given (with or without a value).
+  bool has(const std::string& name) const noexcept;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  std::int64_t get_int64(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// Boolean flag: present without value, or with value in
+  /// {1, true, yes, on} / {0, false, no, off}.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace zka::util

@@ -1,0 +1,53 @@
+// Leveled stderr logger. Verbosity is process-global and settable from
+// benches (`--verbose`) without threading a logger through every API.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace zka::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Messages below this level are dropped. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Thread-safe single-line emit to stderr with a level prefix.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ZKA_LOG_DEBUG()                                               \
+  if (::zka::util::log_level() > ::zka::util::LogLevel::kDebug) {     \
+  } else                                                              \
+    ::zka::util::detail::LogLine(::zka::util::LogLevel::kDebug)
+#define ZKA_LOG_INFO()                                                \
+  if (::zka::util::log_level() > ::zka::util::LogLevel::kInfo) {      \
+  } else                                                              \
+    ::zka::util::detail::LogLine(::zka::util::LogLevel::kInfo)
+#define ZKA_LOG_WARN()                                                \
+  if (::zka::util::log_level() > ::zka::util::LogLevel::kWarn) {      \
+  } else                                                              \
+    ::zka::util::detail::LogLine(::zka::util::LogLevel::kWarn)
+#define ZKA_LOG_ERROR() ::zka::util::detail::LogLine(::zka::util::LogLevel::kError)
+
+}  // namespace zka::util

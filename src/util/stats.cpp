@@ -1,0 +1,163 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace zka::util {
+
+namespace {
+template <typename T>
+double mean_impl(std::span<const T> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const T x : xs) sum += static_cast<double>(x);
+  return sum / static_cast<double>(xs.size());
+}
+
+template <typename T>
+double variance_impl(std::span<const T> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_impl(xs);
+  double sum = 0.0;
+  for (const T x : xs) {
+    const double d = static_cast<double>(x) - m;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(xs.size() - 1);
+}
+}  // namespace
+
+double mean(std::span<const double> xs) noexcept { return mean_impl(xs); }
+double mean(std::span<const float> xs) noexcept { return mean_impl(xs); }
+
+double variance(std::span<const double> xs) noexcept { return variance_impl(xs); }
+double variance(std::span<const float> xs) noexcept { return variance_impl(xs); }
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+double stddev(std::span<const float> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+namespace {
+template <typename T>
+T median_impl(std::vector<T>& xs) noexcept {
+  assert(!xs.empty());
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  T hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(), xs.begin() + mid - 1, xs.begin() + mid);
+  return static_cast<T>((static_cast<double>(xs[mid - 1]) +
+                         static_cast<double>(hi)) /
+                        2.0);
+}
+}  // namespace
+
+double median(std::vector<double> xs) noexcept { return median_impl(xs); }
+float median(std::vector<float> xs) noexcept { return median_impl(xs); }
+
+double quantile(std::vector<double> xs, double q) noexcept {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double inverse_normal_cdf(double p) noexcept {
+  assert(p > 0.0 && p < 1.0);
+  // Peter Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+  static constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double l2_norm(std::span<const float> xs) noexcept {
+  double sum = 0.0;
+  for (const float x : xs) sum += static_cast<double>(x) * x;
+  return std::sqrt(sum);
+}
+
+double l2_distance(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double cosine_similarity(std::span<const float> a,
+                         std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void RunningStat::push(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace zka::util

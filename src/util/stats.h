@@ -1,0 +1,66 @@
+// Small statistics toolkit shared by defenses, attacks and metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace zka::util {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+double mean(std::span<const float> xs) noexcept;
+
+/// Unbiased (n-1) sample variance; 0 when fewer than two elements.
+double variance(std::span<const double> xs) noexcept;
+double variance(std::span<const float> xs) noexcept;
+
+/// Square root of `variance`.
+double stddev(std::span<const double> xs) noexcept;
+double stddev(std::span<const float> xs) noexcept;
+
+/// Median (average of the two middle elements for even sizes). Copies input.
+double median(std::vector<double> xs) noexcept;
+float median(std::vector<float> xs) noexcept;
+
+/// Linear-interpolation quantile, q in [0, 1]. Copies input.
+double quantile(std::vector<double> xs, double q) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9). Requires 0 < p < 1.
+double inverse_normal_cdf(double p) noexcept;
+
+/// Standard normal CDF via std::erfc.
+double normal_cdf(double x) noexcept;
+
+/// L2 norm of a vector.
+double l2_norm(std::span<const float> xs) noexcept;
+
+/// Euclidean distance between equally sized vectors.
+double l2_distance(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Cosine similarity; 0 if either vector has zero norm.
+double cosine_similarity(std::span<const float> a,
+                         std::span<const float> b) noexcept;
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void push(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace zka::util

@@ -1,0 +1,38 @@
+// Aligned console tables + CSV emission for the bench binaries, so each
+// bench can print the same row/column layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zka::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: converts each cell with formatting helpers below.
+  static std::string fmt(double value, int precision = 2);
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Prints to stdout, optionally preceded by a title line.
+  void print(const std::string& title = "") const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zka::util

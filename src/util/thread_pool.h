@@ -1,0 +1,49 @@
+// Fixed-size worker pool used to train the clients of an FL round in
+// parallel. Tasks are type-erased std::function jobs; parallel_for provides
+// a blocking index-range helper with deterministic per-index work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace zka::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (hardware concurrency if 0).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a job; the future resolves when it completes.
+  std::future<void> submit(std::function<void()> job);
+
+  /// Runs body(i) for i in [0, n) across the pool and blocks until done.
+  /// Exceptions from the body propagate to the caller (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool, lazily constructed. FL simulations share it so nested
+/// experiments do not oversubscribe the machine.
+ThreadPool& global_thread_pool();
+
+}  // namespace zka::util

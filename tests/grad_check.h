@@ -1,0 +1,76 @@
+// Finite-difference gradient checking for nn::Module implementations.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/module.h"
+
+namespace zka::test {
+
+/// Scalar objective used for gradient checks: sum of 0.5 * y^2 over the
+/// module output. dLoss/dy = y.
+inline double half_sq_sum(const tensor::Tensor& y) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    acc += 0.5 * static_cast<double>(y[i]) * y[i];
+  }
+  return acc;
+}
+
+/// Checks the module's input gradient against central finite differences
+/// of the half-square-sum objective. Verifies a sample of `probes`
+/// coordinates spread over the input.
+inline void check_input_gradient(nn::Module& module, tensor::Tensor input,
+                                 double eps = 1e-3, double tol = 2e-2,
+                                 std::int64_t probes = 24) {
+  tensor::Tensor y = module.forward(input);
+  module.zero_grad();
+  const tensor::Tensor analytic = module.backward(y);  // dL/dy = y
+
+  const std::int64_t n = input.numel();
+  const std::int64_t stride = std::max<std::int64_t>(1, n / probes);
+  for (std::int64_t i = 0; i < n; i += stride) {
+    tensor::Tensor plus = input;
+    tensor::Tensor minus = input;
+    plus[i] += static_cast<float>(eps);
+    minus[i] -= static_cast<float>(eps);
+    const double f_plus = half_sq_sum(module.forward(plus));
+    const double f_minus = half_sq_sum(module.forward(minus));
+    const double numeric = (f_plus - f_minus) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol * std::max(1.0, std::abs(numeric)))
+        << "input coordinate " << i;
+  }
+}
+
+/// Checks all parameter gradients against central finite differences.
+inline void check_param_gradients(nn::Module& module,
+                                  const tensor::Tensor& input,
+                                  double eps = 1e-3, double tol = 2e-2,
+                                  std::int64_t probes = 16) {
+  tensor::Tensor y = module.forward(input);
+  module.zero_grad();
+  module.backward(y);
+
+  for (nn::Parameter* p : module.parameters()) {
+    const std::int64_t n = p->value.numel();
+    const std::int64_t stride = std::max<std::int64_t>(1, n / probes);
+    for (std::int64_t i = 0; i < n; i += stride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(eps);
+      const double f_plus = half_sq_sum(module.forward(input));
+      p->value[i] = saved - static_cast<float>(eps);
+      const double f_minus = half_sq_sum(module.forward(input));
+      p->value[i] = saved;
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric,
+                  tol * std::max(1.0, std::abs(numeric)))
+          << "parameter coordinate " << i;
+    }
+  }
+}
+
+}  // namespace zka::test

@@ -1,0 +1,108 @@
+#include "nn/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace zka::nn {
+namespace {
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Parameter p(tensor::Tensor({2}, std::vector<float>{1.0f, -1.0f}));
+  p.grad[0] = 0.3f;
+  p.grad[1] = -7.0f;
+  Adam opt({&p}, {.learning_rate = 0.1f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f, 1e-4f);
+  EXPECT_NEAR(p.value[1], -1.0f + 0.1f, 1e-4f);
+  EXPECT_EQ(opt.steps_taken(), 1);
+}
+
+TEST(Adam, ZeroGradientDoesNotMove) {
+  Parameter p(tensor::Tensor({3}, 2.0f));
+  Adam opt({&p}, {});
+  opt.step();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.value[i], 2.0f);
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  Parameter p(tensor::Tensor({1}, std::vector<float>{4.0f}));
+  Adam opt({&p}, {.learning_rate = 0.1f, .weight_decay = 0.5f});
+  for (int i = 0; i < 5; ++i) {
+    opt.zero_grad();
+    opt.step();
+  }
+  EXPECT_LT(p.value[0], 4.0f);
+}
+
+TEST(Adam, ZeroGradClears) {
+  Parameter p(tensor::Tensor({2}));
+  p.grad.fill(3.0f);
+  Adam opt({&p}, {});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize 0.5 * ||w - target||^2 directly via parameter gradients.
+  Parameter p(tensor::Tensor({4}, std::vector<float>{5.0f, -3.0f, 2.0f, 9.0f}));
+  const std::vector<float> target{1.0f, 1.0f, -1.0f, 0.0f};
+  Adam opt({&p}, {.learning_rate = 0.05f});
+  for (int step = 0; step < 800; ++step) {
+    opt.zero_grad();
+    for (std::int64_t i = 0; i < 4; ++i) {
+      p.grad[i] = p.value[i] - target[static_cast<std::size_t>(i)];
+    }
+    opt.step();
+  }
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(p.value[i], target[static_cast<std::size_t>(i)], 0.05f);
+  }
+}
+
+TEST(Adam, TrainsFasterThanTinyLrSgdOnRegression) {
+  util::Rng rng(1);
+  const tensor::Tensor x = tensor::Tensor::uniform({32, 5}, rng, -1.0f, 1.0f);
+  tensor::Tensor target({32, 1});
+  for (std::int64_t i = 0; i < 32; ++i) {
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < 5; ++j) acc += x[i * 5 + j];
+    target[i] = acc;
+  }
+  Sequential net;
+  net.emplace<Linear>(5, 1, rng);
+  Adam opt(net, {.learning_rate = 0.05f});
+  auto loss_of = [&] {
+    const tensor::Tensor y = net.forward(x);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < 32; ++i) {
+      const double d = y[i] - target[i];
+      acc += 0.5 * d * d;
+    }
+    return acc;
+  };
+  const double before = loss_of();
+  for (int step = 0; step < 100; ++step) {
+    opt.zero_grad();
+    tensor::Tensor grad = net.forward(x);
+    grad -= target;
+    net.backward(grad);
+    opt.step();
+  }
+  EXPECT_LT(loss_of(), before * 0.1);
+}
+
+TEST(Adam, LearningRateMutable) {
+  Parameter p(tensor::Tensor({1}));
+  Adam opt({&p}, {.learning_rate = 0.5f});
+  opt.set_learning_rate(0.25f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.25f);
+}
+
+}  // namespace
+}  // namespace zka::nn

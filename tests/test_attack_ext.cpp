@@ -1,0 +1,135 @@
+// Extension attacks: Min-Sum and FreeRider.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/free_rider.h"
+#include "attack/minmax.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace zka::attack {
+namespace {
+
+struct Fixture {
+  std::vector<float> global;
+  std::vector<float> prev;
+  std::vector<Update> benign;
+
+  Fixture(std::size_t dim, std::size_t n_benign, std::uint64_t seed) {
+    util::Rng rng(seed);
+    global.resize(dim);
+    prev.resize(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      global[i] = static_cast<float>(rng.normal(0.0, 0.3));
+      prev[i] = global[i] - static_cast<float>(rng.normal(0.0, 0.05));
+    }
+    benign.assign(n_benign, Update(dim));
+    for (auto& u : benign) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        u[i] = global[i] + static_cast<float>(rng.normal(0.05, 0.1));
+      }
+    }
+  }
+
+  AttackContext context() const {
+    AttackContext ctx;
+    ctx.global_model = global;
+    ctx.prev_global_model = prev;
+    ctx.benign_updates = &benign;
+    ctx.num_selected = 10;
+    ctx.num_malicious_selected = 2;
+    return ctx;
+  }
+};
+
+TEST(MinSum, RespectsSumOfSquaredDistancesBudget) {
+  Fixture fx(24, 8, 1);
+  MinSumAttack attack;
+  const Update crafted = attack.craft(fx.context());
+
+  double budget = 0.0;
+  for (const auto& a : fx.benign) {
+    double sum = 0.0;
+    for (const auto& b : fx.benign) {
+      const double d = util::l2_distance(a, b);
+      sum += d * d;
+    }
+    budget = std::max(budget, sum);
+  }
+  double crafted_sum = 0.0;
+  for (const auto& b : fx.benign) {
+    const double d = util::l2_distance(crafted, b);
+    crafted_sum += d * d;
+  }
+  EXPECT_LE(crafted_sum, budget * 1.05);
+  EXPECT_GT(attack.last_gamma(), 0.0);
+  EXPECT_EQ(attack.name(), "Min-Sum");
+  EXPECT_TRUE(attack.needs_benign_updates());
+}
+
+TEST(MinSum, SharedHelpersMatchHandComputation) {
+  const std::vector<Update> benign{{1.0f, 0.0f}, {3.0f, 0.0f}};
+  const Update p =
+      perturbation_direction(Perturbation::kInverseUnit, benign);
+  // mean = (2, 0); -mean/||mean|| = (-1, 0).
+  EXPECT_NEAR(p[0], -1.0f, 1e-6f);
+  EXPECT_NEAR(p[1], 0.0f, 1e-6f);
+
+  const Update sign =
+      perturbation_direction(Perturbation::kInverseSign, benign);
+  EXPECT_FLOAT_EQ(sign[0], -1.0f);
+  EXPECT_FLOAT_EQ(sign[1], 0.0f);
+}
+
+TEST(MinSum, MaximizeGammaFindsBoundary) {
+  const Update mean{0.0f};
+  const Update perturb{1.0f};
+  // fits: |gamma| <= 5.
+  const double gamma = maximize_gamma(
+      mean, perturb, [](const Update& u) { return std::abs(u[0]) <= 5.0; });
+  EXPECT_NEAR(gamma, 5.0, 0.1);
+}
+
+TEST(MinSum, ZeroBudgetCollapsesToMean) {
+  Fixture fx(8, 4, 2);
+  for (auto& u : fx.benign) u = fx.benign[0];
+  MinSumAttack attack;
+  const Update crafted = attack.craft(fx.context());
+  EXPECT_NEAR(util::l2_distance(crafted, fx.benign[0]), 0.0, 1e-4);
+}
+
+TEST(FreeRider, ReturnsGlobalPlusDriftScaledNoise) {
+  Fixture fx(256, 3, 3);
+  FreeRiderAttack attack(0.5, 42);
+  EXPECT_FALSE(attack.needs_benign_updates());
+  AttackContext ctx = fx.context();
+  ctx.benign_updates = nullptr;
+  const Update crafted = attack.craft(ctx);
+  const double drift = util::l2_distance(fx.global, fx.prev);
+  const double deviation = util::l2_distance(crafted, fx.global);
+  EXPECT_GT(deviation, 0.0);
+  EXPECT_LT(deviation, drift);  // ~0.5x drift in expectation
+}
+
+TEST(FreeRider, TinyNoiseWhenModelConverged) {
+  Fixture fx(64, 3, 4);
+  fx.prev = fx.global;  // no drift
+  FreeRiderAttack attack(0.5, 43);
+  AttackContext ctx = fx.context();
+  ctx.benign_updates = nullptr;
+  const Update crafted = attack.craft(ctx);
+  EXPECT_LT(util::l2_distance(crafted, fx.global), 0.01);
+  EXPECT_GT(util::l2_distance(crafted, fx.global), 0.0);
+}
+
+TEST(FreeRider, FreshNoiseEachRound) {
+  Fixture fx(32, 3, 5);
+  FreeRiderAttack attack(0.5, 44);
+  AttackContext ctx = fx.context();
+  ctx.benign_updates = nullptr;
+  EXPECT_NE(attack.craft(ctx), attack.craft(ctx));
+}
+
+}  // namespace
+}  // namespace zka::attack

@@ -1,0 +1,112 @@
+// Properties that hold for every attack kind: correct update size, finite
+// values, determinism in the construction seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/experiment.h"
+
+namespace zka::fl {
+namespace {
+
+class AttackProperty : public ::testing::TestWithParam<AttackKind> {
+ protected:
+  static SimulationConfig config() {
+    SimulationConfig c;
+    c.num_clients = 15;
+    c.clients_per_round = 5;
+    c.rounds = 2;
+    c.train_size = 150;
+    c.test_size = 60;
+    c.malicious_fraction = 0.2;
+    c.seed = 41;
+    return c;
+  }
+
+  static core::ZkaOptions zka() {
+    core::ZkaOptions z;
+    z.synthetic_size = 4;
+    z.synthesis_epochs = 2;
+    z.latent_dim = 8;
+    return z;
+  }
+
+  struct Crafted {
+    std::vector<float> update;
+    std::size_t model_size = 0;
+  };
+
+  static Crafted craft_once(std::uint64_t seed) {
+    Simulation sim(config());
+    const auto attack = make_attack(GetParamStatic(), sim, zka(), seed);
+    const auto factory = models::task_model_factory(config().task);
+    const std::vector<float> global = nn::get_flat_params(*factory(9));
+    std::vector<float> prev = global;
+    prev[0] += 0.01f;
+
+    // Synthesize plausible benign updates for omniscient attacks.
+    std::vector<std::vector<float>> benign(4, global);
+    util::Rng rng(99);
+    for (auto& u : benign) {
+      for (auto& w : u) w += static_cast<float>(rng.normal(0.001, 0.01));
+    }
+    attack::AttackContext ctx;
+    ctx.global_model = global;
+    ctx.prev_global_model = prev;
+    ctx.benign_updates = &benign;
+    ctx.num_selected = 5;
+    ctx.num_malicious_selected = 1;
+    Crafted crafted;
+    crafted.update = attack->craft(ctx);
+    crafted.model_size = global.size();
+    return crafted;
+  }
+
+  static AttackKind GetParamStatic() { return current_param_; }
+  void SetUp() override { current_param_ = GetParam(); }
+  static AttackKind current_param_;
+};
+
+AttackKind AttackProperty::current_param_ = AttackKind::kLie;
+
+TEST_P(AttackProperty, UpdateHasModelSizeAndFiniteValues) {
+  const Crafted crafted = craft_once(7);
+  ASSERT_EQ(crafted.update.size(), crafted.model_size);
+  for (const float v : crafted.update) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(AttackProperty, DeterministicInConstructionSeed) {
+  const Crafted a = craft_once(7);
+  const Crafted b = craft_once(7);
+  EXPECT_EQ(a.update, b.update);
+}
+
+TEST_P(AttackProperty, NameIsNonEmptyAndStable) {
+  Simulation sim(config());
+  const auto attack = make_attack(GetParam(), sim, zka(), 3);
+  EXPECT_FALSE(attack->name().empty());
+  EXPECT_EQ(attack->name(), attack->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttacks, AttackProperty,
+    ::testing::Values(AttackKind::kFang, AttackKind::kLie,
+                      AttackKind::kMinMax, AttackKind::kMinSum,
+                      AttackKind::kZkaR, AttackKind::kZkaG,
+                      AttackKind::kZkaRStatic, AttackKind::kZkaGStatic,
+                      AttackKind::kRealData, AttackKind::kRandomWeights,
+                      AttackKind::kLabelFlip, AttackKind::kFreeRider,
+                      AttackKind::kFangKrum, AttackKind::kZkaRAdaptive,
+                      AttackKind::kZkaGAdaptive),
+    [](const ::testing::TestParamInfo<AttackKind>& info) {
+      std::string name = attack_kind_name(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace zka::fl

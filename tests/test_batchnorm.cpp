@@ -1,0 +1,141 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad_check.h"
+#include "util/rng.h"
+
+namespace zka::nn {
+namespace {
+
+using tensor::Tensor;
+
+Tensor random_input(tensor::Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::uniform(std::move(shape), rng, -2.0f, 2.0f);
+}
+
+TEST(BatchNorm2d, NormalizesPerChannelInTraining) {
+  BatchNorm2d bn(3);
+  const Tensor x = random_input({4, 3, 5, 5}, 1);
+  const Tensor y = bn.forward(x);
+  const std::int64_t spatial = 25;
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::int64_t s = 0; s < 4; ++s) {
+      const float* plane = y.raw() + (s * 3 + c) * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) mean += plane[i];
+    }
+    mean /= 100.0;
+    for (std::int64_t s = 0; s < 4; ++s) {
+      const float* plane = y.raw() + (s * 3 + c) * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        var += (plane[i] - mean) * (plane[i] - mean);
+      }
+    }
+    var /= 100.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "channel " << c;
+    EXPECT_NEAR(var, 1.0, 1e-2) << "channel " << c;
+  }
+}
+
+TEST(BatchNorm2d, GammaBetaAffine) {
+  BatchNorm2d bn(1);
+  bn.parameters()[0]->value[0] = 3.0f;  // gamma
+  bn.parameters()[1]->value[0] = -2.0f; // beta
+  const Tensor x = random_input({2, 1, 4, 4}, 2);
+  const Tensor y = bn.forward(x);
+  EXPECT_NEAR(y.mean(), -2.0f, 1e-3f);  // mean(gamma*xhat+beta) = beta
+}
+
+TEST(BatchNorm2d, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(2);
+  // Train on data with mean 5 to move the running statistics.
+  Tensor x({8, 2, 3, 3}, 5.0f);
+  util::Rng rng(3);
+  for (auto& v : x.data()) v += static_cast<float>(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 80; ++i) bn.forward(x);
+
+  bn.set_training(false);
+  // Input equal to the running mean must map to ~beta (0).
+  const Tensor probe({1, 2, 3, 3}, 5.0f);
+  const Tensor y = bn.forward(probe);
+  EXPECT_NEAR(y.mean(), 0.0f, 0.3f);
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeToDataMoments) {
+  BatchNorm2d bn(1, 1e-5f, 0.5f);
+  util::Rng rng(4);
+  for (int i = 0; i < 40; ++i) {
+    Tensor x = Tensor::normal({16, 1, 4, 4}, rng, 2.0f, 3.0f);
+    bn.forward(x);
+  }
+  EXPECT_NEAR(bn.parameters()[2]->value[0], 2.0f, 0.5f);   // running mean
+  EXPECT_NEAR(bn.parameters()[3]->value[0], 9.0f, 2.5f);   // running var
+}
+
+TEST(BatchNorm2d, TrainingInputGradientMatchesFiniteDifference) {
+  BatchNorm2d bn(2);
+  // Larger epsilon stabilizes the finite-difference comparison.
+  test::check_input_gradient(bn, random_input({3, 2, 4, 4}, 5), 1e-3, 5e-2);
+}
+
+TEST(BatchNorm2d, EvalInputGradient) {
+  BatchNorm2d bn(2);
+  bn.forward(random_input({4, 2, 4, 4}, 6));  // populate running stats
+  bn.set_training(false);
+  test::check_input_gradient(bn, random_input({2, 2, 4, 4}, 7), 1e-3, 2e-2);
+}
+
+TEST(BatchNorm2d, ParameterGradientsViaFiniteDifference) {
+  BatchNorm2d bn(2);
+  const Tensor x = random_input({3, 2, 3, 3}, 8);
+  // Check gamma/beta only (running stats carry no gradient).
+  const Tensor y = bn.forward(x);
+  bn.zero_grad();
+  bn.backward(y);
+  auto params = bn.parameters();
+  for (int pi = 0; pi < 2; ++pi) {
+    Parameter& p = *params[static_cast<std::size_t>(pi)];
+    for (std::int64_t i = 0; i < p.value.numel(); ++i) {
+      const float saved = p.value[i];
+      const double eps = 1e-3;
+      // Re-forward must use the same batch statistics; freeze running
+      // updates by reusing training mode (stats recomputed identically).
+      p.value[i] = saved + static_cast<float>(eps);
+      const double f_plus = test::half_sq_sum(bn.forward(x));
+      p.value[i] = saved - static_cast<float>(eps);
+      const double f_minus = test::half_sq_sum(bn.forward(x));
+      p.value[i] = saved;
+      const double numeric = (f_plus - f_minus) / (2 * eps);
+      EXPECT_NEAR(p.grad[i], numeric,
+                  5e-2 * std::max(1.0, std::abs(numeric)))
+          << "param " << pi << " coord " << i;
+    }
+  }
+}
+
+TEST(BatchNorm2d, Validation) {
+  EXPECT_THROW(BatchNorm2d(0), std::invalid_argument);
+  BatchNorm2d bn(3);
+  EXPECT_THROW(bn.forward(Tensor({2, 2, 4, 4})), std::invalid_argument);
+  bn.forward(random_input({2, 3, 4, 4}, 9));
+  EXPECT_THROW(bn.backward(Tensor({2, 3, 5, 5})), std::invalid_argument);
+}
+
+TEST(BatchNorm2d, StateTravelsThroughFlatParams) {
+  BatchNorm2d bn(2);
+  bn.forward(random_input({4, 2, 3, 3}, 10));  // move running stats
+  const auto flat = get_flat_params(bn);
+  // gamma(2) + beta(2) + running mean(2) + running var(2).
+  EXPECT_EQ(flat.size(), 8u);
+  BatchNorm2d restored(2);
+  set_flat_params(restored, flat);
+  EXPECT_EQ(get_flat_params(restored), flat);
+}
+
+}  // namespace
+}  // namespace zka::nn

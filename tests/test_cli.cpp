@@ -1,0 +1,67 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace zka::util {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, KeyValuePairs) {
+  const auto args = parse({"prog", "--rounds", "30", "--beta", "0.5"});
+  EXPECT_EQ(args.get_int("rounds", 0), 30);
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 0.0), 0.5);
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto args = parse({"prog", "--rounds=42", "--name=zka"});
+  EXPECT_EQ(args.get_int("rounds", 0), 42);
+  EXPECT_EQ(args.get_string("name", ""), "zka");
+}
+
+TEST(Cli, Fallbacks) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get_string("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(args.get_bool("missing", true));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, BooleanFlagForms) {
+  const auto args = parse({"prog", "--full", "--verbose=false", "--quick=1"});
+  EXPECT_TRUE(args.get_bool("full", false));
+  EXPECT_FALSE(args.get_bool("verbose", true));
+  EXPECT_TRUE(args.get_bool("quick", false));
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const auto args = parse({"prog", "--flag=maybe"});
+  EXPECT_THROW(args.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Cli, FlagFollowedByFlagHasEmptyValue) {
+  const auto args = parse({"prog", "--a", "--b", "value"});
+  EXPECT_TRUE(args.has("a"));
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_EQ(args.get_string("b", ""), "value");
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = parse({"prog", "one", "--k", "v", "two"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "one");
+  EXPECT_EQ(args.positional()[1], "two");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, Int64Values) {
+  const auto args = parse({"prog", "--big", "9000000000"});
+  EXPECT_EQ(args.get_int64("big", 0), 9000000000LL);
+}
+
+}  // namespace
+}  // namespace zka::util

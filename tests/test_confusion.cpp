@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "fl/metrics.h"
+
+namespace zka::fl {
+namespace {
+
+ConfusionMatrix hand_matrix() {
+  // 3 classes; rows = truth.
+  ConfusionMatrix cm;
+  cm.num_classes = 3;
+  cm.counts = {5, 1, 0,   // class 0: 5 right, 1 as class 1
+               2, 8, 0,   // class 1: 8 right
+               0, 4, 0};  // class 2: never right, 4 as class 1
+  return cm;
+}
+
+TEST(Confusion, AtAccessorAndBounds) {
+  const ConfusionMatrix cm = hand_matrix();
+  EXPECT_EQ(cm.at(0, 0), 5);
+  EXPECT_EQ(cm.at(2, 1), 4);
+  EXPECT_THROW(cm.at(3, 0), std::out_of_range);
+  EXPECT_THROW(cm.at(0, -1), std::out_of_range);
+}
+
+TEST(Confusion, PerClassAccuracy) {
+  const auto acc = hand_matrix().per_class_accuracy();
+  ASSERT_EQ(acc.size(), 3u);
+  EXPECT_NEAR(acc[0], 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(acc[1], 0.8, 1e-12);
+  EXPECT_NEAR(acc[2], 0.0, 1e-12);
+}
+
+TEST(Confusion, OverallAccuracyIsTraceOverTotal) {
+  EXPECT_NEAR(hand_matrix().accuracy(), 13.0 / 20.0, 1e-12);
+}
+
+TEST(Confusion, MostPredictedClass) {
+  // Column sums: 7, 13, 0 -> class 1.
+  EXPECT_EQ(hand_matrix().most_predicted_class(), 1);
+}
+
+TEST(Confusion, AbsentClassGivesNanRecall) {
+  ConfusionMatrix cm;
+  cm.num_classes = 2;
+  cm.counts = {3, 0, 0, 0};
+  const auto acc = cm.per_class_accuracy();
+  EXPECT_NEAR(acc[0], 1.0, 1e-12);
+  EXPECT_TRUE(std::isnan(acc[1]));
+}
+
+TEST(Confusion, EvaluateConfusionAgreesWithEvaluateAccuracy) {
+  const auto dataset =
+      data::make_synthetic_dataset(models::Task::kFashion, 80, 5);
+  const auto factory = models::task_model_factory(models::Task::kFashion);
+  const auto params = nn::get_flat_params(*factory(3));
+  const ConfusionMatrix cm = evaluate_confusion(factory, params, dataset);
+  EXPECT_EQ(cm.num_classes, 10);
+  std::int64_t total = 0;
+  for (const auto c : cm.counts) total += c;
+  EXPECT_EQ(total, dataset.size());
+  EXPECT_NEAR(cm.accuracy(), evaluate_accuracy(factory, params, dataset),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace zka::fl

@@ -1,0 +1,183 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/loader.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace zka::data {
+namespace {
+
+TEST(Synthetic, ShapesLabelsAndRange) {
+  for (const models::Task task :
+       {models::Task::kFashion, models::Task::kCifar}) {
+    const Dataset d = make_synthetic_dataset(task, 50, 42);
+    const models::ImageSpec spec = models::task_spec(task);
+    EXPECT_EQ(d.size(), 50);
+    EXPECT_EQ(d.images.shape(),
+              (tensor::Shape{50, spec.channels, spec.height, spec.width}));
+    for (const auto y : d.labels) {
+      ASSERT_GE(y, 0);
+      ASSERT_LT(y, spec.num_classes);
+    }
+    for (std::int64_t i = 0; i < d.images.numel(); ++i) {
+      ASSERT_GE(d.images[i], -1.0f);
+      ASSERT_LE(d.images[i], 1.0f);
+    }
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const Dataset a = make_synthetic_dataset(models::Task::kFashion, 20, 7);
+  const Dataset b = make_synthetic_dataset(models::Task::kFashion, 20, 7);
+  const Dataset c = make_synthetic_dataset(models::Task::kFashion, 20, 8);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_TRUE(tensor::allclose(a.images, b.images));
+  EXPECT_FALSE(tensor::allclose(a.images, c.images));
+}
+
+TEST(Synthetic, AllClassesAppearInLargeSample) {
+  const Dataset d = make_synthetic_dataset(models::Task::kFashion, 500, 3);
+  std::set<std::int64_t> seen(d.labels.begin(), d.labels.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Synthetic, PrototypesDifferAcrossClasses) {
+  for (const models::Task task :
+       {models::Task::kFashion, models::Task::kCifar}) {
+    for (std::int64_t a = 0; a < 10; ++a) {
+      for (std::int64_t b = a + 1; b < 10; ++b) {
+        const auto pa = class_prototype(task, a);
+        const auto pb = class_prototype(task, b);
+        const double dist = util::l2_distance(pa.data(), pb.data());
+        EXPECT_GT(dist, 1.0) << "classes " << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(Synthetic, SamplesClusterAroundTheirPrototype) {
+  // A noisy sample must be closer (on average) to its own prototype than
+  // to other prototypes — otherwise the classification task is ill-posed.
+  const Dataset d = make_synthetic_dataset(models::Task::kFashion, 100, 11);
+  int own_closest = 0;
+  std::vector<tensor::Tensor> protos;
+  for (std::int64_t k = 0; k < 10; ++k) {
+    protos.push_back(class_prototype(models::Task::kFashion, k));
+  }
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const tensor::Tensor img = d.image(i);
+    double best = 1e300;
+    std::int64_t best_class = -1;
+    for (std::int64_t k = 0; k < 10; ++k) {
+      const double dist = util::l2_distance(img.data(), protos[k].data());
+      if (dist < best) {
+        best = dist;
+        best_class = k;
+      }
+    }
+    if (best_class == d.labels[static_cast<std::size_t>(i)]) ++own_closest;
+  }
+  // Shift/noise blur this, but most samples should match (chance = 10%).
+  EXPECT_GT(own_closest, 50);
+}
+
+TEST(Synthetic, NoiseOptionIncreasesVariance) {
+  SyntheticOptions quiet;
+  quiet.noise_stddev = 0.05f;
+  quiet.max_shift = 0;
+  SyntheticOptions loud;
+  loud.noise_stddev = 0.8f;
+  loud.max_shift = 0;
+  const Dataset dq = make_synthetic_dataset(models::Task::kFashion, 50, 5,
+                                            quiet);
+  const Dataset dl = make_synthetic_dataset(models::Task::kFashion, 50, 5,
+                                            loud);
+  // Compare per-pixel squared deviation from the class prototype.
+  auto residual = [](const Dataset& d) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < d.size(); ++i) {
+      const auto proto = class_prototype(
+          models::Task::kFashion, d.labels[static_cast<std::size_t>(i)]);
+      const auto img = d.image(i);
+      acc += util::l2_distance(img.data(), proto.data());
+    }
+    return acc / static_cast<double>(d.size());
+  };
+  EXPECT_GT(residual(dl), residual(dq) * 1.5);
+}
+
+TEST(Dataset, SubsetCopiesRows) {
+  const Dataset d = make_synthetic_dataset(models::Task::kFashion, 10, 1);
+  const std::vector<std::int64_t> idx{0, 5, 9};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.labels[1], d.labels[5]);
+  EXPECT_TRUE(tensor::allclose(s.image(2), d.image(9)));
+}
+
+TEST(Dataset, TrainTestSplit) {
+  const Dataset d = make_synthetic_dataset(models::Task::kFashion, 10, 2);
+  const auto [train, test] = train_test_split(d, 7);
+  EXPECT_EQ(train.size(), 7);
+  EXPECT_EQ(test.size(), 3);
+  EXPECT_EQ(test.labels[0], d.labels[7]);
+  EXPECT_THROW(train_test_split(d, 11), std::invalid_argument);
+}
+
+TEST(Dataset, ClassHistogramCounts) {
+  Dataset d;
+  d.spec = models::fashion_spec();
+  d.spec.num_classes = 3;
+  d.labels = {0, 1, 1, 2, 2, 2};
+  d.images = tensor::Tensor({6, 1, 1, 1});
+  const auto hist = class_histogram(d);
+  EXPECT_EQ(hist, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Loader, BatchesCoverEverySampleOnce) {
+  const Dataset d = make_synthetic_dataset(models::Task::kFashion, 25, 3);
+  DataLoader loader(d, 8);
+  EXPECT_EQ(loader.num_batches(), 4);
+  std::multiset<std::int64_t> seen;
+  for (std::int64_t b = 0; b < loader.num_batches(); ++b) {
+    const Batch batch = loader.batch(b);
+    EXPECT_EQ(batch.images.dim(0),
+              static_cast<std::int64_t>(batch.labels.size()));
+    for (const auto y : batch.labels) seen.insert(y);
+  }
+  EXPECT_EQ(seen.size(), 25u);
+}
+
+TEST(Loader, LastBatchIsSmaller) {
+  const Dataset d = make_synthetic_dataset(models::Task::kFashion, 10, 4);
+  DataLoader loader(d, 4);
+  EXPECT_EQ(loader.batch(2).labels.size(), 2u);
+  EXPECT_THROW(loader.batch(3), std::out_of_range);
+}
+
+TEST(Loader, SubsetViewAndValidation) {
+  const Dataset d = make_synthetic_dataset(models::Task::kFashion, 10, 5);
+  DataLoader loader(d, {1, 3, 5}, 2);
+  EXPECT_EQ(loader.size(), 3);
+  EXPECT_EQ(loader.batch(0).labels[0], d.labels[1]);
+  EXPECT_THROW(DataLoader(d, {42}, 2), std::out_of_range);
+  EXPECT_THROW(DataLoader(d, 0), std::invalid_argument);
+}
+
+TEST(Loader, ShufflePermutesButPreservesMultiset) {
+  const Dataset d = make_synthetic_dataset(models::Task::kFashion, 32, 6);
+  DataLoader loader(d, 32);
+  util::Rng rng(9);
+  const auto before = loader.batch(0).labels;
+  loader.shuffle(rng);
+  const auto after = loader.batch(0).labels;
+  EXPECT_EQ(std::multiset<std::int64_t>(before.begin(), before.end()),
+            std::multiset<std::int64_t>(after.begin(), after.end()));
+}
+
+}  // namespace
+}  // namespace zka::data

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "defense/bulyan.h"
+#include "defense/distance.h"
+#include "defense/fedavg.h"
+#include "defense/foolsgold.h"
+#include "defense/krum.h"
+#include "defense/norm_clip.h"
+#include "defense/statistic.h"
+#include "util/rng.h"
+
+namespace zka::defense {
+namespace {
+
+std::vector<std::int64_t> unit_weights(std::size_t n) {
+  return std::vector<std::int64_t>(n, 1);
+}
+
+std::vector<Update> clustered_updates(std::size_t benign, std::size_t mal,
+                                      std::size_t dim, std::uint64_t seed,
+                                      float mal_offset = 10.0f) {
+  util::Rng rng(seed);
+  std::vector<Update> updates;
+  for (std::size_t i = 0; i < benign; ++i) {
+    Update u(dim);
+    for (auto& x : u) x = static_cast<float>(rng.normal(0.0, 0.1));
+    updates.push_back(std::move(u));
+  }
+  for (std::size_t i = 0; i < mal; ++i) {
+    Update u(dim);
+    for (auto& x : u) {
+      x = mal_offset + static_cast<float>(rng.normal(0.0, 0.1));
+    }
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+TEST(Validation, RejectsBadInput) {
+  FedAvg agg;
+  EXPECT_THROW(agg.aggregate({}, {}), std::invalid_argument);
+  EXPECT_THROW(agg.aggregate({{1.0f}}, {}), std::invalid_argument);
+  EXPECT_THROW(agg.aggregate({{1.0f}, {1.0f, 2.0f}}, unit_weights(2)),
+               std::invalid_argument);
+  EXPECT_THROW(agg.aggregate({{1.0f}}, {-1}), std::invalid_argument);
+  EXPECT_THROW(agg.aggregate({{}}, {1}), std::invalid_argument);
+}
+
+TEST(FedAvgRule, WeightedMean) {
+  FedAvg agg;
+  const std::vector<Update> updates{{1.0f, 0.0f}, {4.0f, 6.0f}};
+  const auto result = agg.aggregate(updates, {1, 2});
+  EXPECT_NEAR(result.model[0], (1.0 + 2 * 4.0) / 3.0, 1e-6);
+  EXPECT_NEAR(result.model[1], 4.0, 1e-6);
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_FALSE(agg.selects_clients());
+}
+
+TEST(FedAvgRule, ZeroWeightsFallBackToPlainMean) {
+  FedAvg agg;
+  const auto result = agg.aggregate({{2.0f}, {4.0f}}, {0, 0});
+  EXPECT_NEAR(result.model[0], 3.0, 1e-6);
+}
+
+TEST(MedianRule, CoordinateWiseMedian) {
+  Median agg;
+  const std::vector<Update> updates{{1.0f, 10.0f}, {2.0f, 20.0f},
+                                    {3.0f, 0.0f}};
+  const auto result = agg.aggregate(updates, unit_weights(3));
+  EXPECT_FLOAT_EQ(result.model[0], 2.0f);
+  EXPECT_FLOAT_EQ(result.model[1], 10.0f);
+}
+
+TEST(MedianRule, RobustToSingleHugeOutlier) {
+  Median agg;
+  const std::vector<Update> updates{{1.0f}, {1.1f}, {0.9f}, {1e9f}};
+  const auto result = agg.aggregate(updates, unit_weights(4));
+  EXPECT_LT(result.model[0], 2.0f);
+}
+
+TEST(TrimmedMeanRule, ExcludesExtremes) {
+  TrimmedMean agg(1);
+  const std::vector<Update> updates{{-100.0f}, {1.0f}, {2.0f}, {3.0f},
+                                    {100.0f}};
+  const auto result = agg.aggregate(updates, unit_weights(5));
+  EXPECT_NEAR(result.model[0], 2.0f, 1e-6);
+}
+
+TEST(TrimmedMeanRule, RequiresEnoughUpdates) {
+  TrimmedMean agg(2);
+  EXPECT_THROW(agg.aggregate({{1.0f}, {2.0f}, {3.0f}, {4.0f}},
+                             unit_weights(4)),
+               std::invalid_argument);
+}
+
+TEST(PairwiseDistances, SymmetricAndCorrect) {
+  const std::vector<Update> updates{{0.0f, 0.0f}, {3.0f, 4.0f}};
+  const auto d = pairwise_sq_distances(updates);
+  EXPECT_NEAR(d[0][1], 25.0, 1e-6);
+  EXPECT_NEAR(d[1][0], 25.0, 1e-6);
+  EXPECT_DOUBLE_EQ(d[0][0], 0.0);
+}
+
+TEST(KrumRule, PlainKrumPicksCentralUpdate) {
+  MultiKrum krum(1, 1);
+  // Three clustered points and one far outlier; Krum must not pick the
+  // outlier.
+  const std::vector<Update> updates{{0.0f}, {0.1f}, {-0.1f}, {50.0f}};
+  const auto result = krum.aggregate(updates, unit_weights(4));
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_NE(result.selected[0], 3u);
+  EXPECT_LT(std::abs(result.model[0]), 0.2f);
+  EXPECT_EQ(krum.name(), "Krum");
+}
+
+TEST(KrumRule, MultiKrumSelectsRequestedCount) {
+  MultiKrum mkrum(2, 4);
+  const auto updates = clustered_updates(8, 2, 5, 42);
+  const auto result = mkrum.aggregate(updates, unit_weights(10));
+  EXPECT_EQ(result.selected.size(), 4u);
+  EXPECT_TRUE(mkrum.selects_clients());
+  EXPECT_EQ(mkrum.name(), "mKrum");
+}
+
+TEST(KrumRule, DefaultSelectionIsNMinusF) {
+  MultiKrum mkrum(3);
+  const auto updates = clustered_updates(10, 0, 4, 43);
+  const auto result = mkrum.aggregate(updates, unit_weights(10));
+  EXPECT_EQ(result.selected.size(), 7u);
+}
+
+TEST(KrumRule, OutliersExcludedFromSelection) {
+  // Multi-Krum only guarantees malicious exclusion for m <= n - f - 2.
+  MultiKrum mkrum(2, 6);
+  const auto updates = clustered_updates(8, 2, 6, 44, 100.0f);
+  const auto result = mkrum.aggregate(updates, unit_weights(10));
+  for (const auto idx : result.selected) {
+    EXPECT_LT(idx, 8u) << "malicious update selected";
+  }
+}
+
+TEST(KrumRule, SingleUpdateDegenerate) {
+  MultiKrum mkrum(0, 1);
+  const auto result = mkrum.aggregate({{5.0f}}, unit_weights(1));
+  EXPECT_FLOAT_EQ(result.model[0], 5.0f);
+  EXPECT_EQ(result.selected, (std::vector<std::size_t>{0}));
+}
+
+TEST(BulyanRule, RejectsFarOutliers) {
+  Bulyan bulyan(2);
+  const auto updates = clustered_updates(8, 2, 6, 45, 50.0f);
+  const auto result = bulyan.aggregate(updates, unit_weights(10));
+  for (const auto idx : result.selected) EXPECT_LT(idx, 8u);
+  for (const float v : result.model) EXPECT_LT(std::abs(v), 1.0f);
+  EXPECT_TRUE(bulyan.selects_clients());
+}
+
+TEST(BulyanRule, AggregateWithinBenignRangePerCoordinate) {
+  Bulyan bulyan(1);
+  const std::vector<Update> updates{{1.0f}, {2.0f}, {3.0f}, {4.0f}, {5.0f}};
+  const auto result = bulyan.aggregate(updates, unit_weights(5));
+  EXPECT_GE(result.model[0], 1.0f);
+  EXPECT_LE(result.model[0], 5.0f);
+}
+
+TEST(FoolsGoldRule, DownweightsIdenticalSybils) {
+  FoolsGold fg;
+  util::Rng rng(46);
+  std::vector<Update> updates;
+  // Four diverse benign updates.
+  for (int i = 0; i < 4; ++i) {
+    Update u(8);
+    for (auto& x : u) x = static_cast<float>(rng.normal(0.0, 1.0));
+    updates.push_back(std::move(u));
+  }
+  // Three identical Sybil updates.
+  Update sybil(8);
+  for (auto& x : sybil) x = static_cast<float>(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 3; ++i) updates.push_back(sybil);
+
+  fg.aggregate(updates, unit_weights(7));
+  const auto& w = fg.last_weights();
+  ASSERT_EQ(w.size(), 7u);
+  const double benign_mean = (w[0] + w[1] + w[2] + w[3]) / 4.0;
+  const double sybil_mean = (w[4] + w[5] + w[6]) / 3.0;
+  EXPECT_GT(benign_mean, sybil_mean + 0.3);
+}
+
+TEST(NormClipRule, BoundsOutlierInfluence) {
+  NormClipping clip;
+  const std::vector<Update> updates{{0.0f}, {0.1f}, {-0.1f}, {1000.0f}};
+  const auto clipped = clip.aggregate(updates, unit_weights(4));
+  FedAvg avg;
+  const auto plain = avg.aggregate(updates, unit_weights(4));
+  EXPECT_LT(std::abs(clipped.model[0]), std::abs(plain.model[0]) / 10.0f);
+  EXPECT_FALSE(clip.selects_clients());
+}
+
+TEST(Factory, ConstructsEveryKnownAggregator) {
+  for (const char* name : {"fedavg", "median", "trmean", "krum", "mkrum",
+                           "bulyan", "foolsgold", "normclip"}) {
+    const auto agg = make_aggregator(name, 2);
+    ASSERT_NE(agg, nullptr) << name;
+    EXPECT_FALSE(agg->name().empty());
+  }
+  EXPECT_THROW(make_aggregator("nope", 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zka::defense

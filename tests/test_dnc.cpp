@@ -1,0 +1,169 @@
+// DnC spectral defense tests.
+#include "defense/dnc.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/fang.h"
+#include "defense/krum.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace zka::defense {
+namespace {
+
+std::vector<std::int64_t> unit_weights(std::size_t n) {
+  return std::vector<std::int64_t>(n, 1);
+}
+
+std::vector<Update> cluster_plus_outliers(std::size_t benign,
+                                          std::size_t mal, std::size_t dim,
+                                          float offset, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Update> updates;
+  for (std::size_t i = 0; i < benign; ++i) {
+    Update u(dim);
+    for (auto& x : u) x = static_cast<float>(rng.normal(0.0, 0.1));
+    updates.push_back(std::move(u));
+  }
+  for (std::size_t i = 0; i < mal; ++i) {
+    Update u(dim);
+    for (auto& x : u) {
+      x = offset + static_cast<float>(rng.normal(0.0, 0.1));
+    }
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+TEST(DncRule, FiltersSpectralOutliers) {
+  DncOptions options;
+  options.num_byzantine = 2;
+  Dnc dnc(options);
+  const auto updates = cluster_plus_outliers(8, 2, 64, 5.0f, 1);
+  const auto result = dnc.aggregate(updates, unit_weights(10));
+  for (const auto idx : result.selected) {
+    EXPECT_LT(idx, 8u) << "outlier survived DnC";
+  }
+  for (const float v : result.model) EXPECT_LT(std::abs(v), 1.0f);
+  EXPECT_TRUE(dnc.selects_clients());
+  EXPECT_EQ(dnc.name(), "DnC");
+}
+
+TEST(DncRule, KeepsExpectedCountPerIteration) {
+  DncOptions options;
+  options.num_byzantine = 2;
+  options.iterations = 1;
+  options.filter_fraction = 1.0;
+  Dnc dnc(options);
+  const auto updates = cluster_plus_outliers(8, 2, 32, 3.0f, 2);
+  const auto result = dnc.aggregate(updates, unit_weights(10));
+  EXPECT_EQ(result.selected.size(), 8u);
+}
+
+TEST(DncRule, MultipleIterationsIntersect) {
+  DncOptions options;
+  options.num_byzantine = 1;
+  options.iterations = 4;
+  Dnc dnc(options);
+  const auto updates = cluster_plus_outliers(9, 1, 48, 10.0f, 3);
+  const auto result = dnc.aggregate(updates, unit_weights(10));
+  // At most 9 survive, outlier never does; intersection can remove more.
+  EXPECT_LE(result.selected.size(), 9u);
+  for (const auto idx : result.selected) EXPECT_LT(idx, 9u);
+}
+
+TEST(DncRule, SubsamplingStillCatchesOutliers) {
+  DncOptions options;
+  options.num_byzantine = 2;
+  options.subsample_dim = 16;  // far fewer than dim
+  Dnc dnc(options);
+  const auto updates = cluster_plus_outliers(8, 2, 256, 4.0f, 4);
+  const auto result = dnc.aggregate(updates, unit_weights(10));
+  for (const auto idx : result.selected) EXPECT_LT(idx, 8u);
+}
+
+TEST(DncRule, IdenticalUpdatesDegenerateGracefully) {
+  DncOptions options;
+  options.num_byzantine = 2;
+  Dnc dnc(options);
+  const Update u{1.0f, -2.0f, 0.5f};
+  const std::vector<Update> updates(8, u);
+  const auto result = dnc.aggregate(updates, unit_weights(8));
+  ASSERT_FALSE(result.selected.empty());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_NEAR(result.model[i], u[i], 1e-5);
+  }
+}
+
+TEST(DncRule, FactoryConstructs) {
+  const auto agg = make_aggregator("dnc", 2);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->name(), "DnC");
+}
+
+}  // namespace
+}  // namespace zka::defense
+
+namespace zka::attack {
+namespace {
+
+TEST(FangKrum, FoolsKrumOnClusteredBenignUpdates) {
+  util::Rng rng(5);
+  const std::size_t dim = 32;
+  std::vector<float> global(dim);
+  for (auto& x : global) x = static_cast<float>(rng.normal(0.0, 0.3));
+  std::vector<Update> benign(8, Update(dim));
+  for (auto& u : benign) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      u[i] = global[i] + 0.05f + static_cast<float>(rng.normal(0.0, 0.05));
+    }
+  }
+  AttackContext ctx;
+  ctx.global_model = global;
+  ctx.prev_global_model = global;
+  ctx.benign_updates = &benign;
+  ctx.num_selected = 10;
+  ctx.num_malicious_selected = 2;
+
+  FangKrumAttack attack(2);
+  const Update crafted = attack.craft(ctx);
+  ASSERT_EQ(crafted.size(), dim);
+  EXPECT_GT(attack.last_lambda(), 0.0);
+
+  // Verify the attacker's simulation: Krum over {crafted x2, benign...}
+  // picks the crafted update.
+  defense::MultiKrum krum(2, 1);
+  std::vector<Update> pool{crafted, crafted};
+  pool.insert(pool.end(), benign.begin(), benign.end());
+  const auto selected = krum.select(pool);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_LT(selected.front(), 2u);
+}
+
+TEST(FangKrum, PushesOppositeToConsensusDirection) {
+  util::Rng rng(6);
+  const std::size_t dim = 16;
+  std::vector<float> global(dim, 0.0f);
+  std::vector<Update> benign(6, Update(dim));
+  for (auto& u : benign) {
+    for (auto& x : u) x = 0.1f + static_cast<float>(rng.normal(0.0, 0.01));
+  }
+  AttackContext ctx;
+  ctx.global_model = global;
+  ctx.prev_global_model = global;
+  ctx.benign_updates = &benign;
+  ctx.num_malicious_selected = 1;
+  FangKrumAttack attack(1);
+  const Update crafted = attack.craft(ctx);
+  // Benign direction is +; crafted must sit at or below the global model.
+  for (const float v : crafted) EXPECT_LE(v, 0.0f);
+}
+
+TEST(FangKrum, RequiresBenignUpdates) {
+  FangKrumAttack attack(2);
+  EXPECT_TRUE(attack.needs_benign_updates());
+  EXPECT_EQ(attack.name(), "Fang-Krum");
+}
+
+}  // namespace
+}  // namespace zka::attack

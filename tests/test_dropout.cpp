@@ -1,0 +1,77 @@
+#include "nn/dropout.h"
+
+#include <gtest/gtest.h>
+
+namespace zka::nn {
+namespace {
+
+TEST(Dropout, InvalidRateRejected) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+  EXPECT_NO_THROW(Dropout(0.0f));
+}
+
+TEST(Dropout, EvalModePassesThrough) {
+  Dropout dropout(0.5f);
+  dropout.set_training(false);
+  const tensor::Tensor x({100}, 2.0f);
+  EXPECT_TRUE(tensor::allclose(dropout.forward(x), x));
+  const tensor::Tensor g({100}, 1.0f);
+  EXPECT_TRUE(tensor::allclose(dropout.backward(g), g));
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining) {
+  Dropout dropout(0.0f);
+  const tensor::Tensor x({50}, -1.5f);
+  EXPECT_TRUE(tensor::allclose(dropout.forward(x), x));
+}
+
+TEST(Dropout, DropsApproximatelyRateFraction) {
+  Dropout dropout(0.3f, 7);
+  const tensor::Tensor x({10000}, 1.0f);
+  const tensor::Tensor y = dropout.forward(x);
+  std::int64_t dropped = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / y.numel(), 0.3, 0.02);
+}
+
+TEST(Dropout, SurvivorsScaledToPreserveExpectation) {
+  Dropout dropout(0.5f, 8);
+  const tensor::Tensor x({20000}, 1.0f);
+  const tensor::Tensor y = dropout.forward(x);
+  EXPECT_NEAR(y.mean(), 1.0f, 0.05f);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0f || std::abs(y[i] - 2.0f) < 1e-6f);
+  }
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout dropout(0.5f, 9);
+  const tensor::Tensor x({1000}, 1.0f);
+  const tensor::Tensor y = dropout.forward(x);
+  const tensor::Tensor g = dropout.backward(tensor::Tensor({1000}, 1.0f));
+  // Gradient must be zero exactly where the activation was dropped.
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    EXPECT_FLOAT_EQ(g[i], y[i]);
+  }
+}
+
+TEST(Dropout, BackwardShapeMismatchThrows) {
+  Dropout dropout(0.5f, 10);
+  dropout.forward(tensor::Tensor({8}, 1.0f));
+  EXPECT_THROW(dropout.backward(tensor::Tensor({9}, 1.0f)),
+               std::invalid_argument);
+}
+
+TEST(Dropout, TrainingFlagAccessors) {
+  Dropout dropout(0.25f);
+  EXPECT_TRUE(dropout.training());
+  EXPECT_FLOAT_EQ(dropout.rate(), 0.25f);
+  dropout.set_training(false);
+  EXPECT_FALSE(dropout.training());
+}
+
+}  // namespace
+}  // namespace zka::nn

@@ -1,0 +1,221 @@
+#include "fl/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/random_weights.h"
+#include "data/synthetic.h"
+#include "defense/fltrust.h"
+#include "fl/metrics.h"
+
+namespace zka::fl {
+namespace {
+
+SimulationConfig tiny_config() {
+  SimulationConfig config;
+  config.task = models::Task::kFashion;
+  config.num_clients = 20;
+  config.clients_per_round = 5;
+  config.rounds = 6;
+  config.train_size = 300;
+  config.test_size = 120;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Simulation, AttackFreeFedAvgLearns) {
+  SimulationConfig config = tiny_config();
+  config.rounds = 10;
+  config.malicious_fraction = 0.0;
+  Simulation sim(config);
+  const auto result = sim.run(nullptr);
+  ASSERT_EQ(result.rounds.size(), 10u);
+  EXPECT_GT(result.max_accuracy, 0.5);
+  EXPECT_GT(result.final_accuracy, result.rounds.front().accuracy);
+  EXPECT_FALSE(result.defense_selects);
+  EXPECT_TRUE(std::isnan(result.dpr()));
+}
+
+TEST(Simulation, ReproducibleGivenSeed) {
+  const SimulationConfig config = tiny_config();
+  Simulation a(config);
+  Simulation b(config);
+  const auto ra = a.run(nullptr);
+  const auto rb = b.run(nullptr);
+  ASSERT_EQ(ra.rounds.size(), rb.rounds.size());
+  for (std::size_t i = 0; i < ra.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.rounds[i].accuracy, rb.rounds[i].accuracy);
+  }
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  SimulationConfig config = tiny_config();
+  Simulation a(config);
+  config.seed = 4;
+  Simulation b(config);
+  EXPECT_NE(a.run(nullptr).final_accuracy, b.run(nullptr).final_accuracy);
+}
+
+TEST(Simulation, SerialAndParallelClientsAgree) {
+  SimulationConfig config = tiny_config();
+  config.parallel_clients = true;
+  Simulation par(config);
+  config.parallel_clients = false;
+  Simulation ser(config);
+  EXPECT_DOUBLE_EQ(par.run(nullptr).final_accuracy,
+                   ser.run(nullptr).final_accuracy);
+}
+
+TEST(Simulation, SelectionBookkeepingConsistent) {
+  SimulationConfig config = tiny_config();
+  config.defense = "mkrum";
+  config.malicious_fraction = 0.2;
+  Simulation sim(config);
+  attack::RandomWeightsAttack attack(0.5f, 9);
+  const auto result = sim.run(&attack);
+  EXPECT_TRUE(result.defense_selects);
+  for (const RoundRecord& r : result.rounds) {
+    EXPECT_LE(r.malicious_passed, r.malicious_selected);
+    EXPECT_LE(r.benign_passed, r.benign_selected);
+    EXPECT_EQ(r.malicious_selected + r.benign_selected,
+              config.clients_per_round);
+  }
+}
+
+TEST(Simulation, RandomWeightsRarelyPassMKrum) {
+  // Sec. IV-A: random model weights almost never survive mKrum. Use the
+  // paper's round size K = 10 — with fewer participants Krum's neighbor
+  // count collapses and identical Sybil updates can vouch for each other.
+  SimulationConfig config = tiny_config();
+  config.rounds = 12;
+  config.clients_per_round = 10;
+  config.defense = "mkrum";
+  config.malicious_fraction = 0.2;
+  Simulation sim(config);
+  attack::RandomWeightsAttack attack(0.5f, 10);
+  const auto result = sim.run(&attack);
+  const double dpr = result.dpr();
+  ASSERT_FALSE(std::isnan(dpr));
+  EXPECT_LT(dpr, 30.0);
+  // Benign updates must survive far more often than random weights.
+  EXPECT_GT(result.benign_pass_rate(), dpr);
+}
+
+TEST(Simulation, StatisticDefensesReportNoSelection) {
+  for (const char* defense : {"median", "trmean"}) {
+    SimulationConfig config = tiny_config();
+    config.defense = defense;
+    config.malicious_fraction = 0.2;
+    Simulation sim(config);
+    attack::RandomWeightsAttack attack(0.5f, 11);
+    const auto result = sim.run(&attack);
+    EXPECT_FALSE(result.defense_selects) << defense;
+    EXPECT_TRUE(std::isnan(result.dpr())) << defense;
+  }
+}
+
+TEST(Simulation, RoundCallbackFiresEveryRound) {
+  SimulationConfig config = tiny_config();
+  Simulation sim(config);
+  int calls = 0;
+  sim.set_round_callback([&](const RoundRecord& r) {
+    EXPECT_EQ(r.round, calls);
+    ++calls;
+  });
+  sim.run(nullptr);
+  EXPECT_EQ(calls, 6);
+}
+
+TEST(Simulation, MaliciousDataPoolsAttackerShards) {
+  SimulationConfig config = tiny_config();
+  config.malicious_fraction = 0.2;  // 4 of 20 clients
+  Simulation sim(config);
+  EXPECT_EQ(sim.num_malicious(), 4);
+  const data::Dataset pooled = sim.malicious_data();
+  EXPECT_GT(pooled.size(), 0);
+  EXPECT_LT(pooled.size(), config.train_size);
+}
+
+TEST(Simulation, ConfigValidation) {
+  SimulationConfig config = tiny_config();
+  config.malicious_fraction = 0.7;  // beyond the threat model's 50%
+  EXPECT_THROW(Simulation{config}, std::invalid_argument);
+  config = tiny_config();
+  config.clients_per_round = 0;
+  EXPECT_THROW(Simulation{config}, std::invalid_argument);
+  config = tiny_config();
+  config.clients_per_round = 21;
+  EXPECT_THROW(Simulation{config}, std::invalid_argument);
+  config = tiny_config();
+  config.defense = "bogus";
+  EXPECT_THROW(Simulation{config}, std::invalid_argument);
+}
+
+TEST(Simulation, AttackWithoutMaliciousClientsRejected) {
+  SimulationConfig config = tiny_config();
+  config.malicious_fraction = 0.0;
+  Simulation sim(config);
+  attack::RandomWeightsAttack attack(0.5f, 12);
+  EXPECT_THROW(sim.run(&attack), std::invalid_argument);
+}
+
+TEST(Simulation, EvalEveryReducesEvaluations) {
+  SimulationConfig config = tiny_config();
+  config.eval_every = 3;
+  Simulation sim(config);
+  const auto result = sim.run(nullptr);
+  int evaluated = 0;
+  for (const auto& r : result.rounds) {
+    if (!std::isnan(r.accuracy)) ++evaluated;
+  }
+  EXPECT_LT(evaluated, 6);
+  EXPECT_GE(evaluated, 2);  // first matching round and final round
+}
+
+TEST(Simulation, CustomDefenseFactoryOverridesName) {
+  SimulationConfig config = tiny_config();
+  config.defense = "bogus-name-ignored";
+  config.custom_defense = [] {
+    return defense::make_aggregator("median", 0);
+  };
+  Simulation sim(config);
+  EXPECT_GT(sim.run(nullptr).max_accuracy, 0.3);
+}
+
+TEST(Simulation, NullCustomDefenseRejected) {
+  SimulationConfig config = tiny_config();
+  config.custom_defense = [] {
+    return std::unique_ptr<defense::Aggregator>();
+  };
+  EXPECT_THROW(Simulation{config}, std::invalid_argument);
+}
+
+TEST(Simulation, FlTrustRunsAsCustomDefense) {
+  SimulationConfig config = tiny_config();
+  config.malicious_fraction = 0.2;
+  config.custom_defense = [&config] {
+    return std::make_unique<defense::FlTrust>(
+        data::make_synthetic_dataset(config.task, 48, 777),
+        models::task_model_factory(config.task),
+        defense::FlTrustOptions{}, 9);
+  };
+  Simulation sim(config);
+  attack::RandomWeightsAttack attack(0.5f, 13);
+  const auto result = sim.run(&attack);
+  EXPECT_TRUE(result.defense_selects);
+  // Random-weight updates are uncorrelated with the server direction, so
+  // FLTrust should reject nearly all of them.
+  EXPECT_LT(result.dpr(), 60.0);
+  EXPECT_GT(result.max_accuracy, 0.2);
+}
+
+TEST(Simulation, IidPartitionWhenBetaNonPositive) {
+  SimulationConfig config = tiny_config();
+  config.beta = 0.0;
+  Simulation sim(config);
+  EXPECT_GT(sim.run(nullptr).max_accuracy, 0.3);
+}
+
+}  // namespace
+}  // namespace zka::fl

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace zka::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelIsSettable) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, MacrosCompileAndRespectLevel) {
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  ZKA_LOG_DEBUG() << "invisible " << 1;
+  ZKA_LOG_INFO() << "invisible " << 2;
+  ZKA_LOG_ERROR() << "visible " << 3;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("invisible"), std::string::npos);
+  EXPECT_NE(err.find("visible 3"), std::string::npos);
+  EXPECT_NE(err.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, InfoVisibleAtDefaultLevel) {
+  testing::internal::CaptureStderr();
+  ZKA_LOG_INFO() << "hello";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[INFO ] hello"), std::string::npos);
+}
+
+TEST_F(LoggingTest, WarnPrefix) {
+  testing::internal::CaptureStderr();
+  ZKA_LOG_WARN() << "careful";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN ] careful"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zka::util

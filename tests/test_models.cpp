@@ -1,0 +1,136 @@
+#include "models/models.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "util/rng.h"
+
+namespace zka::models {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Specs, TaskGeometry) {
+  const ImageSpec f = fashion_spec();
+  EXPECT_EQ(f.channels, 1);
+  EXPECT_EQ(f.height, 28);
+  EXPECT_EQ(f.pixels(), 28 * 28);
+  EXPECT_EQ(f.num_classes, 10);
+  const ImageSpec c = cifar_spec();
+  EXPECT_EQ(c.channels, 3);
+  EXPECT_EQ(c.height, 32);
+  EXPECT_EQ(c.pixels(), 3 * 32 * 32);
+}
+
+TEST(Specs, TaskHelpers) {
+  EXPECT_STREQ(task_name(Task::kFashion), "Fashion");
+  EXPECT_STREQ(task_name(Task::kCifar), "Cifar");
+  EXPECT_EQ(task_spec(Task::kCifar).channels, 3);
+}
+
+TEST(FashionCnn, ForwardShapeAndArchitecture) {
+  util::Rng rng(1);
+  auto net = make_fashion_cnn(rng);
+  Tensor x = Tensor::uniform({2, 1, 28, 28}, rng, -1.0f, 1.0f);
+  const Tensor y = net->forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 10}));
+  // Paper: 2 conv layers + 1 dense layer -> 3 weight/bias pairs.
+  EXPECT_EQ(net->parameters().size(), 6u);
+}
+
+TEST(CifarCnn, ForwardShapeAndArchitecture) {
+  util::Rng rng(2);
+  auto net = make_cifar_cnn(rng);
+  Tensor x = Tensor::uniform({2, 3, 32, 32}, rng, -1.0f, 1.0f);
+  const Tensor y = net->forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 10}));
+  // Paper: 6 conv layers + 2 dense layers -> 8 weight/bias pairs.
+  EXPECT_EQ(net->parameters().size(), 16u);
+}
+
+TEST(Factory, DeterministicInSeed) {
+  const ModelFactory factory = task_model_factory(Task::kFashion);
+  auto a = factory(123);
+  auto b = factory(123);
+  auto c = factory(124);
+  EXPECT_EQ(nn::get_flat_params(*a), nn::get_flat_params(*b));
+  EXPECT_NE(nn::get_flat_params(*a), nn::get_flat_params(*c));
+}
+
+TEST(Factory, ParamCountsConsistentAcrossInstances) {
+  for (const Task task : {Task::kFashion, Task::kCifar}) {
+    const ModelFactory factory = task_model_factory(task);
+    EXPECT_EQ(nn::num_params(*factory(1)), nn::num_params(*factory(2)));
+  }
+}
+
+TEST(FilterLayer, PreservesImageShape) {
+  util::Rng rng(3);
+  const ImageSpec spec = fashion_spec();
+  auto filter = make_filter_layer(spec, 3, rng);
+  Tensor x = Tensor::uniform({4, 1, 28, 28}, rng, -1.0f, 1.0f);
+  EXPECT_EQ(filter->forward(x).shape(), x.shape());
+  auto filter5 = make_filter_layer(spec, 5, rng);
+  EXPECT_EQ(filter5->forward(x).shape(), x.shape());
+}
+
+TEST(FilterLayer, RgbShapePreserved) {
+  util::Rng rng(4);
+  const ImageSpec spec = cifar_spec();
+  auto filter = make_filter_layer(spec, 3, rng);
+  Tensor x = Tensor::uniform({2, 3, 32, 32}, rng, -1.0f, 1.0f);
+  EXPECT_EQ(filter->forward(x).shape(), x.shape());
+}
+
+TEST(FilterLayer, EvenKernelRejected) {
+  util::Rng rng(5);
+  EXPECT_THROW(make_filter_layer(fashion_spec(), 4, rng),
+               std::invalid_argument);
+}
+
+TEST(Generator, OutputsTaskImagesInTanhRange) {
+  util::Rng rng(6);
+  for (const Task task : {Task::kFashion, Task::kCifar}) {
+    const ImageSpec spec = task_spec(task);
+    auto gen = make_tcnn_generator(spec, 64, rng);
+    Tensor z = Tensor::normal({5, 64}, rng);
+    const Tensor images = gen->forward(z);
+    EXPECT_EQ(images.shape(),
+              (tensor::Shape{5, spec.channels, spec.height, spec.width}));
+    for (std::int64_t i = 0; i < images.numel(); ++i) {
+      ASSERT_GE(images[i], -1.0f);
+      ASSERT_LE(images[i], 1.0f);
+    }
+  }
+}
+
+TEST(Generator, WganStructureTwoDeconvOneConv) {
+  util::Rng rng(7);
+  auto gen = make_tcnn_generator(fashion_spec(), 32, rng);
+  int deconv = 0;
+  int conv = 0;
+  for (std::size_t i = 0; i < gen->size(); ++i) {
+    if (gen->layer(i).name() == "ConvTranspose2d") ++deconv;
+    if (gen->layer(i).name() == "Conv2d") ++conv;
+  }
+  EXPECT_EQ(deconv, 2);
+  EXPECT_EQ(conv, 1);
+}
+
+TEST(Generator, RejectsNonDivisibleSpec) {
+  util::Rng rng(8);
+  const ImageSpec odd{1, 30, 30, 10};
+  EXPECT_THROW(make_tcnn_generator(odd, 16, rng), std::invalid_argument);
+}
+
+TEST(Models, UntrainedNetworksPredictRoughlyUniformly) {
+  // Sanity: fresh nets should not collapse to one logit (dead init).
+  util::Rng rng(9);
+  auto net = make_fashion_cnn(rng);
+  Tensor x = Tensor::uniform({8, 1, 28, 28}, rng, -1.0f, 1.0f);
+  const Tensor p = nn::softmax_rows(net->forward(x));
+  EXPECT_LT(p.max(), 0.9f);
+}
+
+}  // namespace
+}  // namespace zka::models

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "grad_check.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace zka::nn {
+namespace {
+
+using tensor::Tensor;
+
+Tensor random_input(tensor::Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::uniform(std::move(shape), rng, -1.0f, 1.0f);
+}
+
+// ---------- Linear ----------
+
+TEST(Linear, ForwardShapeAndBias) {
+  util::Rng rng(1);
+  Linear layer(4, 3, rng);
+  const Tensor y = layer.forward(random_input({5, 4}, 2));
+  EXPECT_EQ(y.shape(), (tensor::Shape{5, 3}));
+  EXPECT_THROW(layer.forward(Tensor({5, 7})), std::invalid_argument);
+}
+
+TEST(Linear, KnownComputation) {
+  util::Rng rng(1);
+  Linear layer(2, 1, rng);
+  auto params = layer.parameters();
+  params[0]->value[0] = 2.0f;  // w00
+  params[0]->value[1] = -1.0f; // w01
+  params[1]->value[0] = 0.5f;  // bias
+  const Tensor x({1, 2}, std::vector<float>{3.0f, 4.0f});
+  const Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 2.0f * 3.0f - 4.0f + 0.5f);
+}
+
+TEST(Linear, InputGradient) {
+  util::Rng rng(3);
+  Linear layer(6, 4, rng);
+  test::check_input_gradient(layer, random_input({3, 6}, 4));
+}
+
+TEST(Linear, ParameterGradients) {
+  util::Rng rng(5);
+  Linear layer(5, 3, rng);
+  test::check_param_gradients(layer, random_input({4, 5}, 6));
+}
+
+TEST(Linear, GradientsAccumulateAcrossBackwardCalls) {
+  util::Rng rng(7);
+  Linear layer(2, 2, rng);
+  const Tensor x = random_input({2, 2}, 8);
+  const Tensor y = layer.forward(x);
+  layer.zero_grad();
+  layer.backward(y);
+  const auto g1 = get_flat_grads(layer);
+  layer.forward(x);
+  layer.backward(y);
+  const auto g2 = get_flat_grads(layer);
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g2[i], 2.0f * g1[i], 1e-4f);
+  }
+}
+
+// ---------- Conv2d ----------
+
+TEST(Conv2d, ForwardShape) {
+  util::Rng rng(9);
+  Conv2d conv(3, 8, 3, 1, 1, rng);
+  const Tensor y = conv.forward(random_input({2, 3, 10, 10}, 10));
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 8, 10, 10}));
+}
+
+TEST(Conv2d, StridedShape) {
+  util::Rng rng(11);
+  Conv2d conv(1, 4, 4, 2, 1, rng);
+  const Tensor y = conv.forward(random_input({1, 1, 8, 8}, 12));
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 4, 4, 4}));
+}
+
+TEST(Conv2d, RejectsWrongChannels) {
+  util::Rng rng(13);
+  Conv2d conv(2, 4, 3, 1, 1, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 3, 8, 8})), std::invalid_argument);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  util::Rng rng(14);
+  Conv2d conv(1, 1, 1, 1, 0, rng);
+  auto params = conv.parameters();
+  params[0]->value[0] = 1.0f;
+  params[1]->value[0] = 0.0f;
+  const Tensor x = random_input({1, 1, 4, 4}, 15);
+  EXPECT_TRUE(tensor::allclose(conv.forward(x), x));
+}
+
+TEST(Conv2d, InputGradient) {
+  util::Rng rng(16);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  test::check_input_gradient(conv, random_input({2, 2, 5, 5}, 17));
+}
+
+TEST(Conv2d, ParameterGradients) {
+  util::Rng rng(18);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  test::check_param_gradients(conv, random_input({2, 2, 5, 5}, 19));
+}
+
+TEST(Conv2d, StridedGradients) {
+  util::Rng rng(20);
+  Conv2d conv(1, 2, 4, 2, 1, rng);
+  test::check_input_gradient(conv, random_input({1, 1, 8, 8}, 21));
+  test::check_param_gradients(conv, random_input({1, 1, 8, 8}, 22));
+}
+
+// ---------- ConvTranspose2d ----------
+
+TEST(ConvTranspose2d, UpsamplesByStride) {
+  util::Rng rng(23);
+  ConvTranspose2d deconv(4, 2, 4, 2, 1, rng);
+  const Tensor y = deconv.forward(random_input({2, 4, 7, 7}, 24));
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 2, 14, 14}));
+}
+
+TEST(ConvTranspose2d, InputGradient) {
+  util::Rng rng(25);
+  ConvTranspose2d deconv(2, 2, 4, 2, 1, rng);
+  test::check_input_gradient(deconv, random_input({1, 2, 4, 4}, 26));
+}
+
+TEST(ConvTranspose2d, ParameterGradients) {
+  util::Rng rng(27);
+  ConvTranspose2d deconv(2, 2, 4, 2, 1, rng);
+  test::check_param_gradients(deconv, random_input({1, 2, 4, 4}, 28));
+}
+
+TEST(ConvTranspose2d, AdjointOfConv2d) {
+  // With shared weights, <conv(x), y> == <x, deconv(y)> when the deconv
+  // mirrors the conv geometry (no bias).
+  util::Rng rng(29);
+  Conv2d conv(2, 3, 3, 2, 1, rng);
+  ConvTranspose2d deconv(3, 2, 3, 2, 1, rng);
+  // Copy conv weight [OC, IC*K*K] into deconv weight [IC=3... ] layouts:
+  // conv maps 2->3; its adjoint maps 3->2 and uses weight[IC_deconv=3][...].
+  // conv weight layout [3, 2*9]; deconv wants [3, 2*9] as well
+  // ([in_channels=3, out*k*k=2*9]) but indexed (oc_conv, ic_conv, ky, kx) ->
+  // (ic_deconv=oc_conv, oc_deconv=ic_conv, ky, kx): same ordering.
+  auto cw = conv.parameters()[0]->value;
+  Tensor dw({3, 2 * 9});
+  for (std::int64_t oc = 0; oc < 3; ++oc) {
+    for (std::int64_t ic = 0; ic < 2; ++ic) {
+      for (std::int64_t k = 0; k < 9; ++k) {
+        dw[oc * 18 + ic * 9 + k] = cw[oc * 18 + ic * 9 + k];
+      }
+    }
+  }
+  deconv.parameters()[0]->value = dw;
+  conv.parameters()[1]->value.fill(0.0f);
+  deconv.parameters()[1]->value.fill(0.0f);
+
+  const Tensor x = random_input({1, 2, 9, 9}, 30);
+  const Tensor cx = conv.forward(x);  // [1, 3, 5, 5]
+  const Tensor y = random_input({1, 3, 5, 5}, 31);
+  const Tensor dy = deconv.forward(y);  // [1, 2, 9, 9]
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < cx.numel(); ++i) {
+    lhs += static_cast<double>(cx[i]) * y[i];
+  }
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * dy[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// ---------- MaxPool2d ----------
+
+TEST(MaxPool2d, ForwardSelectsWindowMax) {
+  MaxPool2d pool(2);
+  const Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  const Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+  pool.forward(x);
+  const Tensor g({1, 1, 1, 1}, std::vector<float>{2.5f});
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 2.5f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(MaxPool2d, InputGradientNumeric) {
+  MaxPool2d pool(2);
+  // Distinct values avoid argmax ties that break finite differences.
+  Tensor x({1, 2, 4, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>((i * 7919) % 97) / 10.0f;
+  }
+  test::check_input_gradient(pool, x);
+}
+
+TEST(MaxPool2d, InvalidConstruction) {
+  EXPECT_THROW(MaxPool2d(0), std::invalid_argument);
+}
+
+// ---------- Activations ----------
+
+TEST(Activations, ReLUForward) {
+  ReLU relu;
+  const Tensor x({4}, std::vector<float>{-1, 0, 2, -3});
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(Activations, ReLUGradientMasksNegative) {
+  ReLU relu;
+  const Tensor x({3}, std::vector<float>{-1, 2, 3});
+  relu.forward(x);
+  const Tensor g({3}, std::vector<float>{10, 10, 10});
+  const Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 10.0f);
+}
+
+TEST(Activations, LeakyReLUSlope) {
+  LeakyReLU leaky(0.1f);
+  const Tensor x({2}, std::vector<float>{-2, 2});
+  const Tensor y = leaky.forward(x);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  const Tensor gx = leaky.backward(Tensor({2}, 1.0f));
+  EXPECT_FLOAT_EQ(gx[0], 0.1f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+}
+
+TEST(Activations, TanhGradient) {
+  Tanh tanh_layer;
+  test::check_input_gradient(tanh_layer, random_input({3, 4}, 32), 1e-3,
+                             2e-2);
+}
+
+TEST(Activations, SigmoidGradient) {
+  Sigmoid sigmoid;
+  test::check_input_gradient(sigmoid, random_input({3, 4}, 33), 1e-3, 2e-2);
+}
+
+TEST(Activations, SigmoidRange) {
+  Sigmoid sigmoid;
+  const Tensor y = sigmoid.forward(random_input({100}, 34));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GT(y[i], 0.0f);
+    EXPECT_LT(y[i], 1.0f);
+  }
+}
+
+// ---------- Flatten / Unflatten ----------
+
+TEST(Flatten, RoundTripShapes) {
+  Flatten flatten;
+  const Tensor x = random_input({2, 3, 4, 5}, 35);
+  const Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 60}));
+  const Tensor gx = flatten.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Unflatten, RoundTripShapes) {
+  Unflatten unflatten(3, 4, 5);
+  const Tensor x = random_input({2, 60}, 36);
+  const Tensor y = unflatten.forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 3, 4, 5}));
+  EXPECT_EQ(unflatten.backward(y).shape(), x.shape());
+  EXPECT_THROW(unflatten.forward(Tensor({2, 59})), std::invalid_argument);
+}
+
+// ---------- Sequential + flat params ----------
+
+TEST(Sequential, ChainsLayersAndCollectsParams) {
+  util::Rng rng(37);
+  Sequential net;
+  net.emplace<Linear>(8, 6, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(6, 2, rng);
+  EXPECT_EQ(net.size(), 3u);
+  const Tensor y = net.forward(random_input({4, 8}, 38));
+  EXPECT_EQ(y.shape(), (tensor::Shape{4, 2}));
+  EXPECT_EQ(num_params(net), 8 * 6 + 6 + 6 * 2 + 2);
+}
+
+TEST(Sequential, EndToEndGradient) {
+  util::Rng rng(39);
+  Sequential net;
+  net.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  net.emplace<ReLU>();
+  net.emplace<MaxPool2d>(2);
+  net.emplace<Flatten>();
+  net.emplace<Linear>(2 * 3 * 3, 4, rng);
+  test::check_param_gradients(net, random_input({2, 1, 6, 6}, 40));
+}
+
+TEST(FlatParams, RoundTrip) {
+  util::Rng rng(41);
+  Sequential net;
+  net.emplace<Linear>(3, 2, rng);
+  net.emplace<Linear>(2, 1, rng);
+  const auto flat = get_flat_params(net);
+  EXPECT_EQ(flat.size(), static_cast<std::size_t>(num_params(net)));
+
+  std::vector<float> modified = flat;
+  for (auto& x : modified) x += 1.0f;
+  set_flat_params(net, modified);
+  EXPECT_EQ(get_flat_params(net), modified);
+}
+
+TEST(FlatParams, SizeMismatchThrows) {
+  util::Rng rng(42);
+  Sequential net;
+  net.emplace<Linear>(3, 2, rng);
+  EXPECT_THROW(set_flat_params(net, std::vector<float>(3)),
+               std::invalid_argument);
+  EXPECT_THROW(set_flat_params(net, std::vector<float>(1000)),
+               std::invalid_argument);
+  EXPECT_THROW(add_to_flat_grads(net, std::vector<float>(3)),
+               std::invalid_argument);
+}
+
+TEST(FlatParams, AddToGradsAccumulates) {
+  util::Rng rng(43);
+  Sequential net;
+  net.emplace<Linear>(2, 2, rng);
+  net.zero_grad();
+  std::vector<float> delta(static_cast<std::size_t>(num_params(net)), 0.5f);
+  add_to_flat_grads(net, delta);
+  add_to_flat_grads(net, delta);
+  for (const float g : get_flat_grads(net)) EXPECT_FLOAT_EQ(g, 1.0f);
+}
+
+}  // namespace
+}  // namespace zka::nn

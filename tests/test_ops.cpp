@@ -1,0 +1,163 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace zka::tensor {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::uniform(std::move(shape), rng, -1.0f, 1.0f);
+}
+
+// Naive triple-loop reference for C = A @ B.
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  for (std::int64_t i = 0; i < a.dim(0); ++i) {
+    for (std::int64_t j = 0; j < b.dim(1); ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < a.dim(1); ++k) {
+        acc += static_cast<double>(a[i * a.dim(1) + k]) * b[k * b.dim(1) + j];
+      }
+      c[i * b.dim(1) + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(Gemm, MatmulMatchesReference) {
+  const Tensor a = random_tensor({7, 5}, 1);
+  const Tensor b = random_tensor({5, 9}, 2);
+  EXPECT_TRUE(allclose(matmul(a, b), matmul_reference(a, b), 1e-4f));
+}
+
+TEST(Gemm, MatmulHandCase) {
+  const Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});
+  const Tensor b({2, 2}, std::vector<float>{5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c[0], 19.0f);
+  EXPECT_FLOAT_EQ(c[1], 22.0f);
+  EXPECT_FLOAT_EQ(c[2], 43.0f);
+  EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(Gemm, MatmulValidatesShapes) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({4, 2})), std::invalid_argument);
+  EXPECT_THROW(matmul(Tensor({6}), Tensor({6, 1})), std::invalid_argument);
+}
+
+TEST(Gemm, AlphaBetaSemantics) {
+  const Tensor a = random_tensor({3, 4}, 3);
+  const Tensor b = random_tensor({4, 2}, 4);
+  Tensor c({3, 2}, 1.0f);
+  // C = 2*A@B + 3*C.
+  gemm(3, 2, 4, 2.0f, a.raw(), b.raw(), 3.0f, c.raw());
+  const Tensor ref = matmul_reference(a, b);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(c[i], 2.0f * ref[i] + 3.0f, 1e-4f);
+  }
+}
+
+TEST(Gemm, AtBMatchesTransposeReference) {
+  const Tensor a = random_tensor({6, 3}, 5);  // [K, M]
+  const Tensor b = random_tensor({6, 4}, 6);  // [K, N]
+  Tensor c({3, 4});
+  gemm_at_b(3, 4, 6, 1.0f, a.raw(), b.raw(), 0.0f, c.raw());
+  EXPECT_TRUE(allclose(c, matmul_reference(transpose2d(a), b), 1e-4f));
+}
+
+TEST(Gemm, ABtMatchesTransposeReference) {
+  const Tensor a = random_tensor({3, 6}, 7);  // [M, K]
+  const Tensor b = random_tensor({4, 6}, 8);  // [N, K]
+  Tensor c({3, 4});
+  gemm_a_bt(3, 4, 6, 1.0f, a.raw(), b.raw(), 0.0f, c.raw());
+  EXPECT_TRUE(allclose(c, matmul_reference(a, transpose2d(b)), 1e-4f));
+}
+
+TEST(Gemm, AccumulationWithBetaOne) {
+  const Tensor a = random_tensor({4, 2}, 9);  // [K, M] for at_b
+  const Tensor b = random_tensor({4, 3}, 10);
+  Tensor c({2, 3}, 2.0f);
+  gemm_at_b(2, 3, 4, 1.0f, a.raw(), b.raw(), 1.0f, c.raw());
+  const Tensor ref = matmul_reference(transpose2d(a), b);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_NEAR(c[i], ref[i] + 2.0f, 1e-4f);
+}
+
+TEST(Transpose, RoundTrip) {
+  const Tensor a = random_tensor({5, 3}, 11);
+  EXPECT_TRUE(allclose(transpose2d(transpose2d(a)), a));
+  EXPECT_THROW(transpose2d(Tensor({4})), std::invalid_argument);
+}
+
+TEST(ConvGeometry, OutputSizes) {
+  const ConvGeometry g{3, 28, 28, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 28);
+  EXPECT_EQ(g.out_w(), 28);
+  EXPECT_EQ(g.patch_size(), 27);
+  const ConvGeometry strided{1, 28, 28, 4, 2, 1};
+  EXPECT_EQ(strided.out_h(), 14);
+}
+
+TEST(Im2Col, IdentityKernelReproducesImage) {
+  // 1x1 kernel, stride 1, no padding: columns equal the image.
+  const ConvGeometry g{2, 3, 3, 1, 1, 0};
+  const Tensor img = random_tensor({2, 3, 3}, 12);
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() * 9));
+  im2col(g, img.raw(), col.data());
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_FLOAT_EQ(col[static_cast<std::size_t>(i)], img[i]);
+  }
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  const ConvGeometry g{1, 2, 2, 3, 1, 1};
+  const Tensor img({1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() *
+                                                  g.out_h() * g.out_w()));
+  im2col(g, img.raw(), col.data());
+  // Kernel tap (0,0) at output (0,0) reads image(-1,-1) -> 0.
+  EXPECT_FLOAT_EQ(col[0], 0.0f);
+  // Center tap (1,1) at output (0,0) reads image(0,0) = 1.
+  const std::int64_t spatial = g.out_h() * g.out_w();
+  EXPECT_FLOAT_EQ(col[static_cast<std::size_t>(4 * spatial)], 1.0f);
+}
+
+TEST(Im2ColCol2Im, AdjointDotProductIdentity) {
+  // <im2col(x), y> must equal <x, col2im(y)> since col2im = im2col^T.
+  const ConvGeometry g{2, 6, 5, 3, 2, 1};
+  const std::int64_t cols = g.patch_size() * g.out_h() * g.out_w();
+  const Tensor x = random_tensor({2, 6, 5}, 13);
+  const Tensor y = random_tensor({cols}, 14);
+
+  std::vector<float> x_cols(static_cast<std::size_t>(cols));
+  im2col(g, x.raw(), x_cols.data());
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < cols; ++i) {
+    lhs += static_cast<double>(x_cols[static_cast<std::size_t>(i)]) * y[i];
+  }
+
+  Tensor x_back({2, 6, 5});
+  col2im(g, y.raw(), x_back.raw());
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * x_back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Col2Im, AccumulatesOverlaps) {
+  // 2x2 kernel, stride 1 on a 3x3 image: center pixel is covered by all
+  // four windows; all-ones columns must sum to the coverage count.
+  const ConvGeometry g{1, 3, 3, 2, 1, 0};
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() * 4), 1.0f);
+  Tensor img({1, 3, 3});
+  col2im(g, col.data(), img.raw());
+  EXPECT_FLOAT_EQ(img.at({0, 1, 1}), 4.0f);  // center: 4 windows
+  EXPECT_FLOAT_EQ(img.at({0, 0, 0}), 1.0f);  // corner: 1 window
+  EXPECT_FLOAT_EQ(img.at({0, 0, 1}), 2.0f);  // edge: 2 windows
+}
+
+}  // namespace
+}  // namespace zka::tensor

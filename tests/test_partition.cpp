@@ -1,0 +1,140 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace zka::data {
+namespace {
+
+std::vector<std::int64_t> cyclic_labels(std::int64_t n,
+                                        std::int64_t num_classes) {
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % num_classes;
+  }
+  return labels;
+}
+
+void expect_exact_cover(const std::vector<std::vector<std::int64_t>>& parts,
+                        std::int64_t n) {
+  std::set<std::int64_t> seen;
+  std::size_t total = 0;
+  for (const auto& part : parts) {
+    total += part.size();
+    seen.insert(part.begin(), part.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(n));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  if (!seen.empty()) {
+    EXPECT_GE(*seen.begin(), 0);
+    EXPECT_LT(*seen.rbegin(), n);
+  }
+}
+
+TEST(IidPartition, BalancedAndExactCover) {
+  util::Rng rng(1);
+  const auto parts = iid_partition(100, 10, rng);
+  ASSERT_EQ(parts.size(), 10u);
+  expect_exact_cover(parts, 100);
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 10u);
+}
+
+TEST(IidPartition, UnevenSizesDifferByAtMostOne) {
+  util::Rng rng(2);
+  const auto parts = iid_partition(103, 10, rng);
+  expect_exact_cover(parts, 103);
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 10u);
+    EXPECT_LE(p.size(), 11u);
+  }
+}
+
+class DirichletPartitionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletPartitionTest, ExactCoverAndNonEmptyClients) {
+  util::Rng rng(3);
+  const auto labels = cyclic_labels(600, 10);
+  const auto parts = dirichlet_partition(labels, 10, 20, GetParam(), rng);
+  ASSERT_EQ(parts.size(), 20u);
+  expect_exact_cover(parts, 600);
+  for (const auto& p : parts) EXPECT_FALSE(p.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, DirichletPartitionTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.9, 10.0));
+
+// Label-distribution skew measured as the mean (over clients) of the
+// maximum class share within the client's shard.
+double mean_max_class_share(
+    const std::vector<std::vector<std::int64_t>>& parts,
+    const std::vector<std::int64_t>& labels, std::int64_t num_classes) {
+  double total = 0.0;
+  int counted = 0;
+  for (const auto& part : parts) {
+    if (part.size() < 5) continue;  // tiny shards are all-skew by accident
+    std::vector<int> hist(static_cast<std::size_t>(num_classes), 0);
+    for (const auto i : part) {
+      hist[static_cast<std::size_t>(labels[static_cast<std::size_t>(i)])]++;
+    }
+    total += static_cast<double>(*std::max_element(hist.begin(), hist.end())) /
+             static_cast<double>(part.size());
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+TEST(DirichletPartition, SmallerBetaMeansMoreSkew) {
+  const auto labels = cyclic_labels(2000, 10);
+  double skew_01 = 0.0;
+  double skew_09 = 0.0;
+  double skew_big = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng r1(seed);
+    util::Rng r2(seed);
+    util::Rng r3(seed);
+    skew_01 += mean_max_class_share(
+        dirichlet_partition(labels, 10, 20, 0.1, r1), labels, 10);
+    skew_09 += mean_max_class_share(
+        dirichlet_partition(labels, 10, 20, 0.9, r2), labels, 10);
+    skew_big += mean_max_class_share(
+        dirichlet_partition(labels, 10, 20, 100.0, r3), labels, 10);
+  }
+  EXPECT_GT(skew_01, skew_09);
+  EXPECT_GT(skew_09, skew_big);
+  // beta -> infinity approaches the IID share of 1/10.
+  EXPECT_LT(skew_big / 5.0, 0.25);
+  EXPECT_GT(skew_01 / 5.0, 0.45);
+}
+
+TEST(DirichletPartition, Validation) {
+  util::Rng rng(5);
+  const auto labels = cyclic_labels(100, 10);
+  EXPECT_THROW(dirichlet_partition(labels, 10, 0, 0.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(dirichlet_partition(labels, 10, 10, 0.0, rng),
+               std::invalid_argument);
+  const std::vector<std::int64_t> bad{0, 12};
+  EXPECT_THROW(dirichlet_partition(bad, 10, 2, 0.5, rng),
+               std::invalid_argument);
+}
+
+TEST(DirichletPartition, DeterministicGivenRngState) {
+  const auto labels = cyclic_labels(300, 10);
+  util::Rng r1(9);
+  util::Rng r2(9);
+  EXPECT_EQ(dirichlet_partition(labels, 10, 15, 0.5, r1),
+            dirichlet_partition(labels, 10, 15, 0.5, r2));
+}
+
+TEST(IidPartition, MoreClientsThanSamplesLeavesSomeEmpty) {
+  util::Rng rng(10);
+  const auto parts = iid_partition(3, 5, rng);
+  expect_exact_cover(parts, 3);
+}
+
+}  // namespace
+}  // namespace zka::data

@@ -1,0 +1,200 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace zka::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child1 = parent1.split(3);
+  Rng child2 = parent2.split(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1(), child2());
+
+  Rng parent3(7);
+  Rng other = parent3.split(4);
+  Rng base = Rng(7).split(3);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (base() == other()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto k = rng.uniform_index(10);
+    ASSERT_LT(k, 10u);
+    counts[static_cast<std::size_t>(k)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 5000, 350);  // ~5 sigma for a fair die
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(14);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalMeanStddevParameters) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(16);
+  for (const double shape : {0.5, 1.0, 2.0, 5.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const double g = rng.gamma(shape);
+      ASSERT_GT(g, 0.0);
+      sum += g;
+    }
+    EXPECT_NEAR(sum / n, shape, 0.08 * shape + 0.02) << "shape " << shape;
+  }
+}
+
+class DirichletTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletTest, SumsToOneAndNonNegative) {
+  Rng rng(17);
+  const double alpha = GetParam();
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto p = rng.dirichlet(alpha, 8);
+    ASSERT_EQ(p.size(), 8u);
+    double sum = 0.0;
+    for (const double x : p) {
+      ASSERT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletTest,
+                         ::testing::Values(0.1, 0.5, 0.9, 5.0, 50.0));
+
+TEST(Rng, DirichletConcentrationControlsSpread) {
+  // Small alpha -> spiky samples (high max); large alpha -> near uniform.
+  Rng rng(18);
+  double max_small = 0.0;
+  double max_large = 0.0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    const auto a = rng.dirichlet(0.1, 10);
+    const auto b = rng.dirichlet(50.0, 10);
+    max_small += *std::max_element(a.begin(), a.end());
+    max_large += *std::max_element(b.begin(), b.end());
+  }
+  EXPECT_GT(max_small / reps, 0.5);
+  EXPECT_LT(max_large / reps, 0.25);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(19);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto s = rng.sample_without_replacement(100, 10);
+    ASSERT_EQ(s.size(), 10u);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (const auto i : s) EXPECT_LT(i, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSetIsPermutation) {
+  Rng rng(20);
+  auto s = rng.sample_without_replacement(8, 8);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUniform) {
+  Rng rng(21);
+  std::vector<int> counts(20, 0);
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i) {
+    for (const auto k : rng.sample_without_replacement(20, 5)) {
+      counts[k]++;
+    }
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, reps / 4, 400);  // each index appears w.p. 5/20
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(22);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitMix64KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(first, splitmix64(s2));
+  EXPECT_NE(splitmix64(s), first);
+}
+
+}  // namespace
+}  // namespace zka::util

@@ -1,0 +1,98 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "models/models.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace zka::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const char* name) {
+    const auto path = std::filesystem::temp_directory_path() / name;
+    paths_.push_back(path.string());
+    return path.string();
+  }
+  void TearDown() override {
+    for (const auto& p : paths_) std::filesystem::remove(p);
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesBits) {
+  util::Rng rng(1);
+  std::vector<float> params(1234);
+  for (auto& p : params) p = static_cast<float>(rng.normal(0.0, 3.0));
+  const auto path = temp_path("zka_roundtrip.bin");
+  save_params(path, params);
+  EXPECT_EQ(load_params(path), params);
+}
+
+TEST_F(SerializeTest, EmptyVectorRoundTrips) {
+  const auto path = temp_path("zka_empty.bin");
+  save_params(path, std::vector<float>{});
+  EXPECT_TRUE(load_params(path).empty());
+}
+
+TEST_F(SerializeTest, ModelCheckpointRestoresAccuracy) {
+  const auto factory = models::task_model_factory(models::Task::kFashion);
+  auto model = factory(42);
+  const auto params = get_flat_params(*model);
+  const auto path = temp_path("zka_model.bin");
+  save_params(path, params);
+
+  auto restored = factory(7);  // different init
+  set_flat_params(*restored, load_params(path));
+  EXPECT_EQ(get_flat_params(*restored), params);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_params("/nonexistent/zka.bin"), std::runtime_error);
+  EXPECT_THROW(save_params("/nonexistent-dir/zka.bin", std::vector<float>(3)),
+               std::runtime_error);
+}
+
+TEST_F(SerializeTest, BadMagicRejected) {
+  const auto path = temp_path("zka_badmagic.bin");
+  std::ofstream(path, std::ios::binary) << "NOPExxxxxxxxxxxxxxxxxxxx";
+  EXPECT_THROW(load_params(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncationDetected) {
+  const auto path = temp_path("zka_trunc.bin");
+  save_params(path, std::vector<float>(64, 1.5f));
+  // Chop the file in half.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  EXPECT_THROW(load_params(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, CorruptionDetectedByChecksum) {
+  const auto path = temp_path("zka_corrupt.bin");
+  save_params(path, std::vector<float>(64, 1.5f));
+  {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(32);
+    const char garbage = 0x5a;
+    file.write(&garbage, 1);
+  }
+  EXPECT_THROW(load_params(path), std::runtime_error);
+}
+
+TEST(ParamsChecksum, SensitiveToEveryValue) {
+  std::vector<float> a(16, 1.0f);
+  std::vector<float> b = a;
+  b[15] += 1e-6f;
+  EXPECT_NE(params_checksum(a), params_checksum(b));
+  EXPECT_EQ(params_checksum(a), params_checksum(std::vector<float>(16, 1.0f)));
+}
+
+}  // namespace
+}  // namespace zka::nn

@@ -1,0 +1,91 @@
+#include "nn/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace zka::nn {
+namespace {
+
+TEST(Sgd, VanillaStep) {
+  Parameter p(tensor::Tensor({2}, std::vector<float>{1.0f, 2.0f}));
+  p.grad[0] = 0.5f;
+  p.grad[1] = -1.0f;
+  Sgd opt({&p}, {.learning_rate = 0.1f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.0f + 0.1f);
+}
+
+TEST(Sgd, WeightDecayAddsL2Pull) {
+  Parameter p(tensor::Tensor({1}, std::vector<float>{2.0f}));
+  p.grad[0] = 0.0f;
+  Sgd opt({&p}, {.learning_rate = 0.5f, .weight_decay = 0.1f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 2.0f - 0.5f * 0.1f * 2.0f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Parameter p(tensor::Tensor({1}, std::vector<float>{0.0f}));
+  Sgd opt({&p}, {.learning_rate = 1.0f, .momentum = 0.9f});
+  p.grad[0] = 1.0f;
+  opt.step();  // v = 1, w = -1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  p.grad[0] = 1.0f;
+  opt.step();  // v = 1.9, w = -2.9
+  EXPECT_FLOAT_EQ(p.value[0], -2.9f);
+}
+
+TEST(Sgd, ZeroGradClearsAll) {
+  Parameter p(tensor::Tensor({3}, 1.0f));
+  p.grad.fill(7.0f);
+  Sgd opt({&p}, {});
+  opt.zero_grad();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.grad[i], 0.0f);
+}
+
+TEST(Sgd, LearningRateMutable) {
+  Parameter p(tensor::Tensor({1}));
+  Sgd opt({&p}, {.learning_rate = 0.1f});
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.1f);
+  opt.set_learning_rate(0.01f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.01f);
+}
+
+TEST(Sgd, TrainingReducesLossOnToyRegression) {
+  // One linear layer learning y = sum(x) via half-square loss.
+  util::Rng rng(4);
+  Sequential net;
+  net.emplace<Linear>(3, 1, rng);
+  Sgd opt(net, {.learning_rate = 0.05f});
+
+  const tensor::Tensor x = tensor::Tensor::uniform({16, 3}, rng, -1.0f, 1.0f);
+  tensor::Tensor target({16, 1});
+  for (std::int64_t i = 0; i < 16; ++i) {
+    target[i] = x[i * 3] + x[i * 3 + 1] + x[i * 3 + 2];
+  }
+  auto loss_of = [&] {
+    const tensor::Tensor y = net.forward(x);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < 16; ++i) {
+      const double d = y[i] - target[i];
+      acc += 0.5 * d * d;
+    }
+    return acc;
+  };
+  const double before = loss_of();
+  for (int step = 0; step < 50; ++step) {
+    opt.zero_grad();
+    const tensor::Tensor y = net.forward(x);
+    tensor::Tensor grad = y;
+    grad -= target;
+    net.backward(grad);
+    opt.step();
+  }
+  EXPECT_LT(loss_of(), before * 0.05);
+}
+
+}  // namespace
+}  // namespace zka::nn

@@ -1,0 +1,108 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace zka::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>(xs)), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, VarianceIsUnbiasedSampleVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(variance(std::span<const double>(xs)), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(variance(std::span<const double>(std::vector<double>{3.0})),
+                   0.0);
+}
+
+TEST(Stats, StddevFloatOverload) {
+  const std::vector<float> xs{1.0f, 3.0f};
+  EXPECT_NEAR(stddev(std::span<const float>(xs)), std::sqrt(2.0), 1e-6);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_FLOAT_EQ(median(std::vector<float>{5.0f}), 5.0f);
+}
+
+TEST(Stats, MedianRobustToOutlier) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 1e9}), 2.5);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_NEAR(quantile(xs, 0.25), 17.5, 1e-12);
+}
+
+TEST(Stats, InverseNormalCdfKnownValues) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.841344746), 1.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.999), 3.090232, 1e-5);
+  EXPECT_NEAR(inverse_normal_cdf(0.001), -3.090232, 1e-5);
+}
+
+class InverseCdfRoundtrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(InverseCdfRoundtrip, MatchesForwardCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, InverseCdfRoundtrip,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.3, 0.5, 0.7,
+                                           0.9, 0.99, 0.999));
+
+TEST(Stats, L2NormAndDistance) {
+  const std::vector<float> a{3.0f, 4.0f};
+  const std::vector<float> b{0.0f, 0.0f};
+  EXPECT_NEAR(l2_norm(a), 5.0, 1e-6);
+  EXPECT_NEAR(l2_distance(a, b), 5.0, 1e-6);
+  EXPECT_NEAR(l2_distance(a, a), 0.0, 1e-9);
+}
+
+TEST(Stats, CosineSimilarity) {
+  const std::vector<float> a{1.0f, 0.0f};
+  const std::vector<float> b{0.0f, 2.0f};
+  const std::vector<float> c{3.0f, 0.0f};
+  const std::vector<float> zero{0.0f, 0.0f};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-7);
+  EXPECT_NEAR(cosine_similarity(a, c), 1.0, 1e-7);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, zero), 0.0);
+}
+
+TEST(Stats, RunningStatMatchesBatchFormulas) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat rs;
+  for (const double x : xs) rs.push(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(std::span<const double>(xs)), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(std::span<const double>(xs)), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, RunningStatEmptyAndSingle) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.push(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace zka::util

@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace zka::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "asr"});
+  t.add_row({"ZKA-R", "35.85"});
+  t.add_row({"LIE", "11.34"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | asr   |"), std::string::npos);
+  EXPECT_NE(s.find("| ZKA-R | 35.85 |"), std::string::npos);
+  EXPECT_NE(s.find("| LIE   | 11.34 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_EQ(csv.find("\"plain\""), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 1), "3.0");
+  EXPECT_EQ(Table::fmt(-0.5, 3), "-0.500");
+}
+
+TEST(Table, WriteCsvRoundtrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const auto path =
+      std::filesystem::temp_directory_path() / "zka_table_test.csv";
+  t.write_csv(path.string());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir-zka/x.csv"), std::runtime_error);
+}
+
+TEST(Table, NumRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace zka::util

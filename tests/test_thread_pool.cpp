@@ -1,0 +1,93 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace zka::util {
+namespace {
+
+TEST(ThreadPool, SubmitRunsJob) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto f = pool.submit([&] { counter.fetch_add(1); });
+  f.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ManyJobsAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(97);
+  pool.parallel_for(97, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t i) {
+                                   if (i == 5) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(4, [](std::size_t) { throw std::logic_error("x"); });
+  } catch (const std::logic_error&) {
+  }
+  std::atomic<int> counter{0};
+  pool.parallel_for(8, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_thread_pool(), &global_thread_pool());
+  EXPECT_GE(global_thread_pool().size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long> out(1000);
+  pool.parallel_for(out.size(),
+                    [&](std::size_t i) { out[i] = static_cast<long>(i) * 2; });
+  const long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, 999L * 1000L);
+}
+
+}  // namespace
+}  // namespace zka::util

@@ -1,0 +1,60 @@
+#include "fl/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace zka::fl {
+namespace {
+
+SimulationResult sample_result() {
+  SimulationResult result;
+  RoundRecord r0;
+  r0.round = 0;
+  r0.accuracy = 0.5;
+  r0.malicious_selected = 2;
+  r0.malicious_passed = 1;
+  r0.benign_selected = 8;
+  r0.benign_passed = 7;
+  RoundRecord r1;
+  r1.round = 1;
+  r1.accuracy = std::nan("");  // not evaluated this round
+  r1.malicious_selected = 1;
+  result.rounds = {r0, r1};
+  return result;
+}
+
+TEST(Trace, TableHasOneRowPerRound) {
+  const util::Table table = trace_table(sample_result());
+  EXPECT_EQ(table.num_rows(), 2u);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("round,accuracy,malicious_selected"), std::string::npos);
+  EXPECT_NE(csv.find("0,0.5000,2,1,8,7"), std::string::npos);
+}
+
+TEST(Trace, NanAccuracyBecomesEmptyCell) {
+  const std::string csv = trace_table(sample_result()).to_csv();
+  EXPECT_NE(csv.find("1,,1,0,0,0"), std::string::npos);
+}
+
+TEST(Trace, WriteCsvRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "zka_trace_test.csv";
+  write_trace_csv(sample_result(), path.string());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "round,accuracy,malicious_selected,malicious_passed,"
+            "benign_selected,benign_passed");
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, EmptyResultGivesHeaderOnly) {
+  SimulationResult empty;
+  EXPECT_EQ(trace_table(empty).num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace zka::fl

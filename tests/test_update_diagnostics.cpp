@@ -1,0 +1,92 @@
+#include "analysis/update_diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace zka::analysis {
+namespace {
+
+std::vector<std::vector<float>> cluster(std::size_t n, std::size_t dim,
+                                        float center, float spread,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> updates(n, std::vector<float>(dim));
+  for (auto& u : updates) {
+    for (auto& x : u) {
+      x = center + static_cast<float>(rng.normal(0.0, spread));
+    }
+  }
+  return updates;
+}
+
+TEST(UpdateDiagnostics, SeparabilityHighForObviousOutliers) {
+  auto updates = cluster(6, 16, 0.0f, 0.1f, 1);
+  auto far = cluster(2, 16, 10.0f, 0.1f, 2);
+  std::vector<bool> flags(6, false);
+  for (auto& u : far) {
+    updates.push_back(std::move(u));
+    flags.push_back(true);
+  }
+  const UpdateDiagnostics d = diagnose_updates(updates, flags);
+  EXPECT_EQ(d.num_updates, 8u);
+  EXPECT_EQ(d.num_malicious, 2u);
+  EXPECT_GT(d.separability(), 10.0);
+  EXPECT_GT(d.mean_malicious_norm, d.mean_benign_norm);
+}
+
+TEST(UpdateDiagnostics, SeparabilityNearOneForHiddenAttackers) {
+  auto updates = cluster(6, 16, 0.0f, 0.1f, 3);
+  auto hidden = cluster(2, 16, 0.0f, 0.1f, 4);
+  std::vector<bool> flags(6, false);
+  for (auto& u : hidden) {
+    updates.push_back(std::move(u));
+    flags.push_back(true);
+  }
+  const UpdateDiagnostics d = diagnose_updates(updates, flags);
+  EXPECT_NEAR(d.separability(), 1.0, 0.25);
+}
+
+TEST(UpdateDiagnostics, NoMaliciousGivesZeroCrossStats) {
+  const auto updates = cluster(5, 8, 0.0f, 0.2f, 5);
+  const UpdateDiagnostics d =
+      diagnose_updates(updates, std::vector<bool>(5, false));
+  EXPECT_EQ(d.num_malicious, 0u);
+  EXPECT_DOUBLE_EQ(d.mean_cross_pairwise, 0.0);
+  EXPECT_GT(d.mean_benign_pairwise, 0.0);
+}
+
+TEST(UpdateDiagnostics, BenignCosineHigherThanCrossForOpposedAttack) {
+  // Benign updates share a direction; the attacker reverses it.
+  std::vector<std::vector<float>> updates;
+  util::Rng rng(6);
+  for (int k = 0; k < 5; ++k) {
+    std::vector<float> u(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      u[i] = 1.0f + static_cast<float>(rng.normal(0.0, 0.1));
+    }
+    updates.push_back(std::move(u));
+  }
+  updates.push_back(std::vector<float>(8, -3.0f));
+  std::vector<bool> flags(6, false);
+  flags[5] = true;
+  const UpdateDiagnostics d = diagnose_updates(updates, flags);
+  EXPECT_GT(d.mean_benign_cosine, d.mean_cross_cosine);
+}
+
+TEST(UpdateDiagnostics, Validation) {
+  const auto updates = cluster(3, 4, 0.0f, 0.1f, 7);
+  EXPECT_THROW(diagnose_updates(updates, std::vector<bool>(2, false)),
+               std::invalid_argument);
+  EXPECT_THROW(diagnose_updates({}, {}), std::invalid_argument);
+  // Fewer than two benign updates.
+  EXPECT_THROW(diagnose_updates(updates, std::vector<bool>(3, true)),
+               std::invalid_argument);
+  auto ragged = updates;
+  ragged[1].pop_back();
+  EXPECT_THROW(diagnose_updates(ragged, std::vector<bool>(3, false)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zka::analysis

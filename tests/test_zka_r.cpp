@@ -1,0 +1,134 @@
+// ZKA-R behavioural tests (Sec. IV-B / Fig. 2 of the paper).
+#include "core/zka_r.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace zka::core {
+namespace {
+
+attack::AttackContext context_for(const std::vector<float>& global,
+                                  const std::vector<float>& prev) {
+  attack::AttackContext ctx;
+  ctx.global_model = global;
+  ctx.prev_global_model = prev;
+  ctx.round = 1;
+  ctx.num_selected = 10;
+  ctx.num_malicious_selected = 2;
+  return ctx;
+}
+
+ZkaOptions small_options() {
+  ZkaOptions opts;
+  opts.synthetic_size = 6;
+  opts.synthesis_epochs = 4;
+  opts.classifier.epochs = 1;
+  opts.classifier.batch_size = 6;
+  return opts;
+}
+
+TEST(ZkaR, IsZeroKnowledge) {
+  ZkaRAttack attack(models::Task::kFashion, small_options(), 1);
+  EXPECT_FALSE(attack.needs_benign_updates());
+  EXPECT_EQ(attack.name(), "ZKA-R");
+}
+
+TEST(ZkaR, CraftsUpdateOfGlobalSizeDifferentFromGlobal) {
+  const auto factory = models::task_model_factory(models::Task::kFashion);
+  const std::vector<float> global = nn::get_flat_params(*factory(7));
+  ZkaRAttack attack(models::Task::kFashion, small_options(), 2);
+  const auto update = attack.craft(context_for(global, global));
+  ASSERT_EQ(update.size(), global.size());
+  EXPECT_GT(util::l2_distance(update, global), 1e-4);
+}
+
+TEST(ZkaR, SynthesisLossDecreasesOverEpochs) {
+  // Fig. 6: the filter training converges within few epochs.
+  const auto factory = models::task_model_factory(models::Task::kFashion);
+  const std::vector<float> global = nn::get_flat_params(*factory(8));
+  ZkaOptions opts = small_options();
+  opts.synthesis_epochs = 8;
+  opts.synthesis_lr = 0.1f;
+  ZkaRAttack attack(models::Task::kFashion, opts, 3);
+  attack.craft(context_for(global, global));
+  const auto& losses = attack.synthesis_loss_history();
+  ASSERT_EQ(losses.size(), 8u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(ZkaR, TrainedImagesAreMoreAmbiguousThanStatic) {
+  // The trained filter must push the global model's prediction on B toward
+  // the uniform distribution Y_D (lower CE against uniform than random
+  // images achieve).
+  const auto factory = models::task_model_factory(models::Task::kFashion);
+  auto classifier = factory(9);
+  const std::vector<float> global = nn::get_flat_params(*classifier);
+
+  ZkaOptions trained_opts = small_options();
+  trained_opts.synthesis_epochs = 10;
+  trained_opts.synthesis_lr = 0.1f;
+  ZkaRAttack trained(models::Task::kFashion, trained_opts, 4);
+  trained.craft(context_for(global, global));
+
+  ZkaOptions static_opts = small_options();
+  static_opts.train_synthesis = false;
+  ZkaRAttack untrained(models::Task::kFashion, static_opts, 4);
+  untrained.craft(context_for(global, global));
+  EXPECT_EQ(untrained.name(), "ZKA-R-static");
+
+  auto ambiguity = [&](const tensor::Tensor& images) {
+    nn::set_flat_params(*classifier, global);
+    const tensor::Tensor logits = classifier->forward(images);
+    tensor::Tensor uniform(logits.shape(), 0.1f);
+    nn::SoftmaxCrossEntropy ce;
+    return ce.forward(logits, uniform);
+  };
+  EXPECT_LT(ambiguity(trained.last_synthetic_images()),
+            ambiguity(untrained.last_synthetic_images()));
+}
+
+TEST(ZkaR, StaticVariantSkipsTraining) {
+  const auto factory = models::task_model_factory(models::Task::kFashion);
+  const std::vector<float> global = nn::get_flat_params(*factory(10));
+  ZkaOptions opts = small_options();
+  opts.train_synthesis = false;
+  ZkaRAttack attack(models::Task::kFashion, opts, 5);
+  attack.craft(context_for(global, global));
+  EXPECT_TRUE(attack.synthesis_loss_history().empty());
+}
+
+TEST(ZkaR, DecoyLabelFixedAndWithinRange) {
+  ZkaRAttack attack(models::Task::kFashion, small_options(), 6);
+  EXPECT_GE(attack.decoy_label(), 0);
+  EXPECT_LT(attack.decoy_label(), 10);
+  ZkaOptions opts = small_options();
+  opts.decoy_label = 7;
+  ZkaRAttack fixed(models::Task::kFashion, opts, 6);
+  EXPECT_EQ(fixed.decoy_label(), 7);
+}
+
+TEST(ZkaR, SyntheticImageShapesMatchTask) {
+  const auto factory = models::task_model_factory(models::Task::kCifar);
+  const std::vector<float> global = nn::get_flat_params(*factory(11));
+  ZkaOptions opts = small_options();
+  opts.synthetic_size = 3;
+  opts.synthesis_epochs = 2;
+  ZkaRAttack attack(models::Task::kCifar, opts, 7);
+  attack.craft(context_for(global, global));
+  EXPECT_EQ(attack.last_synthetic_images().shape(),
+            (tensor::Shape{3, 3, 32, 32}));
+}
+
+TEST(ZkaR, RejectsWrongGlobalSize) {
+  ZkaRAttack attack(models::Task::kFashion, small_options(), 8);
+  const std::vector<float> bogus(17, 0.0f);
+  EXPECT_THROW(attack.craft(context_for(bogus, bogus)), std::exception);
+}
+
+}  // namespace
+}  // namespace zka::core
