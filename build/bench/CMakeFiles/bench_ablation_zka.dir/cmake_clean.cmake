@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zka.dir/bench_ablation_zka.cpp.o"
+  "CMakeFiles/bench_ablation_zka.dir/bench_ablation_zka.cpp.o.d"
+  "bench_ablation_zka"
+  "bench_ablation_zka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

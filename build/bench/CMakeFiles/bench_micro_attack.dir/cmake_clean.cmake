@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_attack.dir/bench_micro_attack.cpp.o"
+  "CMakeFiles/bench_micro_attack.dir/bench_micro_attack.cpp.o.d"
+  "bench_micro_attack"
+  "bench_micro_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_defense.dir/bench_micro_defense.cpp.o"
+  "CMakeFiles/bench_micro_defense.dir/bench_micro_defense.cpp.o.d"
+  "bench_micro_defense"
+  "bench_micro_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_and_diagnose.dir/checkpoint_and_diagnose.cpp.o"
+  "CMakeFiles/checkpoint_and_diagnose.dir/checkpoint_and_diagnose.cpp.o.d"
+  "checkpoint_and_diagnose"
+  "checkpoint_and_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_and_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_attack_comparison.dir/hospital_attack_comparison.cpp.o"
+  "CMakeFiles/hospital_attack_comparison.dir/hospital_attack_comparison.cpp.o.d"
+  "hospital_attack_comparison"
+  "hospital_attack_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_attack_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_data_viewer.dir/synthetic_data_viewer.cpp.o"
+  "CMakeFiles/synthetic_data_viewer.dir/synthetic_data_viewer.cpp.o.d"
+  "synthetic_data_viewer"
+  "synthetic_data_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_data_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/pca.cpp" "src/analysis/CMakeFiles/zka_analysis.dir/pca.cpp.o" "gcc" "src/analysis/CMakeFiles/zka_analysis.dir/pca.cpp.o.d"
+  "/root/repo/src/analysis/update_diagnostics.cpp" "src/analysis/CMakeFiles/zka_analysis.dir/update_diagnostics.cpp.o" "gcc" "src/analysis/CMakeFiles/zka_analysis.dir/update_diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/zka_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zka_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_analysis.dir/pca.cpp.o"
+  "CMakeFiles/zka_analysis.dir/pca.cpp.o.d"
+  "CMakeFiles/zka_analysis.dir/update_diagnostics.cpp.o"
+  "CMakeFiles/zka_analysis.dir/update_diagnostics.cpp.o.d"
+  "libzka_analysis.a"
+  "libzka_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/backdoor.cpp" "src/attack/CMakeFiles/zka_attack.dir/backdoor.cpp.o" "gcc" "src/attack/CMakeFiles/zka_attack.dir/backdoor.cpp.o.d"
+  "/root/repo/src/attack/fang.cpp" "src/attack/CMakeFiles/zka_attack.dir/fang.cpp.o" "gcc" "src/attack/CMakeFiles/zka_attack.dir/fang.cpp.o.d"
+  "/root/repo/src/attack/free_rider.cpp" "src/attack/CMakeFiles/zka_attack.dir/free_rider.cpp.o" "gcc" "src/attack/CMakeFiles/zka_attack.dir/free_rider.cpp.o.d"
+  "/root/repo/src/attack/label_flip.cpp" "src/attack/CMakeFiles/zka_attack.dir/label_flip.cpp.o" "gcc" "src/attack/CMakeFiles/zka_attack.dir/label_flip.cpp.o.d"
+  "/root/repo/src/attack/lie.cpp" "src/attack/CMakeFiles/zka_attack.dir/lie.cpp.o" "gcc" "src/attack/CMakeFiles/zka_attack.dir/lie.cpp.o.d"
+  "/root/repo/src/attack/minmax.cpp" "src/attack/CMakeFiles/zka_attack.dir/minmax.cpp.o" "gcc" "src/attack/CMakeFiles/zka_attack.dir/minmax.cpp.o.d"
+  "/root/repo/src/attack/random_weights.cpp" "src/attack/CMakeFiles/zka_attack.dir/random_weights.cpp.o" "gcc" "src/attack/CMakeFiles/zka_attack.dir/random_weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/zka_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/zka_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zka_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/zka_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/zka_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zka_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

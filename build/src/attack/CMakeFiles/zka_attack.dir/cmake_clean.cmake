@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_attack.dir/backdoor.cpp.o"
+  "CMakeFiles/zka_attack.dir/backdoor.cpp.o.d"
+  "CMakeFiles/zka_attack.dir/fang.cpp.o"
+  "CMakeFiles/zka_attack.dir/fang.cpp.o.d"
+  "CMakeFiles/zka_attack.dir/free_rider.cpp.o"
+  "CMakeFiles/zka_attack.dir/free_rider.cpp.o.d"
+  "CMakeFiles/zka_attack.dir/label_flip.cpp.o"
+  "CMakeFiles/zka_attack.dir/label_flip.cpp.o.d"
+  "CMakeFiles/zka_attack.dir/lie.cpp.o"
+  "CMakeFiles/zka_attack.dir/lie.cpp.o.d"
+  "CMakeFiles/zka_attack.dir/minmax.cpp.o"
+  "CMakeFiles/zka_attack.dir/minmax.cpp.o.d"
+  "CMakeFiles/zka_attack.dir/random_weights.cpp.o"
+  "CMakeFiles/zka_attack.dir/random_weights.cpp.o.d"
+  "libzka_attack.a"
+  "libzka_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_zka.cpp" "src/core/CMakeFiles/zka_core.dir/adaptive_zka.cpp.o" "gcc" "src/core/CMakeFiles/zka_core.dir/adaptive_zka.cpp.o.d"
+  "/root/repo/src/core/adversarial_trainer.cpp" "src/core/CMakeFiles/zka_core.dir/adversarial_trainer.cpp.o" "gcc" "src/core/CMakeFiles/zka_core.dir/adversarial_trainer.cpp.o.d"
+  "/root/repo/src/core/distance_reg.cpp" "src/core/CMakeFiles/zka_core.dir/distance_reg.cpp.o" "gcc" "src/core/CMakeFiles/zka_core.dir/distance_reg.cpp.o.d"
+  "/root/repo/src/core/real_data.cpp" "src/core/CMakeFiles/zka_core.dir/real_data.cpp.o" "gcc" "src/core/CMakeFiles/zka_core.dir/real_data.cpp.o.d"
+  "/root/repo/src/core/zka_g.cpp" "src/core/CMakeFiles/zka_core.dir/zka_g.cpp.o" "gcc" "src/core/CMakeFiles/zka_core.dir/zka_g.cpp.o.d"
+  "/root/repo/src/core/zka_r.cpp" "src/core/CMakeFiles/zka_core.dir/zka_r.cpp.o" "gcc" "src/core/CMakeFiles/zka_core.dir/zka_r.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/zka_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/zka_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/zka_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zka_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zka_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/zka_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zka_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

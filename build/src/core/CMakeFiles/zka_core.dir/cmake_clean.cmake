@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_core.dir/adaptive_zka.cpp.o"
+  "CMakeFiles/zka_core.dir/adaptive_zka.cpp.o.d"
+  "CMakeFiles/zka_core.dir/adversarial_trainer.cpp.o"
+  "CMakeFiles/zka_core.dir/adversarial_trainer.cpp.o.d"
+  "CMakeFiles/zka_core.dir/distance_reg.cpp.o"
+  "CMakeFiles/zka_core.dir/distance_reg.cpp.o.d"
+  "CMakeFiles/zka_core.dir/real_data.cpp.o"
+  "CMakeFiles/zka_core.dir/real_data.cpp.o.d"
+  "CMakeFiles/zka_core.dir/zka_g.cpp.o"
+  "CMakeFiles/zka_core.dir/zka_g.cpp.o.d"
+  "CMakeFiles/zka_core.dir/zka_r.cpp.o"
+  "CMakeFiles/zka_core.dir/zka_r.cpp.o.d"
+  "libzka_core.a"
+  "libzka_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_data.dir/dataset.cpp.o"
+  "CMakeFiles/zka_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/zka_data.dir/loader.cpp.o"
+  "CMakeFiles/zka_data.dir/loader.cpp.o.d"
+  "CMakeFiles/zka_data.dir/partition.cpp.o"
+  "CMakeFiles/zka_data.dir/partition.cpp.o.d"
+  "CMakeFiles/zka_data.dir/synthetic.cpp.o"
+  "CMakeFiles/zka_data.dir/synthetic.cpp.o.d"
+  "libzka_data.a"
+  "libzka_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzka_data.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/bulyan.cpp" "src/defense/CMakeFiles/zka_defense.dir/bulyan.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/bulyan.cpp.o.d"
+  "/root/repo/src/defense/centered_clip.cpp" "src/defense/CMakeFiles/zka_defense.dir/centered_clip.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/centered_clip.cpp.o.d"
+  "/root/repo/src/defense/distance.cpp" "src/defense/CMakeFiles/zka_defense.dir/distance.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/distance.cpp.o.d"
+  "/root/repo/src/defense/dnc.cpp" "src/defense/CMakeFiles/zka_defense.dir/dnc.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/dnc.cpp.o.d"
+  "/root/repo/src/defense/factory.cpp" "src/defense/CMakeFiles/zka_defense.dir/factory.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/factory.cpp.o.d"
+  "/root/repo/src/defense/fedavg.cpp" "src/defense/CMakeFiles/zka_defense.dir/fedavg.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/fedavg.cpp.o.d"
+  "/root/repo/src/defense/fltrust.cpp" "src/defense/CMakeFiles/zka_defense.dir/fltrust.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/fltrust.cpp.o.d"
+  "/root/repo/src/defense/foolsgold.cpp" "src/defense/CMakeFiles/zka_defense.dir/foolsgold.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/foolsgold.cpp.o.d"
+  "/root/repo/src/defense/geometric_median.cpp" "src/defense/CMakeFiles/zka_defense.dir/geometric_median.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/geometric_median.cpp.o.d"
+  "/root/repo/src/defense/krum.cpp" "src/defense/CMakeFiles/zka_defense.dir/krum.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/krum.cpp.o.d"
+  "/root/repo/src/defense/norm_clip.cpp" "src/defense/CMakeFiles/zka_defense.dir/norm_clip.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/norm_clip.cpp.o.d"
+  "/root/repo/src/defense/statistic.cpp" "src/defense/CMakeFiles/zka_defense.dir/statistic.cpp.o" "gcc" "src/defense/CMakeFiles/zka_defense.dir/statistic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/zka_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/zka_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zka_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/zka_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zka_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_defense.dir/bulyan.cpp.o"
+  "CMakeFiles/zka_defense.dir/bulyan.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/centered_clip.cpp.o"
+  "CMakeFiles/zka_defense.dir/centered_clip.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/distance.cpp.o"
+  "CMakeFiles/zka_defense.dir/distance.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/dnc.cpp.o"
+  "CMakeFiles/zka_defense.dir/dnc.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/factory.cpp.o"
+  "CMakeFiles/zka_defense.dir/factory.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/fedavg.cpp.o"
+  "CMakeFiles/zka_defense.dir/fedavg.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/fltrust.cpp.o"
+  "CMakeFiles/zka_defense.dir/fltrust.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/foolsgold.cpp.o"
+  "CMakeFiles/zka_defense.dir/foolsgold.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/geometric_median.cpp.o"
+  "CMakeFiles/zka_defense.dir/geometric_median.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/krum.cpp.o"
+  "CMakeFiles/zka_defense.dir/krum.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/norm_clip.cpp.o"
+  "CMakeFiles/zka_defense.dir/norm_clip.cpp.o.d"
+  "CMakeFiles/zka_defense.dir/statistic.cpp.o"
+  "CMakeFiles/zka_defense.dir/statistic.cpp.o.d"
+  "libzka_defense.a"
+  "libzka_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_fl.dir/client.cpp.o"
+  "CMakeFiles/zka_fl.dir/client.cpp.o.d"
+  "CMakeFiles/zka_fl.dir/experiment.cpp.o"
+  "CMakeFiles/zka_fl.dir/experiment.cpp.o.d"
+  "CMakeFiles/zka_fl.dir/metrics.cpp.o"
+  "CMakeFiles/zka_fl.dir/metrics.cpp.o.d"
+  "CMakeFiles/zka_fl.dir/simulation.cpp.o"
+  "CMakeFiles/zka_fl.dir/simulation.cpp.o.d"
+  "CMakeFiles/zka_fl.dir/trace.cpp.o"
+  "CMakeFiles/zka_fl.dir/trace.cpp.o.d"
+  "libzka_fl.a"
+  "libzka_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_models.dir/models.cpp.o"
+  "CMakeFiles/zka_models.dir/models.cpp.o.d"
+  "libzka_models.a"
+  "libzka_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

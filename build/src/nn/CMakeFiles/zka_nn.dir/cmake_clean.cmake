@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_nn.dir/activations.cpp.o"
+  "CMakeFiles/zka_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/adam.cpp.o"
+  "CMakeFiles/zka_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/zka_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/zka_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/conv_transpose2d.cpp.o"
+  "CMakeFiles/zka_nn.dir/conv_transpose2d.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/dropout.cpp.o"
+  "CMakeFiles/zka_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/flatten.cpp.o"
+  "CMakeFiles/zka_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/linear.cpp.o"
+  "CMakeFiles/zka_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/loss.cpp.o"
+  "CMakeFiles/zka_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/module.cpp.o"
+  "CMakeFiles/zka_nn.dir/module.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/pooling.cpp.o"
+  "CMakeFiles/zka_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/sequential.cpp.o"
+  "CMakeFiles/zka_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/serialize.cpp.o"
+  "CMakeFiles/zka_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/zka_nn.dir/sgd.cpp.o"
+  "CMakeFiles/zka_nn.dir/sgd.cpp.o.d"
+  "libzka_nn.a"
+  "libzka_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_tensor.dir/ops.cpp.o"
+  "CMakeFiles/zka_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/zka_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/zka_tensor.dir/tensor.cpp.o.d"
+  "libzka_tensor.a"
+  "libzka_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

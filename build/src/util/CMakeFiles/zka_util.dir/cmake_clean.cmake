@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zka_util.dir/cli.cpp.o"
+  "CMakeFiles/zka_util.dir/cli.cpp.o.d"
+  "CMakeFiles/zka_util.dir/logging.cpp.o"
+  "CMakeFiles/zka_util.dir/logging.cpp.o.d"
+  "CMakeFiles/zka_util.dir/rng.cpp.o"
+  "CMakeFiles/zka_util.dir/rng.cpp.o.d"
+  "CMakeFiles/zka_util.dir/stats.cpp.o"
+  "CMakeFiles/zka_util.dir/stats.cpp.o.d"
+  "CMakeFiles/zka_util.dir/table.cpp.o"
+  "CMakeFiles/zka_util.dir/table.cpp.o.d"
+  "CMakeFiles/zka_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/zka_util.dir/thread_pool.cpp.o.d"
+  "libzka_util.a"
+  "libzka_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zka_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

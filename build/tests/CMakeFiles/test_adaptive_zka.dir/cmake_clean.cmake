@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_zka.dir/test_adaptive_zka.cpp.o"
+  "CMakeFiles/test_adaptive_zka.dir/test_adaptive_zka.cpp.o.d"
+  "test_adaptive_zka"
+  "test_adaptive_zka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_zka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

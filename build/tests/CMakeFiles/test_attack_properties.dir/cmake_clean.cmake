@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_properties.dir/test_attack_properties.cpp.o"
+  "CMakeFiles/test_attack_properties.dir/test_attack_properties.cpp.o.d"
+  "test_attack_properties"
+  "test_attack_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

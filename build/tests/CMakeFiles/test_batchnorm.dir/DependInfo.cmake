@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batchnorm.cpp" "tests/CMakeFiles/test_batchnorm.dir/test_batchnorm.cpp.o" "gcc" "tests/CMakeFiles/test_batchnorm.dir/test_batchnorm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/zka_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zka_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/zka_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/zka_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zka_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/zka_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/zka_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/zka_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zka_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zka_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_confusion.dir/test_confusion.cpp.o"
+  "CMakeFiles/test_confusion.dir/test_confusion.cpp.o.d"
+  "test_confusion"
+  "test_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

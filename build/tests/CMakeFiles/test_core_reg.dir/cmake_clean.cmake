@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_reg.dir/test_core_reg.cpp.o"
+  "CMakeFiles/test_core_reg.dir/test_core_reg.cpp.o.d"
+  "test_core_reg"
+  "test_core_reg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

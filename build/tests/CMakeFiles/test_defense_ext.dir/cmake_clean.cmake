@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defense_ext.dir/test_defense_ext.cpp.o"
+  "CMakeFiles/test_defense_ext.dir/test_defense_ext.cpp.o.d"
+  "test_defense_ext"
+  "test_defense_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defense_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defense_properties.dir/test_defense_properties.cpp.o"
+  "CMakeFiles/test_defense_properties.dir/test_defense_properties.cpp.o.d"
+  "test_defense_properties"
+  "test_defense_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defense_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnc.dir/test_dnc.cpp.o"
+  "CMakeFiles/test_dnc.dir/test_dnc.cpp.o.d"
+  "test_dnc"
+  "test_dnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl_client.dir/test_fl_client.cpp.o"
+  "CMakeFiles/test_fl_client.dir/test_fl_client.cpp.o.d"
+  "test_fl_client"
+  "test_fl_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl_metrics.dir/test_fl_metrics.cpp.o"
+  "CMakeFiles/test_fl_metrics.dir/test_fl_metrics.cpp.o.d"
+  "test_fl_metrics"
+  "test_fl_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

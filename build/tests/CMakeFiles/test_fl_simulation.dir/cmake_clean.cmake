@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl_simulation.dir/test_fl_simulation.cpp.o"
+  "CMakeFiles/test_fl_simulation.dir/test_fl_simulation.cpp.o.d"
+  "test_fl_simulation"
+  "test_fl_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

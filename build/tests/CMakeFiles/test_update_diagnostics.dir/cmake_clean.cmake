@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_diagnostics.dir/test_update_diagnostics.cpp.o"
+  "CMakeFiles/test_update_diagnostics.dir/test_update_diagnostics.cpp.o.d"
+  "test_update_diagnostics"
+  "test_update_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

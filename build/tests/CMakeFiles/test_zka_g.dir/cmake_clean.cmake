@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zka_g.dir/test_zka_g.cpp.o"
+  "CMakeFiles/test_zka_g.dir/test_zka_g.cpp.o.d"
+  "test_zka_g"
+  "test_zka_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zka_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zka_r.dir/test_zka_r.cpp.o"
+  "CMakeFiles/test_zka_r.dir/test_zka_r.cpp.o.d"
+  "test_zka_r"
+  "test_zka_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zka_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
