@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -23,7 +24,35 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(384);
+
+void BM_GemmAtB(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(1);
+  const Tensor a = Tensor::uniform({n, n}, rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform({n, n}, rng, -1.0f, 1.0f);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm_at_b(n, n, n, 1.0f, a.raw(), b.raw(), 0.0f, c.raw());
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmAtB)->Arg(128)->Arg(256);
+
+void BM_GemmABt(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(1);
+  const Tensor a = Tensor::uniform({n, n}, rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::uniform({n, n}, rng, -1.0f, 1.0f);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::gemm_a_bt(n, n, n, 1.0f, a.raw(), b.raw(), 0.0f, c.raw());
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmABt)->Arg(128)->Arg(256);
 
 void BM_Im2Col(benchmark::State& state) {
   const tensor::ConvGeometry g{3, 32, 32, 3, 1, 1};
@@ -87,6 +116,49 @@ void BM_ConvIm2ColGemm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvIm2ColGemm);
+
+// Batched forward: one [N, C, H, W] call per iteration. `range(0)` is the
+// batch size; the acceptance target is batch 32.
+void BM_ConvForwardBatched(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  util::Rng rng(3);
+  nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  const Tensor input = Tensor::uniform({batch, 8, 16, 16}, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = conv.forward(input);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ConvForwardBatched)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_ConvBackwardBatched(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  util::Rng rng(4);
+  nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  const Tensor input = Tensor::uniform({batch, 8, 16, 16}, rng, -1.0f, 1.0f);
+  const Tensor out = conv.forward(input);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor gx = conv.backward(out);
+    benchmark::DoNotOptimize(gx.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ConvBackwardBatched)->Arg(8)->Arg(32);
+
+void BM_ConvTransposeForwardBatched(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  util::Rng rng(6);
+  nn::ConvTranspose2d deconv(16, 8, 4, 2, 1, rng);
+  const Tensor input = Tensor::uniform({batch, 16, 8, 8}, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = deconv.forward(input);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ConvTransposeForwardBatched)->Arg(8)->Arg(32);
 
 void BM_ConvBackward(benchmark::State& state) {
   util::Rng rng(4);

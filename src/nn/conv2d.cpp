@@ -1,6 +1,7 @@
 #include "nn/conv2d.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -40,19 +41,26 @@ Tensor Conv2d::forward(const Tensor& input) {
     throw std::invalid_argument("Conv2d: kernel larger than padded input");
   }
   const std::int64_t spatial = oh * ow;
+  const std::int64_t cols = n * spatial;
   const std::int64_t patch = geometry_.patch_size();
-  const std::int64_t in_plane = in_channels_ * input.dim(2) * input.dim(3);
+
+  // Whole batch lowered into one [patch, N*spatial] column matrix, then a
+  // single GEMM for all samples. The scratch arenas persist across calls.
+  col_.resize(static_cast<std::size_t>(patch * cols));
+  tensor::im2col_batched(geometry_, input.raw(), n, col_.data());
+  buf_.resize(static_cast<std::size_t>(out_channels_ * cols));
+  tensor::gemm(out_channels_, cols, patch, 1.0f, weight_.value.raw(),
+               col_.data(), 0.0f, buf_.data());
+
+  // buf_ is [OC, N*spatial]; the output wants [N, OC, spatial]. Fuse the
+  // permutation with the bias add.
   Tensor out({n, out_channels_, oh, ow});
-  std::vector<float> col(static_cast<std::size_t>(patch * spatial));
-  for (std::int64_t s = 0; s < n; ++s) {
-    tensor::im2col(geometry_, input.raw() + s * in_plane, col.data());
-    float* dst = out.raw() + s * out_channels_ * spatial;
-    tensor::gemm(out_channels_, spatial, patch, 1.0f, weight_.value.raw(),
-                 col.data(), 0.0f, dst);
-    for (std::int64_t c = 0; c < out_channels_; ++c) {
-      const float b = bias_.value[c];
-      float* plane = dst + c * spatial;
-      for (std::int64_t i = 0; i < spatial; ++i) plane[i] += b;
+  for (std::int64_t c = 0; c < out_channels_; ++c) {
+    const float bias = bias_.value[c];
+    const float* src = buf_.data() + c * cols;
+    for (std::int64_t s = 0; s < n; ++s) {
+      float* dst = out.raw() + (s * out_channels_ + c) * spatial;
+      for (std::int64_t i = 0; i < spatial; ++i) dst[i] = src[s * spatial + i] + bias;
     }
   }
   return out;
@@ -63,36 +71,41 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::int64_t oh = geometry_.out_h();
   const std::int64_t ow = geometry_.out_w();
   const std::int64_t spatial = oh * ow;
+  const std::int64_t cols = n * spatial;
   const std::int64_t patch = geometry_.patch_size();
-  const std::int64_t in_plane =
-      in_channels_ * cached_input_.dim(2) * cached_input_.dim(3);
   if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
       grad_output.dim(1) != out_channels_ || grad_output.dim(2) != oh ||
       grad_output.dim(3) != ow) {
     throw std::invalid_argument("Conv2d backward: bad grad shape " +
                                 tensor::shape_to_string(grad_output.shape()));
   }
-  Tensor grad_input(cached_input_.shape());
-  std::vector<float> col(static_cast<std::size_t>(patch * spatial));
-  std::vector<float> grad_col(static_cast<std::size_t>(patch * spatial));
-  for (std::int64_t s = 0; s < n; ++s) {
-    const float* gout = grad_output.raw() + s * out_channels_ * spatial;
-    // dW += dY @ colᵀ  (dY is [OC, spatial], col is [patch, spatial]).
-    tensor::im2col(geometry_, cached_input_.raw() + s * in_plane, col.data());
-    tensor::gemm_a_bt(out_channels_, patch, spatial, 1.0f, gout, col.data(),
-                      1.0f, weight_.grad.raw());
-    // db += spatial sums.
-    for (std::int64_t c = 0; c < out_channels_; ++c) {
-      const float* plane = gout + c * spatial;
-      float acc = 0.0f;
-      for (std::int64_t i = 0; i < spatial; ++i) acc += plane[i];
-      bias_.grad[c] += acc;
+
+  // Gather dY into [OC, N*spatial] (the layout the batched GEMMs want) and
+  // accumulate the bias gradient along the way.
+  buf_.resize(static_cast<std::size_t>(out_channels_ * cols));
+  for (std::int64_t c = 0; c < out_channels_; ++c) {
+    float* dst = buf_.data() + c * cols;
+    float acc = 0.0f;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* src = grad_output.raw() + (s * out_channels_ + c) * spatial;
+      std::memcpy(dst + s * spatial, src,
+                  static_cast<std::size_t>(spatial) * sizeof(float));
+      for (std::int64_t i = 0; i < spatial; ++i) acc += src[i];
     }
-    // dcol = Wᵀ @ dY, then scatter back with col2im.
-    tensor::gemm_at_b(patch, spatial, out_channels_, 1.0f, weight_.value.raw(),
-                      gout, 0.0f, grad_col.data());
-    tensor::col2im(geometry_, grad_col.data(), grad_input.raw() + s * in_plane);
+    bias_.grad[c] += acc;
   }
+
+  // dW += dY @ colᵀ in one GEMM over the whole batch; col_ still holds the
+  // columns of cached_input_ from forward().
+  tensor::gemm_a_bt(out_channels_, patch, cols, 1.0f, buf_.data(), col_.data(),
+                    1.0f, weight_.grad.raw());
+
+  // dcol = Wᵀ @ dY, then scatter every sample's columns back to the image.
+  gcol_.resize(static_cast<std::size_t>(patch * cols));
+  tensor::gemm_at_b(patch, cols, out_channels_, 1.0f, weight_.value.raw(),
+                    buf_.data(), 0.0f, gcol_.data());
+  Tensor grad_input(cached_input_.shape());
+  tensor::col2im_batched(geometry_, gcol_.data(), n, grad_input.raw());
   return grad_input;
 }
 

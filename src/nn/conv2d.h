@@ -1,6 +1,8 @@
 // 2-D convolution over NCHW input, lowered to GEMM via im2col.
 #pragma once
 
+#include <vector>
+
 #include "nn/module.h"
 #include "tensor/ops.h"
 
@@ -37,6 +39,15 @@ class Conv2d : public Module {
   Parameter bias_;
   Tensor cached_input_;
   tensor::ConvGeometry geometry_{};
+  // Scratch arenas reused across forward/backward calls so the whole batch
+  // is lowered and multiplied in one GEMM without per-call allocation.
+  // col_:  [patch, N*OH*OW] im2col of the cached input (forward, reused by
+  //        the weight-gradient GEMM in backward).
+  // buf_:  [OC, N*OH*OW] GEMM output (forward) / gathered dY (backward).
+  // gcol_: [patch, N*OH*OW] column-space input gradient (backward).
+  std::vector<float> col_;
+  std::vector<float> buf_;
+  std::vector<float> gcol_;
 };
 
 }  // namespace zka::nn

@@ -1,6 +1,7 @@
 #include "nn/conv_transpose2d.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -44,17 +45,30 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
   geometry_ = tensor::ConvGeometry{out_channels_, oh, ow, kernel_, stride_, pad_};
   const std::int64_t spatial_in = h * w;
   const std::int64_t spatial_out = oh * ow;
+  const std::int64_t cols = n * spatial_in;
   const std::int64_t patch = geometry_.patch_size();  // OC*K*K
-  Tensor out({n, out_channels_, oh, ow});
-  std::vector<float> col(static_cast<std::size_t>(patch * spatial_in));
+
+  // Gather the batch channel-major into xperm_[IC, N*H*W] so the whole
+  // batch goes through one GEMM; backward reuses it for the weight grad.
+  xperm_.resize(static_cast<std::size_t>(in_channels_ * cols));
   for (std::int64_t s = 0; s < n; ++s) {
     const float* x = input.raw() + s * in_channels_ * spatial_in;
-    // col[OC*K*K, H*W] = Wᵀ[OCKK, IC] @ x[IC, H*W].
-    tensor::gemm_at_b(patch, spatial_in, in_channels_, 1.0f,
-                      weight_.value.raw(), x, 0.0f, col.data());
-    // Scatter columns into the (zero-initialized) output image.
+    for (std::int64_t c = 0; c < in_channels_; ++c) {
+      std::memcpy(xperm_.data() + c * cols + s * spatial_in,
+                  x + c * spatial_in,
+                  static_cast<std::size_t>(spatial_in) * sizeof(float));
+    }
+  }
+
+  // col[OC*K*K, N*H*W] = Wᵀ[OCKK, IC] @ xperm[IC, N*H*W], then scatter every
+  // sample's column slab into its (zero-initialized) output image.
+  col_.resize(static_cast<std::size_t>(patch * cols));
+  tensor::gemm_at_b(patch, cols, in_channels_, 1.0f, weight_.value.raw(),
+                    xperm_.data(), 0.0f, col_.data());
+  Tensor out({n, out_channels_, oh, ow});
+  tensor::col2im_batched(geometry_, col_.data(), n, out.raw());
+  for (std::int64_t s = 0; s < n; ++s) {
     float* dst = out.raw() + s * out_channels_ * spatial_out;
-    tensor::col2im(geometry_, col.data(), dst);
     for (std::int64_t c = 0; c < out_channels_; ++c) {
       const float b = bias_.value[c];
       float* plane = dst + c * spatial_out;
@@ -70,6 +84,7 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
   const std::int64_t w = cached_input_.dim(3);
   const std::int64_t spatial_in = h * w;
   const std::int64_t spatial_out = geometry_.in_h * geometry_.in_w;
+  const std::int64_t cols = n * spatial_in;
   const std::int64_t patch = geometry_.patch_size();
   if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
       grad_output.dim(1) != out_channels_ ||
@@ -78,27 +93,39 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
     throw std::invalid_argument("ConvTranspose2d backward: bad grad shape " +
                                 tensor::shape_to_string(grad_output.shape()));
   }
-  Tensor grad_input(cached_input_.shape());
-  std::vector<float> col_g(static_cast<std::size_t>(patch * spatial_in));
+
+  // Gather the output gradient into columns (adjoint of forward's scatter),
+  // all samples at once; col_ is free to reuse after forward.
+  col_.resize(static_cast<std::size_t>(patch * cols));
+  tensor::im2col_batched(geometry_, grad_output.raw(), n, col_.data());
+
+  // dW[IC, OCKK] += xperm[IC, N*HW] @ colᵀ; xperm_ is cached from forward.
+  tensor::gemm_a_bt(in_channels_, patch, cols, 1.0f, xperm_.data(),
+                    col_.data(), 1.0f, weight_.grad.raw());
+
+  // db += spatial sums of the output gradient.
   for (std::int64_t s = 0; s < n; ++s) {
     const float* gout = grad_output.raw() + s * out_channels_ * spatial_out;
-    const float* x = cached_input_.raw() + s * in_channels_ * spatial_in;
-    // Gather the output gradient into columns (adjoint of the scatter).
-    tensor::im2col(geometry_, gout, col_g.data());
-    // dW[IC, OCKK] += x[IC, HW] @ col_g[OCKK, HW]ᵀ.
-    tensor::gemm_a_bt(in_channels_, patch, spatial_in, 1.0f, x, col_g.data(),
-                      1.0f, weight_.grad.raw());
-    // db += spatial sums of the output gradient.
     for (std::int64_t c = 0; c < out_channels_; ++c) {
       const float* plane = gout + c * spatial_out;
       float acc = 0.0f;
       for (std::int64_t i = 0; i < spatial_out; ++i) acc += plane[i];
       bias_.grad[c] += acc;
     }
-    // dx[IC, HW] = W[IC, OCKK] @ col_g[OCKK, HW].
-    tensor::gemm(in_channels_, spatial_in, patch, 1.0f, weight_.value.raw(),
-                 col_g.data(), 0.0f,
-                 grad_input.raw() + s * in_channels_ * spatial_in);
+  }
+
+  // dx[IC, N*HW] = W[IC, OCKK] @ col, then un-permute into NCHW.
+  buf_.resize(static_cast<std::size_t>(in_channels_ * cols));
+  tensor::gemm(in_channels_, cols, patch, 1.0f, weight_.value.raw(),
+               col_.data(), 0.0f, buf_.data());
+  Tensor grad_input(cached_input_.shape());
+  for (std::int64_t s = 0; s < n; ++s) {
+    float* dst = grad_input.raw() + s * in_channels_ * spatial_in;
+    for (std::int64_t c = 0; c < in_channels_; ++c) {
+      std::memcpy(dst + c * spatial_in,
+                  buf_.data() + c * cols + s * spatial_in,
+                  static_cast<std::size_t>(spatial_in) * sizeof(float));
+    }
   }
   return grad_input;
 }

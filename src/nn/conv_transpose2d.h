@@ -5,6 +5,8 @@
 // with col2im, backward gathers with im2col.
 #pragma once
 
+#include <vector>
+
 #include "nn/module.h"
 #include "tensor/ops.h"
 
@@ -40,6 +42,16 @@ class ConvTranspose2d : public Module {
   // Geometry of the *equivalent forward conv* that maps the transposed
   // conv's output back to its input: in_channels = out_channels_ here.
   tensor::ConvGeometry geometry_{};
+  // Scratch arenas reused across forward/backward calls (one big GEMM over
+  // the batch instead of one per sample).
+  // xperm_: [IC, N*H*W] input gathered channel-major (forward, reused by
+  //         the weight-gradient GEMM in backward).
+  // col_:   [patch, N*H*W] column matrix — Wᵀ@x in forward, im2col of the
+  //         output gradient in backward.
+  // buf_:   [IC, N*H*W] input gradient before scattering back to NCHW.
+  std::vector<float> xperm_;
+  std::vector<float> col_;
+  std::vector<float> buf_;
 };
 
 }  // namespace zka::nn

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "tensor/ops.h"
@@ -29,13 +30,15 @@ Tensor Linear::forward(const Tensor& input) {
   }
   cached_input_ = input;
   const std::int64_t n = input.dim(0);
+  // Prefill each output row with the bias and let the GEMM accumulate onto
+  // it (beta = 1) — saves a second pass over the output.
   Tensor out({n, out_features_});
-  tensor::gemm_a_bt(n, out_features_, in_features_, 1.0f, input.raw(),
-                    weight_.value.raw(), 0.0f, out.raw());
   for (std::int64_t i = 0; i < n; ++i) {
-    float* row = out.raw() + i * out_features_;
-    for (std::int64_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+    std::memcpy(out.raw() + i * out_features_, bias_.value.raw(),
+                static_cast<std::size_t>(out_features_) * sizeof(float));
   }
+  tensor::gemm_a_bt(n, out_features_, in_features_, 1.0f, input.raw(),
+                    weight_.value.raw(), 1.0f, out.raw());
   return out;
 }
 

@@ -1,0 +1,150 @@
+// Blocked GEMM kernel body, compiled once per ISA tier.
+//
+// Including TU must define ZKA_GEMM_NS to the tier's namespace name
+// (generic / avx2 / avx512) and is compiled with the matching -m flags.
+// Do not include this anywhere else.
+//
+// Scheme (identical for every operand layout):
+//   * the k dimension is processed in KC panels,
+//   * per panel, B columns are packed NR at a time into a contiguous
+//     [kc x NR] buffer (transposed layouts are straightened here, so the
+//     microkernel never sees a stride),
+//   * A rows are packed MR at a time into [kc x MR] with alpha folded in,
+//   * the MR x NR register tile accumulates in float32 over the packed
+//     panel in a fixed order, then is added into C.
+// Tails (m % MR, n % NR, k % KC) are zero-padded in the packed buffers and
+// masked on writeback, so edge tiles follow the same code path.
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/gemm_dispatch.h"
+
+namespace zka::tensor::detail {
+namespace ZKA_GEMM_NS {
+namespace {
+
+using std::int64_t;
+
+constexpr int64_t MR = kGemmMR;
+constexpr int64_t NR = kGemmNR;
+constexpr int64_t KC = kGemmKC;
+constexpr int64_t NC = kGemmNC;
+
+// Packs B rows [pp, pp+kc) x cols [j0, j0+nv) into bpack[kc][NR]; the NR-nv
+// tail is zeroed so the microkernel can run unmasked.
+template <GemmLayout L>
+inline void pack_b(int64_t n, int64_t k, const float* b, int64_t pp,
+                   int64_t kc, int64_t j0, int64_t nv, float* bpack) {
+  if constexpr (L == GemmLayout::kABt) {
+    // B is [N, K]: bpack[p][u] = B[j0+u][pp+p] (transposing gather).
+    for (int64_t u = 0; u < nv; ++u) {
+      const float* brow = b + (j0 + u) * k + pp;
+      for (int64_t p = 0; p < kc; ++p) bpack[p * NR + u] = brow[p];
+    }
+    if (nv < NR) {
+      for (int64_t p = 0; p < kc; ++p) {
+        for (int64_t u = nv; u < NR; ++u) bpack[p * NR + u] = 0.0f;
+      }
+    }
+  } else {
+    // B is [K, N] for both kAB and kAtB.
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* brow = b + (pp + p) * n + j0;
+      float* dst = bpack + p * NR;
+      std::memcpy(dst, brow, static_cast<std::size_t>(nv) * sizeof(float));
+      for (int64_t u = nv; u < NR; ++u) dst[u] = 0.0f;
+    }
+  }
+  (void)n;
+  (void)k;
+}
+
+// Packs A rows [i0, i0+mv) x [pp, pp+kc) into apack[kc][MR] with alpha
+// folded in; the MR-mv tail is zeroed.
+template <GemmLayout L>
+inline void pack_a(int64_t m, int64_t k, const float* a, float alpha,
+                   int64_t pp, int64_t kc, int64_t i0, int64_t mv,
+                   float* apack) {
+  if constexpr (L == GemmLayout::kAtB) {
+    // A is [K, M]: apack[p][r] = alpha * A[pp+p][i0+r].
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* arow = a + (pp + p) * m + i0;
+      float* dst = apack + p * MR;
+      for (int64_t r = 0; r < mv; ++r) dst[r] = alpha * arow[r];
+      for (int64_t r = mv; r < MR; ++r) dst[r] = 0.0f;
+    }
+  } else {
+    for (int64_t r = 0; r < mv; ++r) {
+      const float* arow = a + (i0 + r) * k + pp;
+      for (int64_t p = 0; p < kc; ++p) apack[p * MR + r] = alpha * arow[p];
+    }
+    for (int64_t r = mv; r < MR; ++r) {
+      for (int64_t p = 0; p < kc; ++p) apack[p * MR + r] = 0.0f;
+    }
+  }
+  (void)m;
+  (void)k;
+}
+
+template <GemmLayout L>
+void gemm_ranges_impl(int64_t m, int64_t n, int64_t k, float alpha,
+                      const float* a, const float* b, float* c, int64_t r0,
+                      int64_t r1, int64_t c0, int64_t c1) {
+  // Stack panels: 32 KiB for B, 4 KiB for A. Small enough for pool workers.
+  alignas(64) float bpack[KC * NR];
+  alignas(64) float apack[KC * MR];
+  for (int64_t pp = 0; pp < k; pp += KC) {
+    const int64_t kc = std::min(KC, k - pp);
+    for (int64_t jc = c0; jc < c1; jc += NC) {
+      const int64_t jce = std::min(c1, jc + NC);
+      for (int64_t j0 = jc; j0 < jce; j0 += NR) {
+        const int64_t nv = std::min(NR, jce - j0);
+        pack_b<L>(n, k, b, pp, kc, j0, nv, bpack);
+        for (int64_t i0 = r0; i0 < r1; i0 += MR) {
+          const int64_t mv = std::min(MR, r1 - i0);
+          pack_a<L>(m, k, a, alpha, pp, kc, i0, mv, apack);
+          // MR x NR register tile; float32 FMA accumulation in a fixed
+          // order (p ascending), identical across tiers and partitions.
+          float acc[MR][NR] = {};
+          for (int64_t p = 0; p < kc; ++p) {
+            const float* bp = bpack + p * NR;
+            const float* ap = apack + p * MR;
+            for (int64_t r = 0; r < MR; ++r) {
+              const float av = ap[r];
+              for (int64_t u = 0; u < NR; ++u) acc[r][u] += av * bp[u];
+            }
+          }
+          for (int64_t r = 0; r < mv; ++r) {
+            float* cr = c + (i0 + r) * n + j0;
+            for (int64_t u = 0; u < nv; ++u) cr[u] += acc[r][u];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_ranges(GemmLayout layout, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, const float* b, float* c,
+                 int64_t r0, int64_t r1, int64_t c0, int64_t c1) {
+  switch (layout) {
+    case GemmLayout::kAB:
+      gemm_ranges_impl<GemmLayout::kAB>(m, n, k, alpha, a, b, c, r0, r1, c0,
+                                        c1);
+      break;
+    case GemmLayout::kAtB:
+      gemm_ranges_impl<GemmLayout::kAtB>(m, n, k, alpha, a, b, c, r0, r1, c0,
+                                         c1);
+      break;
+    case GemmLayout::kABt:
+      gemm_ranges_impl<GemmLayout::kABt>(m, n, k, alpha, a, b, c, r0, r1, c0,
+                                         c1);
+      break;
+  }
+}
+
+}  // namespace ZKA_GEMM_NS
+}  // namespace zka::tensor::detail

@@ -1,0 +1,7 @@
+// AVX2+FMA instantiation of the blocked GEMM kernels. Compiled with
+// -mavx2 -mfma (see tensor/CMakeLists.txt); only ever called after a
+// runtime __builtin_cpu_supports check in ops.cpp.
+#if defined(ZKA_GEMM_AVX2)
+#define ZKA_GEMM_NS avx2
+#include "tensor/gemm_kernels.inl"
+#endif

@@ -1,0 +1,7 @@
+// AVX-512F instantiation of the blocked GEMM kernels. Compiled with
+// -mavx512f -mfma (see tensor/CMakeLists.txt); only ever called after a
+// runtime __builtin_cpu_supports check in ops.cpp.
+#if defined(ZKA_GEMM_AVX512)
+#define ZKA_GEMM_NS avx512
+#include "tensor/gemm_kernels.inl"
+#endif

@@ -1,0 +1,4 @@
+// Baseline-ISA instantiation of the blocked GEMM kernels (no extra -m
+// flags; whatever the toolchain's default target provides).
+#define ZKA_GEMM_NS generic
+#include "tensor/gemm_kernels.inl"

@@ -1,64 +1,229 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
 
-namespace zka::tensor {
+#include "tensor/gemm_dispatch.h"
+#include "util/thread_pool.h"
 
-void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-          const float* a, const float* b, float beta, float* c) noexcept {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    if (beta == 0.0f) {
-      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    const float* arow = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+namespace zka::tensor {
+namespace {
+
+using detail::GemmLayout;
+using detail::kGemmMR;
+using detail::kGemmNC;
+
+std::atomic<bool> g_kernel_parallelism{true};
+
+// Work below this many flops (2*m*n*k) runs single-threaded: the fork/join
+// handshake costs more than the multiply.
+constexpr std::int64_t kMinParallelFlops = std::int64_t{1} << 22;
+
+struct Backend {
+  detail::GemmRangesFn ranges;
+  const char* name;
+};
+
+Backend select_backend() {
+#if defined(__x86_64__) && defined(__GNUC__)
+#if defined(ZKA_GEMM_AVX512)
+  if (__builtin_cpu_supports("avx512f")) {
+    return {&detail::avx512::gemm_ranges, "avx512f"};
   }
+#endif
+#if defined(ZKA_GEMM_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {&detail::avx2::gemm_ranges, "avx2+fma"};
+  }
+#endif
+#endif
+  return {&detail::generic::gemm_ranges, "generic"};
 }
 
-void gemm_at_b(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-               const float* a, const float* b, float beta, float* c) noexcept {
-  // A is [K, M]; compute C[M,N] = alpha * sum_p A[p,i] * B[p,j] + beta*C.
+const Backend& backend() {
+  static const Backend b = select_backend();
+  return b;
+}
+
+// Shared driver: applies beta, then computes C = alpha*op(A)@op(B) + C,
+// chunked across the pool when the product is large enough. Chunks split C
+// into disjoint row groups (multiples of the register-tile height) or
+// column groups (multiples of the cache-block width), so every partition
+// performs bitwise-identical tile computations — see ops.h.
+void gemm_driver(GemmLayout layout, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float alpha, const float* a, const float* b,
+                 float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
   if (beta == 0.0f) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   } else if (beta != 1.0f) {
     for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
   }
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = alpha * arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  if (alpha == 0.0f || k <= 0) return;
+
+  const detail::GemmRangesFn ranges = backend().ranges;
+  const std::int64_t flops = 2 * m * n * k;
+  std::int64_t nchunks = 1;
+  bool by_rows = true;
+  if (g_kernel_parallelism.load(std::memory_order_relaxed) &&
+      flops >= kMinParallelFlops) {
+    const std::int64_t row_units = (m + kGemmMR - 1) / kGemmMR;
+    const std::int64_t col_units = (n + kGemmNC - 1) / kGemmNC;
+    by_rows = row_units >= col_units;
+    const std::int64_t units = by_rows ? row_units : col_units;
+    const auto threads =
+        static_cast<std::int64_t>(util::global_thread_pool().size());
+    // 2 chunks per thread for load balance; the partition never changes
+    // results, only which thread computes which tiles. A single-worker pool
+    // gains nothing from forking (the caller would just contend with its
+    // one helper), so stay inline.
+    if (threads > 1) nchunks = std::min(units, threads * 2);
+  }
+  if (nchunks <= 1) {
+    ranges(layout, m, n, k, alpha, a, b, c, 0, m, 0, n);
+    return;
+  }
+  const std::int64_t units = by_rows ? (m + kGemmMR - 1) / kGemmMR
+                                     : (n + kGemmNC - 1) / kGemmNC;
+  const std::int64_t unit = by_rows ? kGemmMR : kGemmNC;
+  const std::int64_t extent = by_rows ? m : n;
+  util::global_thread_pool().parallel_for(
+      static_cast<std::size_t>(nchunks), [&](std::size_t t) {
+        const auto ti = static_cast<std::int64_t>(t);
+        const std::int64_t u0 = units * ti / nchunks;
+        const std::int64_t u1 = units * (ti + 1) / nchunks;
+        if (u0 == u1) return;
+        const std::int64_t lo = u0 * unit;
+        const std::int64_t hi = std::min(extent, u1 * unit);
+        if (by_rows) {
+          ranges(layout, m, n, k, alpha, a, b, c, lo, hi, 0, n);
+        } else {
+          ranges(layout, m, n, k, alpha, a, b, c, 0, m, lo, hi);
+        }
+      });
+}
+
+// Output-x range [x0, x1) for which ix = x*stride - pad + kx stays inside
+// [0, in_w). Outside that span the patch samples the zero padding.
+struct XSpan {
+  std::int64_t x0;
+  std::int64_t x1;
+};
+
+XSpan valid_span(std::int64_t extent, std::int64_t out_extent,
+                 std::int64_t stride, std::int64_t pad,
+                 std::int64_t k) noexcept {
+  // Smallest x with x*stride - pad + k >= 0, and first x past the end.
+  const std::int64_t lo = pad - k;
+  std::int64_t x0 = lo > 0 ? (lo + stride - 1) / stride : 0;
+  std::int64_t x1 = (extent + pad - k + stride - 1) / stride;
+  x0 = std::min(x0, out_extent);
+  x1 = std::clamp(x1, x0, out_extent);
+  return {x0, x1};
+}
+
+// im2col/col2im core over one sample, writing into a column matrix whose
+// rows have leading dimension `ld` and whose columns for this sample start
+// at `col_offset`. Per-row the valid span is precomputed so the inner loops
+// carry no bounds checks; stride 1 degenerates to memcpy.
+void im2col_one(const ConvGeometry& g, const float* image, float* col,
+                std::int64_t ld, std::int64_t col_offset) noexcept {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      const XSpan ys = valid_span(g.in_h, oh, g.stride, g.pad, ky);
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const XSpan xs = valid_span(g.in_w, ow, g.stride, g.pad, kx);
+        float* out = col + row * ld + col_offset;
+        std::memset(out, 0, static_cast<std::size_t>(ys.x0 * ow) * sizeof(float));
+        std::memset(out + ys.x1 * ow, 0,
+                    static_cast<std::size_t>((oh - ys.x1) * ow) * sizeof(float));
+        for (std::int64_t y = ys.x0; y < ys.x1; ++y) {
+          const std::int64_t iy = y * g.stride - g.pad + ky;
+          const float* src = plane + iy * g.in_w;
+          float* dst = out + y * ow;
+          for (std::int64_t x = 0; x < xs.x0; ++x) dst[x] = 0.0f;
+          if (g.stride == 1) {
+            std::memcpy(dst + xs.x0, src + (xs.x0 - g.pad + kx),
+                        static_cast<std::size_t>(xs.x1 - xs.x0) * sizeof(float));
+          } else {
+            for (std::int64_t x = xs.x0; x < xs.x1; ++x) {
+              dst[x] = src[x * g.stride - g.pad + kx];
+            }
+          }
+          for (std::int64_t x = xs.x1; x < ow; ++x) dst[x] = 0.0f;
+        }
+      }
     }
   }
+  assert(row == g.patch_size());
+}
+
+void col2im_one(const ConvGeometry& g, const float* col, float* image,
+                std::int64_t ld, std::int64_t col_offset) noexcept {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      const XSpan ys = valid_span(g.in_h, oh, g.stride, g.pad, ky);
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const XSpan xs = valid_span(g.in_w, ow, g.stride, g.pad, kx);
+        const float* in = col + row * ld + col_offset;
+        for (std::int64_t y = ys.x0; y < ys.x1; ++y) {
+          const std::int64_t iy = y * g.stride - g.pad + ky;
+          float* dst = plane + iy * g.in_w;
+          const float* src = in + y * ow;
+          for (std::int64_t x = xs.x0; x < xs.x1; ++x) {
+            dst[x * g.stride - g.pad + kx] += src[x];
+          }
+        }
+      }
+    }
+  }
+  assert(row == g.patch_size());
+}
+
+// Samples are independent (disjoint column slabs / disjoint images), so a
+// parallel batch loop is deterministic. Only worth forking for real work.
+bool batch_parallel_worthwhile(const ConvGeometry& g, std::int64_t batch) {
+  return g_kernel_parallelism.load(std::memory_order_relaxed) && batch >= 4 &&
+         g.patch_size() * g.out_h() * g.out_w() * batch >= (1 << 18) &&
+         util::global_thread_pool().size() > 1;
+}
+
+}  // namespace
+
+void set_kernel_parallelism(bool enabled) noexcept {
+  g_kernel_parallelism.store(enabled, std::memory_order_relaxed);
+}
+
+bool kernel_parallelism_enabled() noexcept {
+  return g_kernel_parallelism.load(std::memory_order_relaxed);
+}
+
+const char* gemm_backend_name() noexcept { return backend().name; }
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c) noexcept {
+  gemm_driver(GemmLayout::kAB, m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_at_b(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+               const float* a, const float* b, float beta, float* c) noexcept {
+  gemm_driver(GemmLayout::kAtB, m, n, k, alpha, a, b, beta, c);
 }
 
 void gemm_a_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                const float* a, const float* b, float beta, float* c) noexcept {
-  // B is [N, K]; C[i,j] = alpha * dot(A[i,:], B[j,:]) + beta*C[i,j].
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      double acc = 0.0;
-      for (std::int64_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-      crow[j] = alpha * static_cast<float>(acc) +
-                (beta == 0.0f ? 0.0f : beta * crow[j]);
-    }
-  }
+  gemm_driver(GemmLayout::kABt, m, n, k, alpha, a, b, beta, c);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -89,57 +254,49 @@ Tensor transpose2d(const Tensor& a) {
 }
 
 void im2col(const ConvGeometry& g, const float* image, float* col) noexcept {
-  const std::int64_t oh = g.out_h();
-  const std::int64_t ow = g.out_w();
-  const std::int64_t spatial = oh * ow;
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_channels; ++c) {
-    const float* plane = image + c * g.in_h * g.in_w;
-    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        float* out = col + row * spatial;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t iy = y * g.stride - g.pad + ky;
-          if (iy < 0 || iy >= g.in_h) {
-            std::memset(out + y * ow, 0,
-                        static_cast<std::size_t>(ow) * sizeof(float));
-            continue;
-          }
-          const float* src = plane + iy * g.in_w;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * g.stride - g.pad + kx;
-            out[y * ow + x] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
-          }
-        }
-      }
-    }
-  }
-  assert(row == g.patch_size());
+  im2col_one(g, image, col, g.out_h() * g.out_w(), 0);
 }
 
 void col2im(const ConvGeometry& g, const float* col, float* image) noexcept {
-  const std::int64_t oh = g.out_h();
-  const std::int64_t ow = g.out_w();
-  const std::int64_t spatial = oh * ow;
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_channels; ++c) {
-    float* plane = image + c * g.in_h * g.in_w;
-    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        const float* in = col + row * spatial;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t iy = y * g.stride - g.pad + ky;
-          if (iy < 0 || iy >= g.in_h) continue;
-          float* dst = plane + iy * g.in_w;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * g.stride - g.pad + kx;
-            if (ix >= 0 && ix < g.in_w) dst[ix] += in[y * ow + x];
-          }
-        }
-      }
+  col2im_one(g, col, image, g.out_h() * g.out_w(), 0);
+}
+
+void im2col_batched(const ConvGeometry& g, const float* images,
+                    std::int64_t batch, float* col) noexcept {
+  const std::int64_t spatial = g.out_h() * g.out_w();
+  const std::int64_t ld = batch * spatial;
+  const std::int64_t image_size = g.in_channels * g.in_h * g.in_w;
+  auto one = [&](std::size_t s) {
+    const auto si = static_cast<std::int64_t>(s);
+    im2col_one(g, images + si * image_size, col, ld, si * spatial);
+  };
+  if (batch_parallel_worthwhile(g, batch)) {
+    util::global_thread_pool().parallel_for(static_cast<std::size_t>(batch),
+                                            one);
+  } else {
+    for (std::int64_t s = 0; s < batch; ++s) {
+      one(static_cast<std::size_t>(s));
     }
   }
-  assert(row == g.patch_size());
+}
+
+void col2im_batched(const ConvGeometry& g, const float* col,
+                    std::int64_t batch, float* images) noexcept {
+  const std::int64_t spatial = g.out_h() * g.out_w();
+  const std::int64_t ld = batch * spatial;
+  const std::int64_t image_size = g.in_channels * g.in_h * g.in_w;
+  auto one = [&](std::size_t s) {
+    const auto si = static_cast<std::int64_t>(s);
+    col2im_one(g, col, images + si * image_size, ld, si * spatial);
+  };
+  if (batch_parallel_worthwhile(g, batch)) {
+    util::global_thread_pool().parallel_for(static_cast<std::size_t>(batch),
+                                            one);
+  } else {
+    for (std::int64_t s = 0; s < batch; ++s) {
+      one(static_cast<std::size_t>(s));
+    }
+  }
 }
 
 }  // namespace zka::tensor

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 namespace zka::util {
+namespace {
+
+// Identifies, per thread, the pool (if any) whose worker_loop is running on
+// it. parallel_for uses this to detect re-entrant calls: a body that itself
+// calls parallel_for on the same pool must not block on helper jobs, since
+// those queue behind the already-running outer tasks (deadlock with one
+// worker, oversubscription otherwise).
+thread_local const ThreadPool* t_worker_of = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -36,11 +47,19 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   return result;
 }
 
+bool ThreadPool::in_worker_thread() const noexcept {
+  return t_worker_of == this;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  if (n == 1) {
-    body(0);
+  if (n == 1 || in_worker_thread()) {
+    // Re-entrant call from one of our own workers (or trivial size): run
+    // inline on the calling thread. Blocking on helper futures here would
+    // deadlock a fully-busy pool, and extra helpers would oversubscribe the
+    // machine; the outer parallel_for already owns the available workers.
+    for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
   std::atomic<std::size_t> next{0};
@@ -73,6 +92,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   for (;;) {
     std::packaged_task<void()> job;
     {
@@ -87,7 +107,16 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& global_thread_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    // ZKA_THREADS overrides the worker count (0 / unset / invalid keeps
+    // the hardware default). Useful for benchmarking scaling curves and
+    // for CI machines whose cgroup quota differs from the visible cores.
+    if (const char* env = std::getenv("ZKA_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
   return pool;
 }
 

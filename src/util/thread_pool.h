@@ -30,7 +30,18 @@ class ThreadPool {
 
   /// Runs body(i) for i in [0, n) across the pool and blocks until done.
   /// Exceptions from the body propagate to the caller (first one wins).
+  ///
+  /// Re-entrant: when called from inside one of this pool's workers (i.e.
+  /// from within a parallel_for body or a submitted job), the whole range
+  /// runs inline on the calling thread instead of enqueueing helper jobs —
+  /// queued helpers would sit behind the blocked outer tasks (deadlocking a
+  /// fully-busy pool) and oversubscribe the machine. Nested parallelism
+  /// therefore degrades gracefully to sequential execution with identical
+  /// results.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool in_worker_thread() const noexcept;
 
  private:
   void worker_loop();
@@ -42,8 +53,10 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Process-wide pool, lazily constructed. FL simulations share it so nested
-/// experiments do not oversubscribe the machine.
+/// Process-wide pool, lazily constructed. FL simulations and the tensor
+/// kernels share it so nested parallelism does not oversubscribe the
+/// machine. Worker count is hardware concurrency, overridable with the
+/// ZKA_THREADS environment variable (read once, at first use).
 ThreadPool& global_thread_pool();
 
 }  // namespace zka::util

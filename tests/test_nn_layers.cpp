@@ -121,6 +121,136 @@ TEST(Conv2d, StridedGradients) {
   test::check_param_gradients(conv, random_input({1, 1, 8, 8}, 22));
 }
 
+// Naive direct convolution: the reference the batched im2col+GEMM path must
+// reproduce. Double accumulation, straight from the definition.
+Tensor conv2d_direct(const Tensor& x, const Tensor& w, const Tensor& b,
+                     std::int64_t oc, std::int64_t k, std::int64_t stride,
+                     std::int64_t pad) {
+  const std::int64_t n = x.dim(0), ic = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad - k) / stride + 1;
+  const std::int64_t ow = (wd + 2 * pad - k) / stride + 1;
+  Tensor y({n, oc, oh, ow});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t o = 0; o < oc; ++o) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          double acc = b[o];
+          for (std::int64_t c = 0; c < ic; ++c) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t iy = oy * stride - pad + ky;
+                const std::int64_t ix = ox * stride - pad + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
+                acc += static_cast<double>(
+                           x.at({s, c, iy, ix})) *
+                       w[(o * ic + c) * k * k + ky * k + kx];
+              }
+            }
+          }
+          y.at({s, o, oy, ox}) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+// Naive transposed convolution: scatter every input pixel through the
+// kernel into the upsampled output.
+Tensor conv_transpose2d_direct(const Tensor& x, const Tensor& w,
+                               const Tensor& b, std::int64_t oc,
+                               std::int64_t k, std::int64_t stride,
+                               std::int64_t pad) {
+  const std::int64_t n = x.dim(0), ic = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const std::int64_t oh = (h - 1) * stride - 2 * pad + k;
+  const std::int64_t ow = (wd - 1) * stride - 2 * pad + k;
+  Tensor y({n, oc, oh, ow});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t o = 0; o < oc; ++o) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          y.at({s, o, oy, ox}) = b[o];
+        }
+      }
+    }
+    for (std::int64_t c = 0; c < ic; ++c) {
+      for (std::int64_t iy = 0; iy < h; ++iy) {
+        for (std::int64_t ix = 0; ix < wd; ++ix) {
+          const float xv = x.at({s, c, iy, ix});
+          for (std::int64_t o = 0; o < oc; ++o) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t oy = iy * stride - pad + ky;
+                const std::int64_t ox = ix * stride - pad + kx;
+                if (oy < 0 || oy >= oh || ox < 0 || ox >= ow) continue;
+                // Weight layout [IC, OC*K*K].
+                y.at({s, o, oy, ox}) +=
+                    xv * w[(c * oc + o) * k * k + ky * k + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+TEST(Conv2d, BatchedForwardMatchesDirectConvolution) {
+  struct Config {
+    std::int64_t k, stride, pad;
+  };
+  constexpr Config kConfigs[] = {
+      {1, 1, 0}, {3, 1, 1}, {3, 2, 1}, {4, 2, 1}, {5, 1, 2}, {3, 3, 0},
+  };
+  constexpr std::int64_t kBatches[] = {1, 3, 8};
+  std::uint64_t seed = 200;
+  for (const auto& cfg : kConfigs) {
+    for (const std::int64_t batch : kBatches) {
+      util::Rng rng(seed);
+      Conv2d conv(2, 3, cfg.k, cfg.stride, cfg.pad, rng);
+      const Tensor x = random_input({batch, 2, 9, 9}, seed + 1);
+      seed += 2;
+      const Tensor got = conv.forward(x);
+      const Tensor want =
+          conv2d_direct(x, conv.parameters()[0]->value,
+                        conv.parameters()[1]->value, 3, cfg.k, cfg.stride,
+                        cfg.pad);
+      ASSERT_EQ(got.shape(), want.shape())
+          << "k=" << cfg.k << " s=" << cfg.stride << " p=" << cfg.pad;
+      EXPECT_TRUE(tensor::allclose(got, want, 1e-4f))
+          << "k=" << cfg.k << " s=" << cfg.stride << " p=" << cfg.pad
+          << " batch=" << batch;
+    }
+  }
+}
+
+TEST(Conv2d, BatchedForwardIsSampleIndependent) {
+  // Each sample's output must be bitwise identical whether it is convolved
+  // alone or as part of a batch (fixed accumulation order in the kernel).
+  util::Rng rng(300);
+  Conv2d conv(3, 5, 3, 1, 1, rng);
+  const Tensor x = random_input({4, 3, 8, 8}, 301);
+  const Tensor batched = conv.forward(x);
+  const std::int64_t sample = 3 * 8 * 8;
+  const std::int64_t out_sample = 5 * 8 * 8;
+  for (std::int64_t s = 0; s < 4; ++s) {
+    Tensor one({1, 3, 8, 8});
+    for (std::int64_t i = 0; i < sample; ++i) one[i] = x[s * sample + i];
+    const Tensor y = conv.forward(one);
+    for (std::int64_t i = 0; i < out_sample; ++i) {
+      EXPECT_EQ(y[i], batched[s * out_sample + i]) << "sample " << s;
+    }
+  }
+}
+
+TEST(Conv2d, BatchedGradients) {
+  util::Rng rng(310);
+  Conv2d conv(2, 3, 4, 2, 1, rng);
+  test::check_input_gradient(conv, random_input({3, 2, 8, 8}, 311));
+  test::check_param_gradients(conv, random_input({3, 2, 8, 8}, 312));
+}
+
 // ---------- ConvTranspose2d ----------
 
 TEST(ConvTranspose2d, UpsamplesByStride) {
@@ -140,6 +270,39 @@ TEST(ConvTranspose2d, ParameterGradients) {
   util::Rng rng(27);
   ConvTranspose2d deconv(2, 2, 4, 2, 1, rng);
   test::check_param_gradients(deconv, random_input({1, 2, 4, 4}, 28));
+}
+
+TEST(ConvTranspose2d, BatchedForwardMatchesDirectScatter) {
+  struct Config {
+    std::int64_t k, stride, pad;
+  };
+  constexpr Config kConfigs[] = {{4, 2, 1}, {3, 1, 1}, {2, 2, 0}, {5, 3, 1}};
+  constexpr std::int64_t kBatches[] = {1, 3, 8};
+  std::uint64_t seed = 400;
+  for (const auto& cfg : kConfigs) {
+    for (const std::int64_t batch : kBatches) {
+      util::Rng rng(seed);
+      ConvTranspose2d deconv(3, 2, cfg.k, cfg.stride, cfg.pad, rng);
+      const Tensor x = random_input({batch, 3, 5, 5}, seed + 1);
+      seed += 2;
+      const Tensor got = deconv.forward(x);
+      const Tensor want = conv_transpose2d_direct(
+          x, deconv.parameters()[0]->value, deconv.parameters()[1]->value, 2,
+          cfg.k, cfg.stride, cfg.pad);
+      ASSERT_EQ(got.shape(), want.shape())
+          << "k=" << cfg.k << " s=" << cfg.stride << " p=" << cfg.pad;
+      EXPECT_TRUE(tensor::allclose(got, want, 1e-4f))
+          << "k=" << cfg.k << " s=" << cfg.stride << " p=" << cfg.pad
+          << " batch=" << batch;
+    }
+  }
+}
+
+TEST(ConvTranspose2d, BatchedGradients) {
+  util::Rng rng(410);
+  ConvTranspose2d deconv(2, 2, 4, 2, 1, rng);
+  test::check_input_gradient(deconv, random_input({3, 2, 4, 4}, 411));
+  test::check_param_gradients(deconv, random_input({3, 2, 4, 4}, 412));
 }
 
 TEST(ConvTranspose2d, AdjointOfConv2d) {

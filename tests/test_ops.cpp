@@ -2,10 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
 #include "util/rng.h"
 
 namespace zka::tensor {
 namespace {
+
+// Force a multi-worker pool even on single-core CI machines so the chunked
+// (threaded) GEMM path is exercised by the determinism tests below. Runs at
+// static init, before the global pool's first (lazy) construction; an
+// explicit ZKA_THREADS in the environment still wins (overwrite = 0).
+const bool kForcePoolWorkers = [] {
+  setenv("ZKA_THREADS", "4", 0);
+  return true;
+}();
 
 Tensor random_tensor(Shape shape, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -83,6 +98,224 @@ TEST(Gemm, AccumulationWithBetaOne) {
   gemm_at_b(2, 3, 4, 1.0f, a.raw(), b.raw(), 1.0f, c.raw());
   const Tensor ref = matmul_reference(transpose2d(a), b);
   for (std::int64_t i = 0; i < 6; ++i) EXPECT_NEAR(c[i], ref[i] + 2.0f, 1e-4f);
+}
+
+// ---------- blocked-kernel coverage ----------
+
+enum class GemmRefLayout { kAB, kAtB, kABt };
+
+// Double-precision reference for all three layouts:
+// C = alpha * op(A) @ op(B) + beta * C.
+void gemm_reference(GemmRefLayout layout, std::int64_t m, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a,
+                    const float* b, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = layout == GemmRefLayout::kAtB ? a[p * m + i]
+                                                       : a[i * k + p];
+        const float bv = layout == GemmRefLayout::kABt ? b[j * k + p]
+                                                       : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] =
+          static_cast<float>(alpha * acc + static_cast<double>(beta) * c[i * n + j]);
+    }
+  }
+}
+
+std::vector<float> random_vec(std::int64_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+// Shapes chosen to straddle every blocking boundary of the packed kernel:
+// the 4-row register tile, the 32-column microtile, the 256-deep k panel,
+// and the 256-wide cache block — plus ragged tails on each.
+struct GemmShape {
+  std::int64_t m, n, k;
+};
+constexpr GemmShape kBoundaryShapes[] = {
+    {1, 1, 1},     {3, 5, 7},     {4, 32, 256},  {5, 33, 257},
+    {37, 61, 129}, {70, 130, 300}, {16, 300, 72}, {100, 3, 513},
+};
+
+TEST(GemmBlocked, AllLayoutsMatchDoubleReferenceAcrossTileBoundaries) {
+  int idx = 0;
+  for (const auto& s : kBoundaryShapes) {
+    const auto seed = static_cast<std::uint64_t>(100 + 10 * idx++);
+    const auto a = random_vec(s.m * s.k, seed);
+    const auto b = random_vec(s.k * s.n, seed + 1);
+    for (int layout = 0; layout < 3; ++layout) {
+      std::vector<float> c(static_cast<std::size_t>(s.m * s.n), 0.25f);
+      std::vector<float> ref = c;
+      const float alpha = 1.5f, beta = 0.5f;
+      switch (layout) {
+        case 0:
+          gemm(s.m, s.n, s.k, alpha, a.data(), b.data(), beta, c.data());
+          gemm_reference(GemmRefLayout::kAB, s.m, s.n, s.k, alpha, a.data(),
+                         b.data(), beta, ref.data());
+          break;
+        case 1:  // A is [K, M]
+          gemm_at_b(s.m, s.n, s.k, alpha, a.data(), b.data(), beta, c.data());
+          gemm_reference(GemmRefLayout::kAtB, s.m, s.n, s.k, alpha, a.data(),
+                         b.data(), beta, ref.data());
+          break;
+        default:  // B is [N, K]
+          gemm_a_bt(s.m, s.n, s.k, alpha, a.data(), b.data(), beta, c.data());
+          gemm_reference(GemmRefLayout::kABt, s.m, s.n, s.k, alpha, a.data(),
+                         b.data(), beta, ref.data());
+          break;
+      }
+      float max_err = 0.0f;
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        max_err = std::max(max_err, std::abs(c[i] - ref[i]));
+      }
+      EXPECT_LT(max_err, 1e-3f) << "shape (" << s.m << "," << s.n << ","
+                                << s.k << ") layout " << layout;
+    }
+  }
+}
+
+TEST(GemmBlocked, BackendNameIsReported) {
+  const char* name = gemm_backend_name();
+  ASSERT_NE(name, nullptr);
+  EXPECT_GT(std::strlen(name), 0u);
+}
+
+TEST(GemmBlocked, BitwiseIdenticalWithAndWithoutKernelParallelism) {
+  // Large enough to cross the flop threshold and split into several chunks
+  // (the pool is forced to 4 workers above). The unified accumulation
+  // policy guarantees bitwise-equal output for every partition.
+  const std::int64_t m = 193, n = 517, k = 301;
+  const auto a = random_vec(m * k, 900);
+  const auto b = random_vec(k * n, 901);
+  std::vector<float> c_par(static_cast<std::size_t>(m * n));
+  std::vector<float> c_seq(c_par.size());
+  std::vector<float> c_par2(c_par.size());
+
+  ASSERT_TRUE(kernel_parallelism_enabled());
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_par.data());
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_par2.data());
+  set_kernel_parallelism(false);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_seq.data());
+  set_kernel_parallelism(true);
+
+  EXPECT_EQ(std::memcmp(c_par.data(), c_par2.data(),
+                        c_par.size() * sizeof(float)),
+            0)
+      << "repeated threaded runs differ";
+  EXPECT_EQ(std::memcmp(c_par.data(), c_seq.data(),
+                        c_par.size() * sizeof(float)),
+            0)
+      << "threaded and sequential runs differ";
+}
+
+TEST(GemmBlocked, SkinnyMatricesChunkColumnsDeterministically) {
+  // m = 8 gives only two 4-row tiles, so the driver chunks columns instead;
+  // exercise that branch and its bitwise reproducibility.
+  const std::int64_t m = 8, n = 4096, k = 200;
+  const auto a = random_vec(m * k, 902);
+  const auto b = random_vec(k * n, 903);
+  std::vector<float> c_par(static_cast<std::size_t>(m * n));
+  std::vector<float> c_seq(c_par.size());
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_par.data());
+  set_kernel_parallelism(false);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c_seq.data());
+  set_kernel_parallelism(true);
+  EXPECT_EQ(std::memcmp(c_par.data(), c_seq.data(),
+                        c_par.size() * sizeof(float)),
+            0);
+}
+
+TEST(Im2ColBatched, MatchesPerSampleLowering) {
+  const ConvGeometry g{3, 9, 7, 3, 2, 1};
+  const std::int64_t batch = 5;
+  const std::int64_t spatial = g.out_h() * g.out_w();
+  const std::int64_t patch = g.patch_size();
+  const std::int64_t image_size = g.in_channels * g.in_h * g.in_w;
+  const auto images = random_vec(batch * image_size, 950);
+
+  std::vector<float> batched(static_cast<std::size_t>(patch * batch * spatial));
+  im2col_batched(g, images.data(), batch, batched.data());
+
+  std::vector<float> single(static_cast<std::size_t>(patch * spatial));
+  for (std::int64_t s = 0; s < batch; ++s) {
+    im2col(g, images.data() + s * image_size, single.data());
+    for (std::int64_t r = 0; r < patch; ++r) {
+      for (std::int64_t i = 0; i < spatial; ++i) {
+        EXPECT_EQ(batched[static_cast<std::size_t>(r * batch * spatial +
+                                                   s * spatial + i)],
+                  single[static_cast<std::size_t>(r * spatial + i)])
+            << "sample " << s << " row " << r << " col " << i;
+      }
+    }
+  }
+}
+
+TEST(Col2ImBatched, MatchesPerSampleScatter) {
+  const ConvGeometry g{2, 8, 6, 4, 2, 1};
+  const std::int64_t batch = 4;
+  const std::int64_t spatial = g.out_h() * g.out_w();
+  const std::int64_t patch = g.patch_size();
+  const std::int64_t image_size = g.in_channels * g.in_h * g.in_w;
+  const auto col = random_vec(patch * batch * spatial, 960);
+
+  std::vector<float> batched(static_cast<std::size_t>(batch * image_size));
+  col2im_batched(g, col.data(), batch, batched.data());
+
+  for (std::int64_t s = 0; s < batch; ++s) {
+    // Repack sample s's column slab into the single-sample layout.
+    std::vector<float> slab(static_cast<std::size_t>(patch * spatial));
+    for (std::int64_t r = 0; r < patch; ++r) {
+      std::memcpy(slab.data() + r * spatial,
+                  col.data() + r * batch * spatial + s * spatial,
+                  static_cast<std::size_t>(spatial) * sizeof(float));
+    }
+    std::vector<float> image(static_cast<std::size_t>(image_size), 0.0f);
+    col2im(g, slab.data(), image.data());
+    for (std::int64_t i = 0; i < image_size; ++i) {
+      EXPECT_EQ(batched[static_cast<std::size_t>(s * image_size + i)],
+                image[static_cast<std::size_t>(i)])
+          << "sample " << s << " element " << i;
+    }
+  }
+}
+
+TEST(Im2Col, StridedAndPaddedMatchesDirectIndexing) {
+  // Cross-check the span-based fast path against naive per-element
+  // bounds-checked indexing on an awkward geometry (stride 3, pad 2).
+  const ConvGeometry g{2, 10, 11, 5, 3, 2};
+  const std::int64_t spatial = g.out_h() * g.out_w();
+  const auto image = random_vec(g.in_channels * g.in_h * g.in_w, 970);
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() * spatial),
+                         -7.0f);
+  im2col(g, image.data(), col.data());
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        for (std::int64_t y = 0; y < g.out_h(); ++y) {
+          for (std::int64_t x = 0; x < g.out_w(); ++x) {
+            const std::int64_t iy = y * g.stride - g.pad + ky;
+            const std::int64_t ix = x * g.stride - g.pad + kx;
+            const float want =
+                (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                    ? image[static_cast<std::size_t>(
+                          (c * g.in_h + iy) * g.in_w + ix)]
+                    : 0.0f;
+            EXPECT_EQ(col[static_cast<std::size_t>(
+                          row * spatial + y * g.out_w() + x)],
+                      want)
+                << "row " << row << " y " << y << " x " << x;
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(Transpose, RoundTrip) {

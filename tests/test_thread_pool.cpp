@@ -80,6 +80,76 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_GE(global_thread_pool().size(), 1u);
 }
 
+// Regression: parallel_for from inside a worker used to enqueue helper jobs
+// behind the already-running outer tasks and block on them — a guaranteed
+// deadlock with one worker. The fix runs re-entrant calls inline; these
+// tests hang (and trip the ctest timeout) if it regresses.
+TEST(ThreadPool, NestedParallelForDoesNotDeadlockWithOneWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForCoversFullProduct) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(6 * 5);
+  pool.parallel_for(6, [&](std::size_t i) {
+    pool.parallel_for(5, [&](std::size_t j) { hits[i * 5 + j].fetch_add(1); });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, TriplyNestedParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(2, [&](std::size_t) {
+    pool.parallel_for(3, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { counter.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(counter.load(), 2 * 3 * 4);
+}
+
+TEST(ThreadPool, NestedParallelForFromSubmittedJob) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+        pool.parallel_for(16, [&](std::size_t) { counter.fetch_add(1); });
+      })
+      .wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(3,
+                        [&](std::size_t) {
+                          pool.parallel_for(3, [&](std::size_t j) {
+                            if (j == 2) throw std::runtime_error("inner");
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.in_worker_thread());
+  std::atomic<bool> inside_own{false};
+  std::atomic<bool> inside_other{true};
+  pool.submit([&] {
+        inside_own.store(pool.in_worker_thread());
+        inside_other.store(other.in_worker_thread());
+      })
+      .wait();
+  EXPECT_TRUE(inside_own.load());    // a worker knows its own pool
+  EXPECT_FALSE(inside_other.load());  // ...and is not a worker of another
+}
+
 TEST(ThreadPool, ParallelForComputesCorrectSum) {
   ThreadPool pool(4);
   std::vector<long> out(1000);
