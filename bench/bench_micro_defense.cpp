@@ -43,10 +43,18 @@ void BM_FoolsGold(benchmark::State& state) {
 }
 void BM_NormClip(benchmark::State& state) { run_defense(state, "normclip"); }
 void BM_GeoMedian(benchmark::State& state) { run_defense(state, "geomedian"); }
+void BM_CenteredClip(benchmark::State& state) {
+  run_defense(state, "centeredclip");
+}
 void BM_Dnc(benchmark::State& state) { run_defense(state, "dnc"); }
 
-#define DEFENSE_ARGS \
-  ->Args({10, 10000})->Args({10, 50000})->Args({50, 10000})
+// Model-realistic sizes: the paper's CNN tasks flatten to ~1e5 parameters,
+// and production-scale evaluations (Shejwalkar et al. S&P'22, MPAF) run
+// rounds of 50-100 clients, so the sweep goes up to n=100 x dim=100k.
+#define DEFENSE_ARGS                                         \
+  ->Args({10, 10000})->Args({10, 50000})->Args({50, 10000}) \
+  ->Args({10, 100000})->Args({50, 100000})->Args({100, 100000}) \
+  ->ArgNames({"n", "dim"})->Unit(benchmark::kMillisecond)
 
 BENCHMARK(BM_FedAvg) DEFENSE_ARGS;
 BENCHMARK(BM_Median) DEFENSE_ARGS;
@@ -56,6 +64,7 @@ BENCHMARK(BM_Bulyan) DEFENSE_ARGS;
 BENCHMARK(BM_FoolsGold) DEFENSE_ARGS;
 BENCHMARK(BM_NormClip) DEFENSE_ARGS;
 BENCHMARK(BM_GeoMedian) DEFENSE_ARGS;
+BENCHMARK(BM_CenteredClip) DEFENSE_ARGS;
 BENCHMARK(BM_Dnc) DEFENSE_ARGS;
 
 }  // namespace

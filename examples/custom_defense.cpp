@@ -13,6 +13,7 @@
 
 #include "data/partition.h"
 #include "defense/statistic.h"
+#include "tensor/reduce.h"
 #include "fl/metrics.h"
 #include "fl/experiment.h"
 #include "util/cli.h"
@@ -27,9 +28,10 @@ class GeoTrim : public defense::Aggregator {
  public:
   explicit GeoTrim(std::size_t trim) : trim_(trim) {}
 
+  using defense::Aggregator::aggregate;
   defense::AggregationResult aggregate(
-      const std::vector<defense::Update>& updates,
-      const std::vector<std::int64_t>& weights) override {
+      std::span<const defense::UpdateView> updates,
+      std::span<const std::int64_t> weights) override {
     defense::validate_updates(updates, weights);
     const std::size_t n = updates.size();
     const std::size_t dim = updates.front().size();
@@ -42,10 +44,14 @@ class GeoTrim : public defense::Aggregator {
     // Clip each update to the median deviation norm.
     std::vector<double> norms(n);
     for (std::size_t k = 0; k < n; ++k) {
-      norms[k] = util::l2_distance(updates[k], center);
+      norms[k] = std::sqrt(tensor::squared_distance(updates[k], center));
     }
     const double radius = util::median(std::vector<double>(norms));
-    std::vector<defense::Update> clipped = updates;
+    std::vector<defense::Update> clipped;
+    clipped.reserve(n);
+    for (const defense::UpdateView u : updates) {
+      clipped.emplace_back(u.begin(), u.end());
+    }
     for (std::size_t k = 0; k < n; ++k) {
       if (norms[k] <= radius || norms[k] == 0.0) continue;
       const double scale = radius / norms[k];
@@ -57,7 +63,7 @@ class GeoTrim : public defense::Aggregator {
     }
     // Then trimmed-mean the clipped updates.
     defense::TrimmedMean trimmed(trim_);
-    return trimmed.aggregate(clipped, weights);
+    return trimmed.aggregate(defense::as_views(clipped), weights);
   }
 
   bool selects_clients() const noexcept override { return false; }
@@ -114,7 +120,7 @@ double run_with_aggregator(defense::Aggregator& aggregator,
     const auto sampled = rng.sample_without_replacement(
         static_cast<std::size_t>(config.num_clients),
         static_cast<std::size_t>(config.clients_per_round));
-    std::vector<defense::Update> updates;
+    std::vector<defense::UpdateView> updates;
     std::vector<std::int64_t> weights;
     std::vector<defense::Update> benign;
     for (const auto c : sampled) {
@@ -136,9 +142,9 @@ double run_with_aggregator(defense::Aggregator& aggregator,
     std::size_t cursor = 0;
     for (const auto c : sampled) {
       if (static_cast<std::int64_t>(c) < sim.num_malicious()) {
-        updates.push_back(malicious);
+        updates.emplace_back(malicious);  // shared view, no sybil copies
       } else {
-        updates.push_back(std::move(benign[cursor++]));
+        updates.emplace_back(benign[cursor++]);
       }
       weights.push_back(std::max<std::int64_t>(clients[c].num_samples(), 1));
     }

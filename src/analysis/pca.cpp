@@ -1,7 +1,11 @@
 #include "analysis/pca.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
+
+#include "tensor/reduce.h"
 
 namespace zka::analysis {
 
@@ -56,38 +60,32 @@ PcaResult pca_project(const tensor::Tensor& rows, std::int64_t k,
       v[static_cast<std::size_t>(j)] =
           std::sin(static_cast<double>(j + 1) * (comp + 1) * 0.7) + 0.01;
     }
+    const auto row = [&](std::int64_t i) {
+      return std::span<const double>(x.data() + i * d,
+                                     static_cast<std::size_t>(d));
+    };
+    std::vector<double> vnext(static_cast<std::size_t>(d));
     for (std::int64_t it = 0; it < power_iterations; ++it) {
       // scores = X v ; v' = X^T scores ; normalize.
       for (std::int64_t i = 0; i < n; ++i) {
-        double acc = 0.0;
-        for (std::int64_t j = 0; j < d; ++j) {
-          acc += x[static_cast<std::size_t>(i * d + j)] *
-                 v[static_cast<std::size_t>(j)];
-        }
-        scores[static_cast<std::size_t>(i)] = acc;
+        scores[static_cast<std::size_t>(i)] = tensor::dot(row(i), v);
       }
-      double norm = 0.0;
-      for (std::int64_t j = 0; j < d; ++j) {
-        double acc = 0.0;
-        for (std::int64_t i = 0; i < n; ++i) {
-          acc += x[static_cast<std::size_t>(i * d + j)] *
-                 scores[static_cast<std::size_t>(i)];
-        }
-        v[static_cast<std::size_t>(j)] = acc;
-        norm += acc * acc;
+      // X^T scores accumulated row by row — same i-ascending order the
+      // scalar column loop used.
+      std::fill(vnext.begin(), vnext.end(), 0.0);
+      for (std::int64_t i = 0; i < n; ++i) {
+        tensor::axpy(scores[static_cast<std::size_t>(i)], row(i), vnext);
       }
-      norm = std::sqrt(norm);
+      const double norm = std::sqrt(tensor::dot(
+          std::span<const double>(vnext), std::span<const double>(vnext)));
+      v.swap(vnext);
       if (norm < 1e-12) break;  // no variance left
       for (auto& vj : v) vj /= norm;
     }
     // Final scores and component variance.
     double comp_var = 0.0;
     for (std::int64_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < d; ++j) {
-        acc += x[static_cast<std::size_t>(i * d + j)] *
-               v[static_cast<std::size_t>(j)];
-      }
+      const double acc = tensor::dot(row(i), v);
       scores[static_cast<std::size_t>(i)] = acc;
       result.projection[i * k + comp] = static_cast<float>(acc);
       comp_var += acc * acc;
@@ -96,11 +94,10 @@ PcaResult pca_project(const tensor::Tensor& rows, std::int64_t k,
                                         static_cast<double>(n - 1));
     // Deflate: X <- X - scores v^T.
     for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < d; ++j) {
-        x[static_cast<std::size_t>(i * d + j)] -=
-            scores[static_cast<std::size_t>(i)] *
-            v[static_cast<std::size_t>(j)];
-      }
+      tensor::axpy(-scores[static_cast<std::size_t>(i)],
+                   std::span<const double>(v),
+                   std::span<double>(x.data() + i * d,
+                                     static_cast<std::size_t>(d)));
     }
   }
   return result;

@@ -1,10 +1,23 @@
 #include "analysis/update_diagnostics.h"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "tensor/reduce.h"
 #include "util/stats.h"
 
 namespace zka::analysis {
+
+namespace {
+
+double cosine_of(std::span<const float> a, std::span<const float> b) {
+  const double na = tensor::squared_norm(a);
+  const double nb = tensor::squared_norm(b);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return tensor::dot(a, b) / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace
 
 UpdateDiagnostics diagnose_updates(
     const std::vector<std::vector<float>>& updates,
@@ -37,25 +50,28 @@ UpdateDiagnostics diagnose_updates(
   // Center = mean of all updates (what a statistic defense would anchor on).
   std::vector<double> center(dim, 0.0);
   for (const auto& u : updates) {
-    for (std::size_t i = 0; i < dim; ++i) center[i] += u[i];
+    tensor::axpy(1.0, std::span<const float>(u), std::span<double>(center));
   }
   for (auto& c : center) c /= static_cast<double>(updates.size());
 
-  auto delta_of = [&](std::size_t k) {
-    std::vector<float> delta(dim);
+  // Materialize all deltas once: every delta is reused across the O(n^2)
+  // pairwise cosine loops below, so rebuilding them per pair dominated the
+  // old implementation.
+  std::vector<std::vector<float>> deltas(updates.size());
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    deltas[k].resize(dim);
     for (std::size_t i = 0; i < dim; ++i) {
-      delta[i] = updates[k][i] - static_cast<float>(center[i]);
+      deltas[k][i] = updates[k][i] - static_cast<float>(center[i]);
     }
-    return delta;
-  };
+  }
 
   util::RunningStat benign_norm;
   util::RunningStat malicious_norm;
   for (const std::size_t k : benign) {
-    benign_norm.push(util::l2_norm(delta_of(k)));
+    benign_norm.push(std::sqrt(tensor::squared_norm(deltas[k])));
   }
   for (const std::size_t k : malicious) {
-    malicious_norm.push(util::l2_norm(delta_of(k)));
+    malicious_norm.push(std::sqrt(tensor::squared_norm(deltas[k])));
   }
   d.mean_benign_norm = benign_norm.mean();
   d.mean_malicious_norm = malicious_norm.mean();
@@ -64,9 +80,9 @@ UpdateDiagnostics diagnose_updates(
   util::RunningStat bb_cos;
   for (std::size_t a = 0; a < benign.size(); ++a) {
     for (std::size_t b = a + 1; b < benign.size(); ++b) {
-      bb_dist.push(util::l2_distance(updates[benign[a]], updates[benign[b]]));
-      bb_cos.push(util::cosine_similarity(delta_of(benign[a]),
-                                          delta_of(benign[b])));
+      bb_dist.push(std::sqrt(
+          tensor::squared_distance(updates[benign[a]], updates[benign[b]])));
+      bb_cos.push(cosine_of(deltas[benign[a]], deltas[benign[b]]));
     }
   }
   d.mean_benign_pairwise = bb_dist.mean();
@@ -76,8 +92,8 @@ UpdateDiagnostics diagnose_updates(
   util::RunningStat mb_cos;
   for (const std::size_t m : malicious) {
     for (const std::size_t b : benign) {
-      mb_dist.push(util::l2_distance(updates[m], updates[b]));
-      mb_cos.push(util::cosine_similarity(delta_of(m), delta_of(b)));
+      mb_dist.push(std::sqrt(tensor::squared_distance(updates[m], updates[b])));
+      mb_cos.push(cosine_of(deltas[m], deltas[b]));
     }
   }
   d.mean_cross_pairwise = mb_dist.mean();

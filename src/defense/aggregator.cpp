@@ -1,0 +1,51 @@
+#include "defense/aggregator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace zka::defense {
+
+AggregationResult Aggregator::aggregate(
+    const std::vector<Update>& updates,
+    const std::vector<std::int64_t>& weights) {
+  const std::vector<UpdateView> views = as_views(updates);
+  return aggregate(std::span<const UpdateView>(views),
+                   std::span<const std::int64_t>(weights));
+}
+
+std::vector<UpdateView> as_views(const std::vector<Update>& updates) {
+  std::vector<UpdateView> views;
+  views.reserve(updates.size());
+  for (const Update& u : updates) views.emplace_back(u);
+  return views;
+}
+
+void validate_updates(std::span<const UpdateView> updates,
+                      std::span<const std::int64_t> weights) {
+  if (updates.empty()) {
+    throw std::invalid_argument("aggregate: no updates submitted");
+  }
+  if (weights.size() != updates.size()) {
+    throw std::invalid_argument("aggregate: weights/updates size mismatch");
+  }
+  const std::size_t dim = updates.front().size();
+  if (dim == 0) throw std::invalid_argument("aggregate: empty update");
+  for (const UpdateView u : updates) {
+    if (u.size() != dim) {
+      throw std::invalid_argument("aggregate: updates have differing sizes");
+    }
+    // Failure injection guard: a single NaN/Inf coordinate would silently
+    // poison mean-based rules and corrupt Krum distances, so refuse it at
+    // the server boundary (a real deployment would drop the client).
+    for (const float value : u) {
+      if (!std::isfinite(value)) {
+        throw std::invalid_argument("aggregate: non-finite update value");
+      }
+    }
+  }
+  for (const std::int64_t w : weights) {
+    if (w < 0) throw std::invalid_argument("aggregate: negative weight");
+  }
+}
+
+}  // namespace zka::defense

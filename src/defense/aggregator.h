@@ -5,6 +5,12 @@
 // also report *which* updates contributed, which is what the paper's DPR
 // metric (Eq. 5) is computed from; statistic defenses (Median, TRmean)
 // blend coordinates from all updates and report no selection.
+//
+// Aggregators consume updates as read-only views (UpdateView). The server
+// round loop hands out spans over client buffers without copying — a
+// crafted malicious update submitted by many sybils is one buffer viewed
+// many times, not many deep copies. Owning-vector callers use the
+// convenience overload, which builds the view list and forwards.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,10 @@
 namespace zka::defense {
 
 using Update = std::vector<float>;
+
+/// Non-owning read-only view of one client's flat update. The pointee must
+/// outlive the aggregate() call (aggregators never retain views).
+using UpdateView = std::span<const float>;
 
 struct AggregationResult {
   Update model;
@@ -32,8 +42,14 @@ class Aggregator {
   /// client i (used by weighted FedAvg; robust rules may ignore it).
   /// Requires at least one update; all updates must have equal size.
   virtual AggregationResult aggregate(
-      const std::vector<Update>& updates,
-      const std::vector<std::int64_t>& weights) = 0;
+      std::span<const UpdateView> updates,
+      std::span<const std::int64_t> weights) = 0;
+
+  /// Convenience overload for owning vectors: builds the view list and
+  /// forwards to the span version. Derived classes re-expose it with
+  /// `using Aggregator::aggregate;`.
+  AggregationResult aggregate(const std::vector<Update>& updates,
+                              const std::vector<std::int64_t>& weights);
 
   /// Called by the server before collecting a round's updates, with the
   /// global model it just broadcast. Most rules ignore it; defenses that
@@ -51,9 +67,14 @@ class Aggregator {
   virtual std::string name() const = 0;
 };
 
-/// Throws std::invalid_argument unless updates is non-empty and rectangular.
-void validate_updates(const std::vector<Update>& updates,
-                      const std::vector<std::int64_t>& weights);
+/// View list over a vector of owning updates (no copies).
+std::vector<UpdateView> as_views(const std::vector<Update>& updates);
+
+/// Throws std::invalid_argument unless updates is non-empty and rectangular,
+/// every value is finite, and weights (when non-empty) match in count and
+/// are non-negative.
+void validate_updates(std::span<const UpdateView> updates,
+                      std::span<const std::int64_t> weights);
 
 /// Named construction for benches/CLIs: fedavg, median, trmean, mkrum,
 /// bulyan, foolsgold, normclip. `num_byzantine` is the defense's assumed

@@ -4,13 +4,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "defense/coordwise.h"
 #include "defense/krum.h"
-#include "util/stats.h"
 
 namespace zka::defense {
 
-AggregationResult Bulyan::aggregate(const std::vector<Update>& updates,
-                                    const std::vector<std::int64_t>& weights) {
+AggregationResult Bulyan::aggregate(std::span<const UpdateView> updates,
+                                    std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   // theta = n - 2f selections, clamped so at least one update survives.
@@ -22,24 +22,44 @@ AggregationResult Bulyan::aggregate(const std::vector<Update>& updates,
   AggregationResult result;
   result.selected = krum.select(updates);
 
+  std::vector<UpdateView> chosen;
+  chosen.reserve(result.selected.size());
+  for (const std::size_t k : result.selected) chosen.push_back(updates[k]);
+
   const std::size_t dim = updates.front().size();
   result.model.resize(dim);
-  std::vector<float> column(result.selected.size());
-  for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t k = 0; k < result.selected.size(); ++k) {
-      column[k] = updates[result.selected[k]][i];
-    }
-    const float med = util::median(std::vector<float>(column));
-    // Average the `keep` values closest to the median.
-    std::sort(column.begin(), column.end(),
-              [med](float a, float b) {
-                return std::abs(a - med) < std::abs(b - med);
-              });
+  for_each_sorted_coordinate(chosen, [&](std::size_t i,
+                                         std::span<const float> column) {
+    // The sorted column replaces the old median copy plus sort-by-|x-med|:
+    // in sorted order the values nearest the median form a window that a
+    // two-pointer walk grows outward in increasing-distance order.
+    const std::size_t s = column.size();
+    const std::size_t mid = s / 2;
+    const float med =
+        s % 2 == 1 ? column[mid]
+                   : static_cast<float>((static_cast<double>(column[mid - 1]) +
+                                         static_cast<double>(column[mid])) /
+                                        2.0);
+    std::ptrdiff_t r = static_cast<std::ptrdiff_t>(
+        std::lower_bound(column.begin(), column.end(), med) - column.begin());
+    std::ptrdiff_t l = r - 1;
+    const std::size_t kk = std::min(keep, s);
     double acc = 0.0;
-    const std::size_t kk = std::min(keep, column.size());
-    for (std::size_t k = 0; k < kk; ++k) acc += column[k];
+    for (std::size_t picked = 0; picked < kk; ++picked) {
+      const bool take_left =
+          r >= static_cast<std::ptrdiff_t>(s) ||
+          (l >= 0 && std::abs(column[static_cast<std::size_t>(l)] - med) <=
+                         std::abs(column[static_cast<std::size_t>(r)] - med));
+      if (take_left) {
+        acc += column[static_cast<std::size_t>(l)];
+        --l;
+      } else {
+        acc += column[static_cast<std::size_t>(r)];
+        ++r;
+      }
+    }
     result.model[i] = static_cast<float>(acc / static_cast<double>(kk));
-  }
+  });
   return result;
 }
 

@@ -11,8 +11,9 @@ class Bulyan : public Aggregator {
  public:
   explicit Bulyan(std::size_t num_byzantine) : f_(num_byzantine) {}
 
-  AggregationResult aggregate(const std::vector<Update>& updates,
-                              const std::vector<std::int64_t>& weights) override;
+  using Aggregator::aggregate;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return true; }
   std::string name() const override { return "Bulyan"; }
 

@@ -3,13 +3,14 @@
 #include <cmath>
 
 #include "defense/statistic.h"
+#include "tensor/reduce.h"
 #include "util/stats.h"
 
 namespace zka::defense {
 
 AggregationResult CenteredClipping::aggregate(
-    const std::vector<Update>& updates,
-    const std::vector<std::int64_t>& weights) {
+    std::span<const UpdateView> updates,
+    std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
@@ -23,20 +24,22 @@ AggregationResult CenteredClipping::aggregate(
 
   std::vector<double> norms(n);
   for (std::size_t k = 0; k < n; ++k) {
-    norms[k] = util::l2_distance(updates[k], center_);
+    norms[k] = std::sqrt(tensor::squared_distance(updates[k], center_));
   }
   last_tau_ = tau_ > 0.0 ? tau_ : util::median(std::vector<double>(norms));
 
-  std::vector<double> correction(dim, 0.0);
+  // sum_k s_k (u_k - center) = sum_k s_k u_k - S * center.
+  std::vector<double> scales(n);
+  double scale_total = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    const double scale =
+    scales[k] =
         (norms[k] > last_tau_ && norms[k] > 0.0) ? last_tau_ / norms[k] : 1.0;
-    for (std::size_t i = 0; i < dim; ++i) {
-      correction[i] += scale * (static_cast<double>(updates[k][i]) -
-                                center_[i]);
-    }
+    scale_total += scales[k];
   }
+  std::vector<double> correction(dim);
+  tensor::weighted_sum(updates, scales, correction);
   for (std::size_t i = 0; i < dim; ++i) {
+    correction[i] -= scale_total * static_cast<double>(center_[i]);
     center_[i] += static_cast<float>(correction[i] / static_cast<double>(n));
   }
 

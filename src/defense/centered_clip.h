@@ -16,8 +16,9 @@ class CenteredClipping : public Aggregator {
   /// distance between the updates and the current center.
   explicit CenteredClipping(double tau = 0.0) : tau_(tau) {}
 
-  AggregationResult aggregate(const std::vector<Update>& updates,
-                              const std::vector<std::int64_t>& weights) override;
+  using Aggregator::aggregate;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "CenteredClip"; }
 

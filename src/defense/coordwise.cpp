@@ -1,0 +1,53 @@
+#include "defense/coordwise.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/reduce.h"
+#include "util/thread_pool.h"
+
+namespace zka::defense {
+
+void for_each_sorted_coordinate(
+    std::span<const UpdateView> updates,
+    const std::function<void(std::size_t, std::span<const float>)>& fn) {
+  const std::size_t n = updates.size();
+  if (n == 0) return;
+  const std::size_t dim = updates.front().size();
+  const std::size_t rows = std::bit_ceil(n);
+  const std::size_t nblocks = (dim + kCoordBlock - 1) / kCoordBlock;
+
+  auto run_block = [&](std::size_t b) {
+    const std::size_t c0 = b * kCoordBlock;
+    const std::size_t c1 = std::min(dim, c0 + kCoordBlock);
+    const std::size_t width = c1 - c0;
+    // Transpose-free load: row r of the tile is just a contiguous slice
+    // of update r. Padding rows stay +inf and sort past the real values.
+    std::vector<float> tile(rows * width,
+                            std::numeric_limits<float>::infinity());
+    for (std::size_t r = 0; r < n; ++r) {
+      std::copy_n(updates[r].data() + c0, width, tile.data() + r * width);
+    }
+    tensor::sort_columns(tile.data(), rows, width);
+    // Gather each sorted column (stride = width) into a small contiguous
+    // buffer for the functor; the first n rows hold the real values.
+    std::vector<float> column(n);
+    for (std::size_t c = 0; c < width; ++c) {
+      for (std::size_t r = 0; r < n; ++r) column[r] = tile[r * width + c];
+      fn(c0 + c, std::span<const float>(column));
+    }
+  };
+
+  if (tensor::kernel_parallelism_enabled() && nblocks > 1 &&
+      n * dim >= (std::size_t{1} << 18) &&
+      util::global_thread_pool().size() > 1) {
+    util::global_thread_pool().parallel_for(nblocks, run_block);
+  } else {
+    for (std::size_t b = 0; b < nblocks; ++b) run_block(b);
+  }
+}
+
+}  // namespace zka::defense

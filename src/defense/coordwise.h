@@ -1,0 +1,47 @@
+// Cache-blocked coordinate-wise driver for the statistic defenses.
+//
+// Median, trimmed mean and Bulyan all run an order statistic over the n
+// client values of each coordinate. Updates are stored row-major (one
+// client = one contiguous vector), so the naive per-coordinate gather
+// strides by `dim` floats — with 100k-coordinate updates every access is a
+// fresh cache line and the pass is latency-bound. On top of that, a
+// per-coordinate std::sort of ~n floats costs hundreds of nanoseconds and
+// is repeated `dim` times.
+//
+// This driver transposes a block of kCoordBlock coordinates into an
+// L2-resident row-major tile (rows = clients, padded to a power of two
+// with +inf) and sorts *all columns of the tile at once* with a Batcher
+// odd-even merge network: each comparator is an elementwise min/max sweep
+// across the tile row pair, which the autovectorizer lowers to packed
+// min/max over many columns per instruction. The functor then receives
+// each coordinate's values as a contiguous, ascending-sorted span.
+//
+// The network's comparator sequence depends only on the (padded) client
+// count and block boundaries are a fixed function of `dim`, so the pass
+// is bitwise identical for any thread count. Blocks fan out over the
+// thread pool; each block writes a disjoint output range.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "defense/aggregator.h"
+
+namespace zka::defense {
+
+/// Coordinates per transposed tile. 512 coords × up to 128 padded clients
+/// × 4 bytes ≈ 256 KiB worst case — L2-resident alongside the source
+/// lines; the common n ≤ 64 case stays at or under 128 KiB.
+inline constexpr std::size_t kCoordBlock = 512;
+
+/// Calls fn(coord, values) for every coordinate in [0, dim), where
+/// `values` holds the n client values of that coordinate contiguously,
+/// sorted ascending. The span is only valid for the duration of the call;
+/// the functor must write its result elsewhere (typically out[coord]).
+/// Parallel over coordinate blocks when kernel parallelism is enabled.
+void for_each_sorted_coordinate(
+    std::span<const UpdateView> updates,
+    const std::function<void(std::size_t, std::span<const float>)>& fn);
+
+}  // namespace zka::defense

@@ -1,37 +1,129 @@
 #include "defense/distance.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/reduce.h"
+#include "util/thread_pool.h"
 
 namespace zka::defense {
+namespace {
 
-std::vector<std::vector<double>> pairwise_sq_distances(
-    const std::vector<Update>& updates) {
+// Below either bound the Gram detour (pack + GEMM + correction scan) costs
+// more than exact per-pair reductions.
+constexpr std::size_t kGramMinRows = 8;
+constexpr std::size_t kGramMinDim = 64;
+
+// Row-parallel assembly: task i owns the strictly-upper entries of row i
+// plus their mirrors in column i, so writes are disjoint and every entry
+// is a pure function of (i, j) — deterministic for any thread count.
+void for_each_row(std::size_t n, std::size_t dim,
+                  const std::function<void(std::size_t)>& body) {
+  if (tensor::kernel_parallelism_enabled() && n > 1 &&
+      n * dim >= (std::size_t{1} << 18) &&
+      util::global_thread_pool().size() > 1) {
+    util::global_thread_pool().parallel_for(n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace
+
+PairwiseMatrix pairwise_sq_distances(std::span<const UpdateView> updates) {
   const std::size_t n = updates.size();
-  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      double acc = 0.0;
-      const Update& a = updates[i];
-      const Update& b = updates[j];
-      for (std::size_t k = 0; k < a.size(); ++k) {
-        const double diff = static_cast<double>(a[k]) - b[k];
-        acc += diff * diff;
+  PairwiseMatrix d(n);
+  if (n < 2) return d;
+  const std::size_t dim = updates.front().size();
+
+  if (n >= kGramMinRows && dim >= kGramMinDim) {
+    std::vector<float> gram(n * n);
+    std::vector<double> sqn(n);
+    tensor::gram_matrix(updates, gram, sqn);
+    for_each_row(n, dim, [&](std::size_t i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double scale = sqn[i] + sqn[j];
+        double d2 = scale - 2.0 * static_cast<double>(gram[i * n + j]);
+        // Cancellation guard: a small expanded distance (colluders, and
+        // any negative round-off) is mostly float noise — recompute it
+        // exactly so Krum's tiny-margin rankings stay trustworthy.
+        if (d2 < kCorrectionThreshold * scale) {
+          d2 = tensor::squared_distance(updates[i], updates[j]);
+        }
+        d(i, j) = d2;
+        d(j, i) = d2;
       }
-      d[i][j] = acc;
-      d[j][i] = acc;
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d2 = tensor::squared_distance(updates[i], updates[j]);
+        d(i, j) = d2;
+        d(j, i) = d2;
+      }
     }
   }
   return d;
 }
 
-double krum_score(const std::vector<std::vector<double>>& sq_dist,
-                  std::size_t i, std::size_t num_neighbors,
+PairwiseMatrix pairwise_cosine(std::span<const UpdateView> updates) {
+  const std::size_t n = updates.size();
+  PairwiseMatrix cs(n);
+  if (n == 0) return cs;
+  const std::size_t dim = updates.front().size();
+
+  if (n >= kGramMinRows && dim >= kGramMinDim) {
+    std::vector<float> gram(n * n);
+    std::vector<double> sqn(n);
+    tensor::gram_matrix(updates, gram, sqn);
+    std::vector<double> inv_norm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      inv_norm[i] = sqn[i] > 0.0 ? 1.0 / std::sqrt(sqn[i]) : 0.0;
+    }
+    for_each_row(n, dim, [&](std::size_t i) {
+      cs(i, i) = sqn[i] > 0.0 ? 1.0 : 0.0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double c =
+            static_cast<double>(gram[i * n + j]) * inv_norm[i] * inv_norm[j];
+        cs(i, j) = c;
+        cs(j, i) = c;
+      }
+    });
+  } else {
+    std::vector<double> sqn(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sqn[i] = tensor::squared_norm(updates[i]);
+      cs(i, i) = sqn[i] > 0.0 ? 1.0 : 0.0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double c = 0.0;
+        if (sqn[i] > 0.0 && sqn[j] > 0.0) {
+          c = tensor::dot(updates[i], updates[j]) /
+              (std::sqrt(sqn[i]) * std::sqrt(sqn[j]));
+        }
+        cs(i, j) = c;
+        cs(j, i) = c;
+      }
+    }
+  }
+  return cs;
+}
+
+double krum_score(const PairwiseMatrix& sq_dist, std::size_t i,
+                  std::size_t num_neighbors,
                   const std::vector<bool>& excluded) {
+  const std::size_t n = sq_dist.size();
   std::vector<double> dists;
-  dists.reserve(sq_dist.size());
-  for (std::size_t j = 0; j < sq_dist.size(); ++j) {
+  dists.reserve(n);
+  const double* row = sq_dist.row(i);
+  for (std::size_t j = 0; j < n; ++j) {
     if (j == i || excluded[j]) continue;
-    dists.push_back(sq_dist[i][j]);
+    dists.push_back(row[j]);
   }
   const std::size_t k = std::min(num_neighbors, dists.size());
   std::partial_sort(dists.begin(),

@@ -5,11 +5,12 @@
 #include <numeric>
 
 #include "defense/fedavg.h"
+#include "tensor/reduce.h"
 
 namespace zka::defense {
 
-AggregationResult Dnc::aggregate(const std::vector<Update>& updates,
-                                 const std::vector<std::int64_t>& weights) {
+AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
+                                 std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
@@ -32,7 +33,7 @@ AggregationResult Dnc::aggregate(const std::vector<Update>& updates,
 
     // Centered submatrix A [n, b].
     std::vector<double> mean(b, 0.0);
-    for (const Update& u : updates) {
+    for (const UpdateView u : updates) {
       for (std::size_t j = 0; j < b; ++j) mean[j] += u[coords[j]];
     }
     for (auto& m : mean) m /= static_cast<double>(n);
@@ -42,6 +43,9 @@ AggregationResult Dnc::aggregate(const std::vector<Update>& updates,
         a[i * b + j] = updates[i][coords[j]] - mean[j];
       }
     }
+    const auto row = [&](std::size_t i) {
+      return std::span<const double>(a.data() + i * b, b);
+    };
 
     // Power iteration for the top right singular vector v in R^b.
     std::vector<double> v(b);
@@ -49,20 +53,18 @@ AggregationResult Dnc::aggregate(const std::vector<Update>& updates,
       v[j] = std::sin(0.37 * static_cast<double>(j + 1)) + 0.011;
     }
     std::vector<double> av(n);
+    std::vector<double> vnext(b);
     for (int it = 0; it < options_.power_iterations; ++it) {
+      for (std::size_t i = 0; i < n; ++i) av[i] = tensor::dot(row(i), v);
+      // v <- A^T (A v), accumulated row by row (same i-ascending order the
+      // scalar column loop used).
+      std::fill(vnext.begin(), vnext.end(), 0.0);
       for (std::size_t i = 0; i < n; ++i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < b; ++j) acc += a[i * b + j] * v[j];
-        av[i] = acc;
+        tensor::axpy(av[i], row(i), vnext);
       }
-      double norm = 0.0;
-      for (std::size_t j = 0; j < b; ++j) {
-        double acc = 0.0;
-        for (std::size_t i = 0; i < n; ++i) acc += a[i * b + j] * av[i];
-        v[j] = acc;
-        norm += acc * acc;
-      }
-      norm = std::sqrt(norm);
+      const double norm = std::sqrt(tensor::dot(
+          std::span<const double>(vnext), std::span<const double>(vnext)));
+      v.swap(vnext);
       if (norm < 1e-12) break;  // centered data is degenerate
       for (auto& x : v) x /= norm;
     }
@@ -70,8 +72,7 @@ AggregationResult Dnc::aggregate(const std::vector<Update>& updates,
     // Outlier scores: squared projection on v.
     std::vector<std::pair<double, std::size_t>> scores(n);
     for (std::size_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < b; ++j) acc += a[i * b + j] * v[j];
+      const double acc = tensor::dot(row(i), v);
       scores[i] = {acc * acc, i};
     }
     std::sort(scores.begin(), scores.end());

@@ -27,8 +27,9 @@ class Dnc : public Aggregator {
   explicit Dnc(DncOptions options, std::uint64_t seed = 0xd4c)
       : options_(options), rng_(seed) {}
 
-  AggregationResult aggregate(const std::vector<Update>& updates,
-                              const std::vector<std::int64_t>& weights) override;
+  using Aggregator::aggregate;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return true; }
   std::string name() const override { return "DnC"; }
 

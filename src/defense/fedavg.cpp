@@ -1,57 +1,29 @@
 #include "defense/fedavg.h"
 
-#include <cmath>
 #include <stdexcept>
+
+#include "tensor/reduce.h"
 
 namespace zka::defense {
 
-void validate_updates(const std::vector<Update>& updates,
-                      const std::vector<std::int64_t>& weights) {
-  if (updates.empty()) {
-    throw std::invalid_argument("aggregate: no updates submitted");
-  }
-  if (weights.size() != updates.size()) {
-    throw std::invalid_argument("aggregate: weights/updates size mismatch");
-  }
-  const std::size_t dim = updates.front().size();
-  if (dim == 0) throw std::invalid_argument("aggregate: empty update");
-  for (const Update& u : updates) {
-    if (u.size() != dim) {
-      throw std::invalid_argument("aggregate: updates have differing sizes");
-    }
-    // Failure injection guard: a single NaN/Inf coordinate would silently
-    // poison mean-based rules and corrupt Krum distances, so refuse it at
-    // the server boundary (a real deployment would drop the client).
-    for (const float value : u) {
-      if (!std::isfinite(value)) {
-        throw std::invalid_argument("aggregate: non-finite update value");
-      }
-    }
-  }
-  for (const std::int64_t w : weights) {
-    if (w < 0) throw std::invalid_argument("aggregate: negative weight");
-  }
-}
-
-AggregationResult FedAvg::aggregate(const std::vector<Update>& updates,
-                                    const std::vector<std::int64_t>& weights) {
+AggregationResult FedAvg::aggregate(std::span<const UpdateView> updates,
+                                    std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   double total = 0.0;
   for (const std::int64_t w : weights) total += static_cast<double>(w);
+  const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
-  std::vector<double> acc(dim, 0.0);
+  std::vector<double> coeffs(n);
   if (total <= 0.0) {
     // All-zero weights degenerate to the unweighted mean.
-    for (const Update& u : updates) {
-      for (std::size_t i = 0; i < dim; ++i) acc[i] += u[i];
-    }
-    for (auto& a : acc) a /= static_cast<double>(updates.size());
+    for (auto& c : coeffs) c = 1.0 / static_cast<double>(n);
   } else {
-    for (std::size_t k = 0; k < updates.size(); ++k) {
-      const double w = static_cast<double>(weights[k]) / total;
-      for (std::size_t i = 0; i < dim; ++i) acc[i] += w * updates[k][i];
+    for (std::size_t k = 0; k < n; ++k) {
+      coeffs[k] = static_cast<double>(weights[k]) / total;
     }
   }
+  std::vector<double> acc(dim);
+  tensor::weighted_sum(updates, coeffs, acc);
   AggregationResult result;
   result.model.resize(dim);
   for (std::size_t i = 0; i < dim; ++i) {
@@ -60,15 +32,19 @@ AggregationResult FedAvg::aggregate(const std::vector<Update>& updates,
   return result;
 }
 
-Update mean_of(const std::vector<Update>& updates,
+Update mean_of(std::span<const UpdateView> updates,
                const std::vector<std::size_t>& subset) {
   if (subset.empty()) throw std::invalid_argument("mean_of: empty subset");
   const std::size_t dim = updates.front().size();
-  std::vector<double> acc(dim, 0.0);
+  std::vector<UpdateView> rows;
+  rows.reserve(subset.size());
   for (const std::size_t k : subset) {
-    const Update& u = updates.at(k);
-    for (std::size_t i = 0; i < dim; ++i) acc[i] += u[i];
+    if (k >= updates.size()) throw std::out_of_range("mean_of: bad index");
+    rows.push_back(updates[k]);
   }
+  const std::vector<double> ones(subset.size(), 1.0);
+  std::vector<double> acc(dim);
+  tensor::weighted_sum(rows, ones, acc);
   Update mean(dim);
   for (std::size_t i = 0; i < dim; ++i) {
     mean[i] = static_cast<float>(acc[i] / static_cast<double>(subset.size()));

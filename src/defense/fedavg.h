@@ -8,15 +8,16 @@ namespace zka::defense {
 
 class FedAvg : public Aggregator {
  public:
-  AggregationResult aggregate(const std::vector<Update>& updates,
-                              const std::vector<std::int64_t>& weights) override;
+  using Aggregator::aggregate;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "FedAvg"; }
 };
 
 /// Unweighted mean of the given updates (shared helper; mKrum and Bulyan
 /// average their selected subsets with it).
-Update mean_of(const std::vector<Update>& updates,
+Update mean_of(std::span<const UpdateView> updates,
                const std::vector<std::size_t>& subset);
 
 }  // namespace zka::defense

@@ -8,7 +8,7 @@
 #include "data/loader.h"
 #include "nn/loss.h"
 #include "nn/sgd.h"
-#include "util/stats.h"
+#include "tensor/reduce.h"
 
 namespace zka::defense {
 
@@ -45,9 +45,8 @@ void FlTrust::begin_round(std::span<const float> global_model,
   server_update_ = nn::get_flat_params(*model);
 }
 
-AggregationResult FlTrust::aggregate(
-    const std::vector<Update>& updates,
-    const std::vector<std::int64_t>& weights) {
+AggregationResult FlTrust::aggregate(std::span<const UpdateView> updates,
+                                     std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   if (global_.size() != updates.front().size() ||
       server_update_.size() != updates.front().size()) {
@@ -57,12 +56,16 @@ AggregationResult FlTrust::aggregate(
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
 
-  // Deltas relative to the broadcast model.
+  // Deltas relative to the broadcast model. The client delta is
+  // materialized in a reused scratch (not expanded algebraically): deltas
+  // are tiny relative to the model, so the cosine must be computed on the
+  // exact differences to keep trust scores meaningful.
   std::vector<float> server_delta(dim);
   for (std::size_t i = 0; i < dim; ++i) {
     server_delta[i] = server_update_[i] - global_[i];
   }
-  const double server_norm = util::l2_norm(server_delta);
+  const double server_sqnorm = tensor::squared_norm(server_delta);
+  const double server_norm = std::sqrt(server_sqnorm);
 
   last_scores_.assign(n, 0.0);
   std::vector<double> aggregated(dim, 0.0);
@@ -74,18 +77,22 @@ AggregationResult FlTrust::aggregate(
       delta[i] = updates[k][i] - global_[i];
     }
     // Trust score: ReLU(cosine similarity to the server delta).
-    const double cos = util::cosine_similarity(delta, server_delta);
+    const double sqnorm = tensor::squared_norm(delta);
+    double cos = 0.0;
+    if (sqnorm > 0.0 && server_sqnorm > 0.0) {
+      cos = tensor::dot(delta, server_delta) /
+            (std::sqrt(sqnorm) * server_norm);
+    }
     const double trust = std::max(cos, 0.0);
     last_scores_[k] = trust;
     if (trust <= 0.0) continue;
     result.selected.push_back(k);
     score_total += trust;
     // Normalize the client delta to the server delta's magnitude.
-    const double norm = util::l2_norm(delta);
+    const double norm = std::sqrt(sqnorm);
     const double rescale = norm > 0.0 ? server_norm / norm : 0.0;
-    for (std::size_t i = 0; i < dim; ++i) {
-      aggregated[i] += trust * rescale * delta[i];
-    }
+    tensor::axpy(trust * rescale, std::span<const float>(delta),
+                 std::span<double>(aggregated));
   }
 
   result.model = global_;

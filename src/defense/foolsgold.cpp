@@ -3,32 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/stats.h"
+#include "defense/distance.h"
+#include "tensor/reduce.h"
 
 namespace zka::defense {
 
-AggregationResult FoolsGold::aggregate(
-    const std::vector<Update>& updates,
-    const std::vector<std::int64_t>& weights) {
+AggregationResult FoolsGold::aggregate(std::span<const UpdateView> updates,
+                                       std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
 
-  // Pairwise cosine similarity.
-  std::vector<std::vector<double>> cs(n, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double sim = util::cosine_similarity(updates[i], updates[j]);
-      cs[i][j] = sim;
-      cs[j][i] = sim;
-    }
-  }
+  // Pairwise cosine similarity (Gram fast path for big rounds).
+  const PairwiseMatrix cs = pairwise_cosine(updates);
 
   // v_i = max_j cs_ij; pardoning rescale, then logit squash.
   std::vector<double> v(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      if (j != i) v[i] = std::max(v[i], cs[i][j]);
+      if (j != i) v[i] = std::max(v[i], cs(i, j));
     }
   }
   std::vector<double> wv(n, 0.0);
@@ -38,7 +31,7 @@ AggregationResult FoolsGold::aggregate(
       if (j == i) continue;
       // Pardoning: rescale similarity by the ratio of maxima.
       if (v[j] > v[i] && v[j] > 0.0) {
-        m = std::max(m, cs[i][j] * v[i] / v[j]);
+        m = std::max(m, cs(i, j) * v[i] / v[j]);
       }
     }
     wv[i] = 1.0 - m;
@@ -56,28 +49,24 @@ AggregationResult FoolsGold::aggregate(
   double total = 0.0;
   for (const double w : wv) total += w;
   AggregationResult result;
-  result.model.assign(dim, 0.0f);
+  std::vector<double> coeffs(n);
   if (total <= 0.0) {
     // Everything looked like a Sybil: fall back to the plain mean.
-    for (const Update& u : updates) {
-      for (std::size_t i = 0; i < dim; ++i) result.model[i] += u[i];
-    }
-    for (auto& x : result.model) x /= static_cast<float>(n);
+    for (auto& c : coeffs) c = 1.0 / static_cast<double>(n);
     last_weights_.assign(n, 1.0 / static_cast<double>(n));
     for (std::size_t k = 0; k < n; ++k) result.selected.push_back(k);
-    return result;
+  } else {
+    for (std::size_t k = 0; k < n; ++k) coeffs[k] = wv[k] / total;
+    last_weights_ = wv;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (wv[k] >= select_threshold_) result.selected.push_back(k);
+    }
   }
-  std::vector<double> acc(dim, 0.0);
-  for (std::size_t k = 0; k < n; ++k) {
-    const double w = wv[k] / total;
-    for (std::size_t i = 0; i < dim; ++i) acc[i] += w * updates[k][i];
-  }
+  std::vector<double> acc(dim);
+  tensor::weighted_sum(updates, coeffs, acc);
+  result.model.resize(dim);
   for (std::size_t i = 0; i < dim; ++i) {
     result.model[i] = static_cast<float>(acc[i]);
-  }
-  last_weights_ = wv;
-  for (std::size_t k = 0; k < n; ++k) {
-    if (wv[k] >= select_threshold_) result.selected.push_back(k);
   }
   return result;
 }

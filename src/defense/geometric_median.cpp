@@ -1,14 +1,15 @@
 #include "defense/geometric_median.h"
 
+#include <algorithm>
 #include <cmath>
 
-#include "util/stats.h"
+#include "tensor/reduce.h"
 
 namespace zka::defense {
 
 AggregationResult GeometricMedian::aggregate(
-    const std::vector<Update>& updates,
-    const std::vector<std::int64_t>& weights) {
+    std::span<const UpdateView> updates,
+    std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
@@ -16,12 +17,14 @@ AggregationResult GeometricMedian::aggregate(
   // Start from the weighted arithmetic mean.
   double total_weight = 0.0;
   for (const auto w : weights) total_weight += static_cast<double>(w);
-  std::vector<double> point(dim, 0.0);
+  std::vector<double> coeffs(n);
   for (std::size_t k = 0; k < n; ++k) {
-    const double w =
-        total_weight > 0.0 ? weights[k] / total_weight : 1.0 / n;
-    for (std::size_t i = 0; i < dim; ++i) point[i] += w * updates[k][i];
+    coeffs[k] = total_weight > 0.0
+                    ? static_cast<double>(weights[k]) / total_weight
+                    : 1.0 / static_cast<double>(n);
   }
+  std::vector<double> point(dim);
+  tensor::weighted_sum(updates, coeffs, point);
 
   std::vector<double> next(dim);
   last_iterations_ = 0;
@@ -29,18 +32,14 @@ AggregationResult GeometricMedian::aggregate(
     ++last_iterations_;
     // Weiszfeld step: weighted average with weights w_k / dist_k.
     double denom = 0.0;
-    std::fill(next.begin(), next.end(), 0.0);
     for (std::size_t k = 0; k < n; ++k) {
-      double sq = 0.0;
-      for (std::size_t i = 0; i < dim; ++i) {
-        const double d = updates[k][i] - point[i];
-        sq += d * d;
-      }
+      const double sq = tensor::squared_distance(updates[k], point);
       const double dist = std::max(std::sqrt(sq), smoothing_);
-      const double w = (total_weight > 0.0 ? weights[k] : 1.0) / dist;
-      denom += w;
-      for (std::size_t i = 0; i < dim; ++i) next[i] += w * updates[k][i];
+      coeffs[k] =
+          (total_weight > 0.0 ? static_cast<double>(weights[k]) : 1.0) / dist;
+      denom += coeffs[k];
     }
+    tensor::weighted_sum(updates, coeffs, next);
     double movement = 0.0;
     for (std::size_t i = 0; i < dim; ++i) {
       next[i] /= denom;

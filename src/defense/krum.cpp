@@ -10,7 +10,7 @@
 namespace zka::defense {
 
 std::vector<std::size_t> MultiKrum::select(
-    const std::vector<Update>& updates) const {
+    std::span<const UpdateView> updates) const {
   const std::size_t n = updates.size();
   std::size_t m = m_ == 0 ? (n > f_ ? n - f_ : 1) : m_;
   m = std::min(m, n);
@@ -18,7 +18,7 @@ std::vector<std::size_t> MultiKrum::select(
   // Krum needs n - f - 2 >= 1 neighbors; degrade gracefully on tiny rounds.
   const std::size_t neighbors = n > f_ + 2 ? n - f_ - 2 : 1;
 
-  const auto sq_dist = pairwise_sq_distances(updates);
+  const PairwiseMatrix sq_dist = pairwise_sq_distances(updates);
   std::vector<bool> excluded(n, false);
   std::vector<std::size_t> selected;
   selected.reserve(m);
@@ -55,9 +55,14 @@ std::vector<std::size_t> MultiKrum::select(
   return selected;
 }
 
-AggregationResult MultiKrum::aggregate(
-    const std::vector<Update>& updates,
-    const std::vector<std::int64_t>& weights) {
+std::vector<std::size_t> MultiKrum::select(
+    const std::vector<Update>& updates) const {
+  const std::vector<UpdateView> views = as_views(updates);
+  return select(std::span<const UpdateView>(views));
+}
+
+AggregationResult MultiKrum::aggregate(std::span<const UpdateView> updates,
+                                       std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   AggregationResult result;
   result.selected = select(updates);

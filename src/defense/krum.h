@@ -24,13 +24,15 @@ class MultiKrum : public Aggregator {
             bool iterative = false)
       : f_(num_byzantine), m_(num_selected), iterative_(iterative) {}
 
-  AggregationResult aggregate(const std::vector<Update>& updates,
-                              const std::vector<std::int64_t>& weights) override;
+  using Aggregator::aggregate;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return true; }
   std::string name() const override { return m_ == 1 ? "Krum" : "mKrum"; }
 
   /// The selection indices for a given round, without averaging (used by
   /// Bulyan, which post-processes the selected set).
+  std::vector<std::size_t> select(std::span<const UpdateView> updates) const;
   std::vector<std::size_t> select(const std::vector<Update>& updates) const;
 
  private:

@@ -4,13 +4,14 @@
 #include <cmath>
 
 #include "defense/statistic.h"
+#include "tensor/reduce.h"
 #include "util/stats.h"
 
 namespace zka::defense {
 
 AggregationResult NormClipping::aggregate(
-    const std::vector<Update>& updates,
-    const std::vector<std::int64_t>& weights) {
+    std::span<const UpdateView> updates,
+    std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
@@ -22,28 +23,29 @@ AggregationResult NormClipping::aggregate(
   // Clip radius = median of the deviation norms.
   std::vector<double> norms(n, 0.0);
   for (std::size_t k = 0; k < n; ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < dim; ++i) {
-      const double d = static_cast<double>(updates[k][i]) - center[i];
-      acc += d * d;
-    }
-    norms[k] = std::sqrt(acc);
+    norms[k] = std::sqrt(tensor::squared_distance(updates[k], center));
   }
   const double radius = util::median(std::vector<double>(norms));
 
-  AggregationResult result;
-  std::vector<double> acc(dim, 0.0);
+  // mean_k [center + s_k (u_k - center)] = (1 - S) center + sum_k c_k u_k
+  // with c_k = s_k / n and S = sum c_k; one weighted_sum instead of n
+  // scalar passes.
+  std::vector<double> coeffs(n);
+  double coeff_total = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
     const double scale =
         (norms[k] > radius && norms[k] > 0.0) ? radius / norms[k] : 1.0;
-    for (std::size_t i = 0; i < dim; ++i) {
-      acc[i] += center[i] + scale * (static_cast<double>(updates[k][i]) -
-                                     center[i]);
-    }
+    coeffs[k] = scale / static_cast<double>(n);
+    coeff_total += coeffs[k];
   }
+  std::vector<double> acc(dim);
+  tensor::weighted_sum(updates, coeffs, acc);
+
+  AggregationResult result;
   result.model.resize(dim);
   for (std::size_t i = 0; i < dim; ++i) {
-    result.model[i] = static_cast<float>(acc[i] / static_cast<double>(n));
+    result.model[i] = static_cast<float>(
+        acc[i] + (1.0 - coeff_total) * static_cast<double>(center[i]));
   }
   return result;
 }

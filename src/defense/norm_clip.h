@@ -9,8 +9,9 @@ namespace zka::defense {
 
 class NormClipping : public Aggregator {
  public:
-  AggregationResult aggregate(const std::vector<Update>& updates,
-                              const std::vector<std::int64_t>& weights) override;
+  using Aggregator::aggregate;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "NormClip"; }
 };

@@ -3,34 +3,30 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "defense/coordwise.h"
+
 namespace zka::defense {
 
-AggregationResult Median::aggregate(const std::vector<Update>& updates,
-                                    const std::vector<std::int64_t>& weights) {
+AggregationResult Median::aggregate(std::span<const UpdateView> updates,
+                                    std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t dim = updates.front().size();
   const std::size_t n = updates.size();
   AggregationResult result;
   result.model.resize(dim);
-  std::vector<float> column(n);
-  for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t k = 0; k < n; ++k) column[k] = updates[k][i];
-    const std::size_t mid = n / 2;
-    std::nth_element(column.begin(), column.begin() + mid, column.end());
-    float v = column[mid];
-    if (n % 2 == 0) {
-      std::nth_element(column.begin(), column.begin() + mid - 1,
-                       column.begin() + mid);
-      v = (v + column[mid - 1]) / 2.0f;
-    }
-    result.model[i] = v;
-  }
+  for_each_sorted_coordinate(
+      updates, [&](std::size_t i, std::span<const float> column) {
+        const std::size_t mid = n / 2;
+        float v = column[mid];
+        if (n % 2 == 0) v = (v + column[mid - 1]) / 2.0f;
+        result.model[i] = v;
+      });
   return result;
 }
 
 AggregationResult TrimmedMean::aggregate(
-    const std::vector<Update>& updates,
-    const std::vector<std::int64_t>& weights) {
+    std::span<const UpdateView> updates,
+    std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   if (n <= 2 * trim_) {
@@ -39,15 +35,13 @@ AggregationResult TrimmedMean::aggregate(
   const std::size_t dim = updates.front().size();
   AggregationResult result;
   result.model.resize(dim);
-  std::vector<float> column(n);
-  for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t k = 0; k < n; ++k) column[k] = updates[k][i];
-    std::sort(column.begin(), column.end());
-    double acc = 0.0;
-    for (std::size_t k = trim_; k < n - trim_; ++k) acc += column[k];
-    result.model[i] =
-        static_cast<float>(acc / static_cast<double>(n - 2 * trim_));
-  }
+  for_each_sorted_coordinate(
+      updates, [&](std::size_t i, std::span<const float> column) {
+        double acc = 0.0;
+        for (std::size_t k = trim_; k < n - trim_; ++k) acc += column[k];
+        result.model[i] =
+            static_cast<float>(acc / static_cast<double>(n - 2 * trim_));
+      });
   return result;
 }
 

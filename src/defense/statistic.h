@@ -9,8 +9,9 @@ namespace zka::defense {
 
 class Median : public Aggregator {
  public:
-  AggregationResult aggregate(const std::vector<Update>& updates,
-                              const std::vector<std::int64_t>& weights) override;
+  using Aggregator::aggregate;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "Median"; }
 };
@@ -21,8 +22,9 @@ class TrimmedMean : public Aggregator {
   /// before averaging. Requires updates.size() > 2 * trim at aggregate time.
   explicit TrimmedMean(std::size_t trim) : trim_(trim) {}
 
-  AggregationResult aggregate(const std::vector<Update>& updates,
-                              const std::vector<std::int64_t>& weights) override;
+  using Aggregator::aggregate;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "TRmean"; }
 

@@ -126,10 +126,11 @@ double BaselineCache::attack_free_accuracy(SimulationConfig config) {
   config.malicious_fraction = 0.0;
   std::ostringstream key;
   key << models::task_name(config.task) << '/' << config.seed << '/'
-      << config.rounds << '/' << config.train_size << '/' << config.beta
-      << '/' << config.num_clients << '/' << config.clients_per_round << '/'
-      << config.client.learning_rate << '/' << config.client.local_epochs
-      << '/' << config.client.batch_size << '/' << config.eval_every;
+      << config.rounds << '/' << config.train_size << '/' << config.test_size
+      << '/' << config.beta << '/' << config.num_clients << '/'
+      << config.clients_per_round << '/' << config.client.learning_rate << '/'
+      << config.client.local_epochs << '/' << config.client.batch_size << '/'
+      << config.eval_every;
   const auto it = cache_.find(key.str());
   if (it != cache_.end()) return it->second;
   Simulation sim(config);

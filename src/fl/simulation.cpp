@@ -151,8 +151,10 @@ SimulationResult Simulation::run(attack::Attack* attack) {
       }
     }
 
-    // Assemble the round's submissions in sampling order.
-    std::vector<defense::Update> updates;
+    // Assemble the round's submissions in sampling order as views: every
+    // malicious client shares the one crafted buffer instead of deep
+    // copies, and benign updates stay in their training slots.
+    std::vector<defense::UpdateView> updates;
     std::vector<std::int64_t> weights;
     std::vector<bool> is_malicious;
     updates.reserve(sampled.size());
@@ -162,9 +164,9 @@ SimulationResult Simulation::run(attack::Attack* attack) {
           attack != nullptr && static_cast<std::int64_t>(c) < num_malicious_;
       is_malicious.push_back(mal);
       if (mal) {
-        updates.push_back(malicious_update);
+        updates.emplace_back(malicious_update);
       } else {
-        updates.push_back(std::move(benign_updates[benign_cursor]));
+        updates.emplace_back(benign_updates[benign_cursor]);
         ++benign_cursor;
       }
       weights.push_back(std::max<std::int64_t>(

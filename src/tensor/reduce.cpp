@@ -1,0 +1,176 @@
+#include "tensor/reduce.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/reduce_dispatch.h"
+#include "util/thread_pool.h"
+
+namespace zka::tensor {
+namespace {
+
+// Coordinate-block width of the parallel helpers. The grid is a function
+// of the problem size only — thread count decides who computes a block,
+// never where its boundaries are — so partials always combine the same
+// way. A multiple of kReduceLanes keeps every block on the fast path.
+constexpr std::size_t kReduceBlock = 4096;
+
+// Work below this many accumulated elements runs inline: the fork/join
+// handshake costs more than the arithmetic.
+constexpr std::size_t kMinParallelElems = std::size_t{1} << 18;
+
+struct Backend {
+  const detail::ReduceKernels* kernels;
+  const char* name;
+};
+
+Backend select_backend() {
+#if defined(__x86_64__) && defined(__GNUC__)
+#if defined(ZKA_GEMM_AVX512)
+  if (__builtin_cpu_supports("avx512f")) {
+    return {&detail::avx512::kernels, "avx512f"};
+  }
+#endif
+#if defined(ZKA_GEMM_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {&detail::avx2::kernels, "avx2+fma"};
+  }
+#endif
+#endif
+  return {&detail::generic::kernels, "generic"};
+}
+
+const Backend& backend() {
+  static const Backend b = select_backend();
+  return b;
+}
+
+// Fixed block grid over `extent` elements, run across the pool when the
+// total work is worth a fork (and parallelism is enabled).
+void for_each_block(std::size_t extent, std::size_t total_work,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t nblocks = (extent + kReduceBlock - 1) / kReduceBlock;
+  auto run = [&](std::size_t b) {
+    const std::size_t c0 = b * kReduceBlock;
+    body(c0, std::min(extent, c0 + kReduceBlock));
+  };
+  if (kernel_parallelism_enabled() && nblocks > 1 &&
+      total_work >= kMinParallelElems &&
+      util::global_thread_pool().size() > 1) {
+    util::global_thread_pool().parallel_for(nblocks, run);
+  } else {
+    for (std::size_t b = 0; b < nblocks; ++b) run(b);
+  }
+}
+
+}  // namespace
+
+const char* reduce_backend_name() noexcept { return backend().name; }
+
+double dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  return backend().kernels->dot_ff(a.data(), b.data(), a.size());
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  return backend().kernels->dot_dd(a.data(), b.data(), a.size());
+}
+
+double squared_norm(std::span<const float> a) noexcept {
+  return backend().kernels->sqnorm_f(a.data(), a.size());
+}
+
+double squared_distance(std::span<const float> a,
+                        std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  return backend().kernels->sqdist_ff(a.data(), b.data(), a.size());
+}
+
+double squared_distance(std::span<const float> a,
+                        std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  return backend().kernels->sqdist_fd(a.data(), b.data(), a.size());
+}
+
+void axpy(double alpha, std::span<const float> x,
+          std::span<double> y) noexcept {
+  assert(x.size() == y.size());
+  backend().kernels->axpy_fd(alpha, x.data(), y.data(), x.size());
+}
+
+void axpy(double alpha, std::span<const double> x,
+          std::span<double> y) noexcept {
+  assert(x.size() == y.size());
+  backend().kernels->axpy_dd(alpha, x.data(), y.data(), x.size());
+}
+
+void weighted_sum(std::span<const std::span<const float>> rows,
+                  std::span<const double> coeffs, std::span<double> out) {
+  assert(rows.size() == coeffs.size());
+  const std::size_t n = rows.size();
+  const std::size_t dim = out.size();
+  const detail::ReduceKernels& k = *backend().kernels;
+  for_each_block(dim, n * dim, [&](std::size_t c0, std::size_t c1) {
+    double* dst = out.data() + c0;
+    std::memset(dst, 0, (c1 - c0) * sizeof(double));
+    for (std::size_t r = 0; r < n; ++r) {
+      assert(rows[r].size() == dim);
+      k.axpy_fd(coeffs[r], rows[r].data() + c0, dst, c1 - c0);
+    }
+  });
+}
+
+void gram_matrix(std::span<const std::span<const float>> rows,
+                 std::span<float> gram, std::span<double> sqnorms) {
+  const std::size_t n = rows.size();
+  assert(n > 0);
+  const std::size_t d = rows.front().size();
+  assert(gram.size() == n * n);
+  assert(sqnorms.size() == n);
+
+  // Pack the rows contiguously so the whole pairwise geometry is one
+  // [n, d] x [d, n] GEMM; the row copy and the exact norms fork over rows
+  // (disjoint writes, fixed per-row order).
+  std::vector<float> packed(n * d);
+  const detail::ReduceKernels& k = *backend().kernels;
+  auto pack_row = [&](std::size_t i) {
+    assert(rows[i].size() == d);
+    std::memcpy(packed.data() + i * d, rows[i].data(), d * sizeof(float));
+    sqnorms[i] = k.sqnorm_f(rows[i].data(), d);
+  };
+  if (kernel_parallelism_enabled() && n > 1 && n * d >= kMinParallelElems &&
+      util::global_thread_pool().size() > 1) {
+    util::global_thread_pool().parallel_for(n, pack_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) pack_row(i);
+  }
+
+  gemm_a_bt(static_cast<std::int64_t>(n), static_cast<std::int64_t>(n),
+            static_cast<std::int64_t>(d), 1.0f, packed.data(), packed.data(),
+            0.0f, gram.data());
+}
+
+void sort_columns(float* tile, std::size_t rows, std::size_t width) {
+  assert((rows & (rows - 1)) == 0);
+  const auto cmpx = backend().kernels->cmpx_rows;
+  // Batcher's odd-even mergesort (Knuth 5.2.2M), iterative form for a
+  // power-of-two row count.
+  for (std::size_t p = 1; p < rows; p <<= 1) {
+    for (std::size_t k = p; k >= 1; k >>= 1) {
+      for (std::size_t j = k % p; j + k < rows; j += 2 * k) {
+        for (std::size_t i = 0; i < k && i + j + k < rows; ++i) {
+          if ((i + j) / (2 * p) == (i + j + k) / (2 * p)) {
+            cmpx(tile + (i + j) * width, tile + (i + j + k) * width, width);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zka::tensor

@@ -1,0 +1,58 @@
+// Internal header: ISA dispatch for the SIMD reduction/axpy kernels.
+//
+// Mirrors gemm_dispatch.h: the kernel bodies live in reduce_kernels.inl and
+// are compiled once per instruction-set tier (generic / AVX2+FMA /
+// AVX-512F) into separate translation units, each wrapping the identical
+// code in its own namespace. reduce.cpp picks the widest tier the running
+// CPU supports at startup (same __builtin_cpu_supports probe as the GEMM),
+// so one portable binary gets native-width SIMD without -march=native.
+//
+// All tiers share one accumulation scheme (see reduce.h): kReduceLanes
+// independent accumulator lanes walked in a fixed stride order, combined
+// lane-ascending, then the scalar tail appended index-ascending. Tiers
+// therefore differ only in vector width, never in association order (FMA
+// contraction aside, exactly like the GEMM tiers).
+#pragma once
+
+#include <cstddef>
+
+namespace zka::tensor::detail {
+
+/// Independent accumulator lanes per reduction. 16 doubles = two AVX-512
+/// registers / four AVX2 registers / eight SSE2 registers: enough to hide
+/// FMA latency on every tier while keeping one fixed association order.
+inline constexpr std::size_t kReduceLanes = 16;
+
+/// Per-tier kernel table. Suffixes name operand types: f = float buffer,
+/// d = double buffer (e.g. sqdist_fd measures float data against a double
+/// center). All reductions accumulate and return double.
+struct ReduceKernels {
+  double (*dot_ff)(const float* a, const float* b, std::size_t n);
+  double (*dot_dd)(const double* a, const double* b, std::size_t n);
+  double (*sqnorm_f)(const float* a, std::size_t n);
+  double (*sqdist_ff)(const float* a, const float* b, std::size_t n);
+  double (*sqdist_fd)(const float* a, const double* b, std::size_t n);
+  void (*axpy_fd)(double alpha, const float* x, double* y, std::size_t n);
+  void (*axpy_dd)(double alpha, const double* x, double* y, std::size_t n);
+  void (*cmpx_rows)(float* a, float* b, std::size_t n);
+};
+
+namespace generic {
+extern const ReduceKernels kernels;
+}
+
+// The AVX tier availability macros are shared with the GEMM kernels: both
+// families are compiled into zka_tensor under the same CMake checks.
+#if defined(ZKA_GEMM_AVX2)
+namespace avx2 {
+extern const ReduceKernels kernels;
+}
+#endif
+
+#if defined(ZKA_GEMM_AVX512)
+namespace avx512 {
+extern const ReduceKernels kernels;
+}
+#endif
+
+}  // namespace zka::tensor::detail

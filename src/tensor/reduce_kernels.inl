@@ -1,0 +1,176 @@
+// Reduction/axpy kernel bodies, compiled once per ISA tier.
+//
+// Including TU must define ZKA_REDUCE_NS to the tier's namespace name
+// (generic / avx2 / avx512) and is compiled with the matching -m flags.
+// Do not include this anywhere else.
+//
+// Accumulation scheme (identical for every tier):
+//   * kReduceLanes (= L) independent double accumulators; element i of the
+//     main body feeds lane i % L, walking the input in stride-L blocks so
+//     the compiler vectorizes the lane update without reassociating,
+//   * lanes are combined lane-ascending into one scalar,
+//   * the n % L tail is appended index-ascending after the lane combine.
+// The order never depends on n's alignment, the tier only changes vector
+// width (and FMA contraction), and there is no threading in here at all —
+// callers parallelize over rows/blocks above (see reduce.h).
+
+#include <cstddef>
+
+#if defined(__SSE__)
+#include <immintrin.h>
+#endif
+
+#include "tensor/reduce_dispatch.h"
+
+namespace zka::tensor::detail {
+namespace ZKA_REDUCE_NS {
+namespace {
+
+constexpr std::size_t L = kReduceLanes;
+
+double dot_ff(const float* a, const float* b, std::size_t n) {
+  double lanes[L] = {};
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    for (std::size_t l = 0; l < L; ++l) {
+      lanes[l] +=
+          static_cast<double>(a[i + l]) * static_cast<double>(b[i + l]);
+    }
+  }
+  double acc = 0.0;
+  for (std::size_t l = 0; l < L; ++l) acc += lanes[l];
+  for (; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double dot_dd(const double* a, const double* b, std::size_t n) {
+  double lanes[L] = {};
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    for (std::size_t l = 0; l < L; ++l) lanes[l] += a[i + l] * b[i + l];
+  }
+  double acc = 0.0;
+  for (std::size_t l = 0; l < L; ++l) acc += lanes[l];
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double sqnorm_f(const float* a, std::size_t n) {
+  double lanes[L] = {};
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    for (std::size_t l = 0; l < L; ++l) {
+      const double v = static_cast<double>(a[i + l]);
+      lanes[l] += v * v;
+    }
+  }
+  double acc = 0.0;
+  for (std::size_t l = 0; l < L; ++l) acc += lanes[l];
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(a[i]);
+    acc += v * v;
+  }
+  return acc;
+}
+
+double sqdist_ff(const float* a, const float* b, std::size_t n) {
+  double lanes[L] = {};
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    for (std::size_t l = 0; l < L; ++l) {
+      const double d =
+          static_cast<double>(a[i + l]) - static_cast<double>(b[i + l]);
+      lanes[l] += d * d;
+    }
+  }
+  double acc = 0.0;
+  for (std::size_t l = 0; l < L; ++l) acc += lanes[l];
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double sqdist_fd(const float* a, const double* b, std::size_t n) {
+  double lanes[L] = {};
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    for (std::size_t l = 0; l < L; ++l) {
+      const double d = static_cast<double>(a[i + l]) - b[i + l];
+      lanes[l] += d * d;
+    }
+  }
+  double acc = 0.0;
+  for (std::size_t l = 0; l < L; ++l) acc += lanes[l];
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// The axpy family is elementwise (one accumulator per output element), so
+// its result is association-free; the loops exist per tier purely so the
+// compiler emits full-width converts/FMAs.
+void axpy_fd(double alpha, const float* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += alpha * static_cast<double>(x[i]);
+  }
+}
+
+void axpy_dd(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+// Sorting-network comparator over two tile rows: a[i] <- min, b[i] <- max,
+// elementwise. Branch-free and association-free, so tiers differ only in
+// vector width. This is the one kernel written with explicit intrinsics:
+// `x < y ? x : y` on floats cannot be auto-vectorized to min/max without
+// -ffinite-math-only (the compiler must preserve signed-zero ordering),
+// and callers pad their tiles with +inf, which that flag would outlaw.
+// The ISA branch keys on the compiler macros the tier's -m flags define,
+// so the one body still compiles once per tier like everything else.
+void cmpx_rows(float* a, float* b, std::size_t n) {
+  std::size_t i = 0;
+#if defined(__AVX512F__)
+  for (; i + 16 <= n; i += 16) {
+    const __m512 x = _mm512_loadu_ps(a + i);
+    const __m512 y = _mm512_loadu_ps(b + i);
+    _mm512_storeu_ps(a + i, _mm512_min_ps(x, y));
+    _mm512_storeu_ps(b + i, _mm512_max_ps(x, y));
+  }
+#elif defined(__AVX2__)
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(a + i);
+    const __m256 y = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(a + i, _mm256_min_ps(x, y));
+    _mm256_storeu_ps(b + i, _mm256_max_ps(x, y));
+  }
+#elif defined(__SSE__)
+  for (; i + 4 <= n; i += 4) {
+    const __m128 x = _mm_loadu_ps(a + i);
+    const __m128 y = _mm_loadu_ps(b + i);
+    _mm_storeu_ps(a + i, _mm_min_ps(x, y));
+    _mm_storeu_ps(b + i, _mm_max_ps(x, y));
+  }
+#endif
+  for (; i < n; ++i) {
+    const float x = a[i];
+    const float y = b[i];
+    a[i] = x < y ? x : y;
+    b[i] = x < y ? y : x;
+  }
+}
+
+}  // namespace
+
+const ReduceKernels kernels = {
+    &dot_ff,   &dot_dd,  &sqnorm_f,  &sqdist_ff,
+    &sqdist_fd, &axpy_fd, &axpy_dd,  &cmpx_rows,
+};
+
+}  // namespace ZKA_REDUCE_NS
+}  // namespace zka::tensor::detail

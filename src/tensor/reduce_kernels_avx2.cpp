@@ -1,0 +1,7 @@
+// AVX2+FMA instantiation of the reduction kernels. Compiled with
+// -mavx2 -mfma (see tensor/CMakeLists.txt); only ever called after a
+// runtime __builtin_cpu_supports check in reduce.cpp.
+#if defined(ZKA_GEMM_AVX2)
+#define ZKA_REDUCE_NS avx2
+#include "tensor/reduce_kernels.inl"
+#endif

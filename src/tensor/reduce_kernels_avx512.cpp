@@ -1,0 +1,7 @@
+// AVX-512F instantiation of the reduction kernels. Compiled with
+// -mavx512f -mfma (see tensor/CMakeLists.txt); only ever called after a
+// runtime __builtin_cpu_supports check in reduce.cpp.
+#if defined(ZKA_GEMM_AVX512)
+#define ZKA_REDUCE_NS avx512
+#include "tensor/reduce_kernels.inl"
+#endif

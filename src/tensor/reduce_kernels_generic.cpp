@@ -1,0 +1,4 @@
+// Baseline-ISA instantiation of the reduction kernels (no extra -m flags;
+// whatever the toolchain's default target provides).
+#define ZKA_REDUCE_NS generic
+#include "tensor/reduce_kernels.inl"

@@ -89,6 +89,20 @@ TEST(BaselineCacheTest, DifferentSeedsGetDifferentEntries) {
   EXPECT_NE(a, b);
 }
 
+TEST(BaselineCacheTest, TestSizeIsPartOfTheKey) {
+  // Regression: the cache key used to omit test_size, so two configs that
+  // differ only in their evaluation split aliased to one entry and the
+  // second caller was served the first caller's accuracy.
+  BaselineCache cache;
+  SimulationConfig config = tiny_config();
+  cache.attack_free_accuracy(config);  // prime the cache with test_size = 80
+  config.test_size = 40;
+  const double shared = cache.attack_free_accuracy(config);
+  BaselineCache fresh;
+  const double expected = fresh.attack_free_accuracy(config);
+  EXPECT_DOUBLE_EQ(shared, expected);
+}
+
 TEST(RunExperiment, ProducesSaneOutcome) {
   BaselineCache cache;
   SimulationConfig config = tiny_config();
