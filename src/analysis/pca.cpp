@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
-#include <stdexcept>
 
 #include "tensor/reduce.h"
+#include "util/check.h"
 
 namespace zka::analysis {
 
@@ -30,14 +30,17 @@ std::vector<double> center_rows(const tensor::Tensor& rows, std::int64_t n,
 
 PcaResult pca_project(const tensor::Tensor& rows, std::int64_t k,
                       std::int64_t power_iterations) {
-  if (rows.rank() < 2 || rows.dim(0) < 2) {
-    throw std::invalid_argument("pca_project: need at least 2 samples");
-  }
+  ZKA_CHECK(rows.rank() >= 2 && rows.dim(0) >= 2,
+            "pca_project: need a rank >= 2 tensor with >= 2 samples, got %s",
+            tensor::shape_to_string(rows.shape()).c_str());
   const std::int64_t n = rows.dim(0);
   const std::int64_t d = rows.numel() / n;
-  if (k <= 0 || k > std::min(n, d)) {
-    throw std::invalid_argument("pca_project: bad component count");
-  }
+  ZKA_CHECK(k > 0 && k <= std::min(n, d),
+            "pca_project: %lld components outside [1, min(%lld, %lld)]",
+            static_cast<long long>(k), static_cast<long long>(n),
+            static_cast<long long>(d));
+  ZKA_CHECK(power_iterations > 0, "pca_project: power_iterations %lld",
+            static_cast<long long>(power_iterations));
   std::vector<double> x = center_rows(rows, n, d);
 
   PcaResult result;
@@ -104,9 +107,9 @@ PcaResult pca_project(const tensor::Tensor& rows, std::int64_t k,
 }
 
 double mean_feature_variance(const tensor::Tensor& rows) {
-  if (rows.rank() < 2 || rows.dim(0) < 2) {
-    throw std::invalid_argument("mean_feature_variance: need >= 2 samples");
-  }
+  ZKA_CHECK(rows.rank() >= 2 && rows.dim(0) >= 2,
+            "mean_feature_variance: need >= 2 samples, got %s",
+            tensor::shape_to_string(rows.shape()).c_str());
   const std::int64_t n = rows.dim(0);
   const std::int64_t d = rows.numel() / n;
   double total = 0.0;

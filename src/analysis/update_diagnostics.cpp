@@ -1,9 +1,9 @@
 #include "analysis/update_diagnostics.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "tensor/reduce.h"
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace zka::analysis {
@@ -22,30 +22,31 @@ double cosine_of(std::span<const float> a, std::span<const float> b) {
 UpdateDiagnostics diagnose_updates(
     const std::vector<std::vector<float>>& updates,
     const std::vector<bool>& is_malicious) {
-  if (updates.size() != is_malicious.size()) {
-    throw std::invalid_argument("diagnose_updates: flag/update size mismatch");
-  }
-  if (updates.empty()) {
-    throw std::invalid_argument("diagnose_updates: no updates");
-  }
+  ZKA_CHECK(updates.size() == is_malicious.size(),
+            "diagnose_updates: %zu updates but %zu malicious flags",
+            updates.size(), is_malicious.size());
+  ZKA_CHECK(!updates.empty(), "diagnose_updates: no updates");
   const std::size_t dim = updates.front().size();
-  for (const auto& u : updates) {
-    if (u.size() != dim) {
-      throw std::invalid_argument("diagnose_updates: ragged updates");
-    }
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    ZKA_CHECK(updates[k].size() == dim,
+              "diagnose_updates: update %zu has %zu coordinates, expected "
+              "%zu",
+              k, updates[k].size(), dim);
   }
 
   UpdateDiagnostics d;
   d.num_updates = updates.size();
   std::vector<std::size_t> benign;
   std::vector<std::size_t> malicious;
+  benign.reserve(updates.size());
+  malicious.reserve(updates.size());
   for (std::size_t k = 0; k < updates.size(); ++k) {
     (is_malicious[k] ? malicious : benign).push_back(k);
   }
   d.num_malicious = malicious.size();
-  if (benign.size() < 2) {
-    throw std::invalid_argument("diagnose_updates: need >= 2 benign updates");
-  }
+  ZKA_CHECK(benign.size() >= 2,
+            "diagnose_updates: need >= 2 benign updates, got %zu",
+            benign.size());
 
   // Center = mean of all updates (what a statistic defense would anchor on).
   std::vector<double> center(dim, 0.0);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "defense/krum.h"
+#include "util/check.h"
 
 namespace zka::attack {
 
@@ -42,6 +43,10 @@ Update FangAttack::craft(const AttackContext& ctx) {
 
 Update FangKrumAttack::craft(const AttackContext& ctx) {
   validate_context(*this, ctx);
+  ZKA_CHECK(lambda_init_ > 0.0 && lambda_threshold_ > 0.0 &&
+                lambda_threshold_ <= lambda_init_,
+            "Fang-Krum: bad lambda search range [%g, %g]", lambda_threshold_,
+            lambda_init_);
   const auto& benign = *ctx.benign_updates;
   const std::size_t dim = ctx.global_model.size();
 

@@ -2,29 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace zka::attack {
 
 void validate_context(const Attack& attack, const AttackContext& ctx) {
-  if (ctx.global_model.empty()) {
-    throw std::invalid_argument(attack.name() + ": empty global model");
-  }
-  if (ctx.prev_global_model.size() != ctx.global_model.size()) {
-    throw std::invalid_argument(attack.name() + ": prev model size mismatch");
-  }
+  const std::string name = attack.name();
+  ZKA_CHECK(!ctx.global_model.empty(), "%s: empty global model", name.c_str());
+  ZKA_CHECK(ctx.prev_global_model.size() == ctx.global_model.size(),
+            "%s: prev model has %zu params, current has %zu", name.c_str(),
+            ctx.prev_global_model.size(), ctx.global_model.size());
+  ZKA_CHECK(ctx.round >= 0, "%s: negative round %lld", name.c_str(),
+            static_cast<long long>(ctx.round));
+  // Client-count invariants: K >= m >= 0 whenever K is provided (some unit
+  // tests craft with K left at 0, which compute_z treats as degenerate).
+  ZKA_CHECK(ctx.num_selected >= 0 && ctx.num_malicious_selected >= 0,
+            "%s: negative client counts (K=%lld, m=%lld)", name.c_str(),
+            static_cast<long long>(ctx.num_selected),
+            static_cast<long long>(ctx.num_malicious_selected));
+  ZKA_CHECK(ctx.num_selected == 0 ||
+                ctx.num_malicious_selected <= ctx.num_selected,
+            "%s: m=%lld malicious among K=%lld selected clients",
+            name.c_str(), static_cast<long long>(ctx.num_malicious_selected),
+            static_cast<long long>(ctx.num_selected));
   if (attack.needs_benign_updates()) {
-    if (ctx.benign_updates == nullptr || ctx.benign_updates->empty()) {
-      throw std::invalid_argument(
-          attack.name() + " is omniscient and requires benign updates");
-    }
-    for (const Update& u : *ctx.benign_updates) {
-      if (u.size() != ctx.global_model.size()) {
-        throw std::invalid_argument(attack.name() +
-                                    ": benign update size mismatch");
-      }
+    ZKA_CHECK(ctx.benign_updates != nullptr && !ctx.benign_updates->empty(),
+              "%s is omniscient and requires benign updates", name.c_str());
+    for (std::size_t k = 0; k < ctx.benign_updates->size(); ++k) {
+      const Update& u = (*ctx.benign_updates)[k];
+      ZKA_CHECK(u.size() == ctx.global_model.size(),
+                "%s: benign update %zu has %zu params, expected %zu",
+                name.c_str(), k, u.size(), ctx.global_model.size());
     }
   }
 }

@@ -5,6 +5,7 @@
 
 #include "core/zka_g.h"
 #include "core/zka_r.h"
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace zka::core {
@@ -15,6 +16,11 @@ AdaptiveZkaAttack::AdaptiveZkaAttack(models::Task task, ZkaVariant variant,
                                      std::uint64_t seed)
     : variant_(variant), adaptive_(adaptive),
       lambda_(options.classifier.lambda) {
+  ZKA_CHECK(adaptive_.lambda_min <= adaptive_.lambda_max &&
+                adaptive_.escalation > 0.0,
+            "AdaptiveZka: lambda range [%g, %g], escalation %g",
+            adaptive_.lambda_min, adaptive_.lambda_max,
+            adaptive_.escalation);
   lambda_ = std::clamp(lambda_, adaptive_.lambda_min, adaptive_.lambda_max);
   options.classifier.lambda = lambda_;
   if (variant_ == ZkaVariant::kReverse) {

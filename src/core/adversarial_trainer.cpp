@@ -1,10 +1,10 @@
 #include "core/adversarial_trainer.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "nn/loss.h"
 #include "nn/sgd.h"
+#include "util/check.h"
 
 namespace zka::core {
 
@@ -12,9 +12,13 @@ std::vector<double> AdversarialTrainer::train(
     nn::Sequential& model, const tensor::Tensor& images,
     std::int64_t decoy_label, std::span<const float> global,
     std::span<const float> prev_global, util::Rng& rng) const {
-  if (images.rank() != 4 || images.dim(0) == 0) {
-    throw std::invalid_argument("AdversarialTrainer: expected [N,C,H,W]");
-  }
+  ZKA_CHECK(images.rank() == 4 && images.dim(0) > 0,
+            "AdversarialTrainer: expected non-empty [N,C,H,W], got %s",
+            tensor::shape_to_string(images.shape()).c_str());
+  ZKA_CHECK(options_.batch_size > 0 && options_.epochs >= 0,
+            "AdversarialTrainer: batch_size=%lld epochs=%lld out of range",
+            static_cast<long long>(options_.batch_size),
+            static_cast<long long>(options_.epochs));
   const std::int64_t n = images.dim(0);
   nn::Sgd optimizer(model, {.learning_rate = options_.learning_rate});
   nn::SoftmaxCrossEntropy loss;

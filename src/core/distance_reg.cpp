@@ -1,8 +1,8 @@
 #include "core/distance_reg.h"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace zka::core {
@@ -10,9 +10,9 @@ namespace zka::core {
 double DistanceRegularizer::value(std::span<const float> w,
                                   std::span<const float> global,
                                   std::span<const float> prev_global) {
-  if (w.size() != global.size() || global.size() != prev_global.size()) {
-    throw std::invalid_argument("DistanceRegularizer: size mismatch");
-  }
+  ZKA_CHECK(w.size() == global.size() && global.size() == prev_global.size(),
+            "DistanceRegularizer: w=%zu, global=%zu, prev=%zu params",
+            w.size(), global.size(), prev_global.size());
   return util::l2_distance(w, global) -
          util::l2_distance(global, prev_global);
 }
@@ -22,9 +22,9 @@ double DistanceRegularizer::apply(nn::Module& model,
                                   std::span<const float> prev_global) const {
   if (lambda_ == 0.0) return 0.0;
   const std::vector<float> w = nn::get_flat_params(model);
-  if (w.size() != global.size() || global.size() != prev_global.size()) {
-    throw std::invalid_argument("DistanceRegularizer: size mismatch");
-  }
+  ZKA_CHECK(w.size() == global.size() && global.size() == prev_global.size(),
+            "DistanceRegularizer: model=%zu, global=%zu, prev=%zu params",
+            w.size(), global.size(), prev_global.size());
   const double dist = util::l2_distance(w, global);
   if (dist > 1e-12) {
     std::vector<float> grad(w.size());

@@ -2,6 +2,7 @@
 
 #include "nn/loss.h"
 #include "nn/sgd.h"
+#include "util/check.h"
 
 namespace zka::core {
 
@@ -18,6 +19,10 @@ ZkaGAttack::ZkaGAttack(models::Task task, ZkaOptions options,
                        : static_cast<std::int64_t>(rng_.uniform_index(
                              static_cast<std::uint64_t>(
                                  spec_.num_classes)))) {
+  ZKA_CHECK(options_.latent_dim > 0 && options_.synthetic_size > 0,
+            "ZKA-G: latent_dim=%lld, synthetic_size=%lld out of range",
+            static_cast<long long>(options_.latent_dim),
+            static_cast<long long>(options_.synthetic_size));
   util::Rng gen_rng = rng_.split(0x9e4);
   generator_ = models::make_tcnn_generator(spec_, options_.latent_dim,
                                            gen_rng);

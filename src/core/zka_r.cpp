@@ -4,6 +4,7 @@
 
 #include "nn/loss.h"
 #include "nn/sgd.h"
+#include "util/check.h"
 
 namespace zka::core {
 
@@ -28,6 +29,10 @@ void ZkaRAttack::set_classifier_lambda(double lambda) {
 
 attack::Update ZkaRAttack::craft(const attack::AttackContext& ctx) {
   attack::validate_context(*this, ctx);
+  ZKA_CHECK(options_.synthetic_size > 0 && options_.synthesis_epochs >= 0,
+            "ZKA-R: synthetic_size=%lld, synthesis_epochs=%lld out of range",
+            static_cast<long long>(options_.synthetic_size),
+            static_cast<long long>(options_.synthesis_epochs));
 
   // Frozen global classifier: parameters are loaded but never stepped.
   auto classifier = factory_(rng_.split(0x5ea)());

@@ -1,6 +1,6 @@
 #include "data/dataset.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace zka::data {
 
@@ -22,9 +22,10 @@ tensor::Tensor Dataset::image(std::int64_t i) const {
 
 std::pair<Dataset, Dataset> train_test_split(const Dataset& dataset,
                                              std::int64_t train_size) {
-  if (train_size > dataset.size()) {
-    throw std::invalid_argument("train_test_split: train_size too large");
-  }
+  ZKA_CHECK(train_size >= 0 && train_size <= dataset.size(),
+            "train_test_split: train_size %lld outside [0, %lld]",
+            static_cast<long long>(train_size),
+            static_cast<long long>(dataset.size()));
   std::vector<std::int64_t> train_idx(static_cast<std::size_t>(train_size));
   std::vector<std::int64_t> test_idx(
       static_cast<std::size_t>(dataset.size() - train_size));

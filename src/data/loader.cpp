@@ -2,13 +2,15 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace zka::data {
 
 DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size)
     : dataset_(&dataset), batch_size_(batch_size) {
-  if (batch_size <= 0) throw std::invalid_argument("batch_size <= 0");
+  ZKA_CHECK(batch_size > 0, "DataLoader: batch_size %lld",
+            static_cast<long long>(batch_size));
   indices_.resize(static_cast<std::size_t>(dataset.size()));
   for (std::int64_t i = 0; i < dataset.size(); ++i) {
     indices_[static_cast<std::size_t>(i)] = i;
@@ -20,7 +22,8 @@ DataLoader::DataLoader(const Dataset& dataset,
                        std::int64_t batch_size)
     : dataset_(&dataset), indices_(std::move(indices)),
       batch_size_(batch_size) {
-  if (batch_size <= 0) throw std::invalid_argument("batch_size <= 0");
+  ZKA_CHECK(batch_size > 0, "DataLoader: batch_size %lld",
+            static_cast<long long>(batch_size));
   for (const std::int64_t i : indices_) {
     if (i < 0 || i >= dataset.size()) {
       throw std::out_of_range("DataLoader: index out of dataset range");

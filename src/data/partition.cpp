@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace zka::data {
@@ -10,7 +11,9 @@ namespace zka::data {
 std::vector<std::vector<std::int64_t>> iid_partition(std::int64_t n,
                                                      std::int64_t num_clients,
                                                      util::Rng& rng) {
-  if (num_clients <= 0) throw std::invalid_argument("num_clients <= 0");
+  ZKA_CHECK(num_clients > 0, "iid_partition: num_clients %lld",
+            static_cast<long long>(num_clients));
+  ZKA_CHECK(n >= 0, "iid_partition: n %lld", static_cast<long long>(n));
   std::vector<std::int64_t> all(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
   rng.shuffle(all);
@@ -25,17 +28,20 @@ std::vector<std::vector<std::int64_t>> iid_partition(std::int64_t n,
 std::vector<std::vector<std::int64_t>> dirichlet_partition(
     const std::vector<std::int64_t>& labels, std::int64_t num_classes,
     std::int64_t num_clients, double beta, util::Rng& rng) {
-  if (num_clients <= 0) throw std::invalid_argument("num_clients <= 0");
-  if (beta <= 0.0) throw std::invalid_argument("beta must be positive");
+  ZKA_CHECK(num_clients > 0, "dirichlet_partition: num_clients %lld",
+            static_cast<long long>(num_clients));
+  ZKA_CHECK(beta > 0.0, "dirichlet_partition: beta %g must be positive",
+            beta);
 
   // Bucket sample indices by class, shuffled within each class.
   std::vector<std::vector<std::int64_t>> by_class(
       static_cast<std::size_t>(num_classes));
   for (std::size_t i = 0; i < labels.size(); ++i) {
     const std::int64_t y = labels[i];
-    if (y < 0 || y >= num_classes) {
-      throw std::invalid_argument("dirichlet_partition: label out of range");
-    }
+    ZKA_CHECK(y >= 0 && y < num_classes,
+              "dirichlet_partition: label %lld outside [0, %lld)",
+              static_cast<long long>(y),
+              static_cast<long long>(num_classes));
     by_class[static_cast<std::size_t>(y)].push_back(
         static_cast<std::int64_t>(i));
   }

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
-#include <stdexcept>
-
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace zka::data {
@@ -71,9 +70,10 @@ float prototype_value(const PatternParams& p, std::int64_t h, std::int64_t w,
 
 tensor::Tensor class_prototype(models::Task task, std::int64_t label) {
   const models::ImageSpec spec = models::task_spec(task);
-  if (label < 0 || label >= spec.num_classes) {
-    throw std::invalid_argument("class_prototype: label out of range");
-  }
+  ZKA_CHECK(label >= 0 && label < spec.num_classes,
+            "class_prototype: label %lld outside [0, %lld)",
+            static_cast<long long>(label),
+            static_cast<long long>(spec.num_classes));
   tensor::Tensor img({1, spec.channels, spec.height, spec.width});
   const bool rgb = task == models::Task::kCifar;
   for (std::int64_t c = 0; c < spec.channels; ++c) {
@@ -91,7 +91,8 @@ tensor::Tensor class_prototype(models::Task task, std::int64_t label) {
 Dataset make_synthetic_dataset(models::Task task, std::int64_t n,
                                std::uint64_t seed,
                                const SyntheticOptions& options) {
-  if (n < 0) throw std::invalid_argument("make_synthetic_dataset: n < 0");
+  ZKA_CHECK(n >= 0, "make_synthetic_dataset: n %lld is negative",
+            static_cast<long long>(n));
   const models::ImageSpec spec = models::task_spec(task);
   const bool rgb = task == models::Task::kCifar;
   const float noise =

@@ -1,7 +1,8 @@
 #include "defense/aggregator.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace zka::defense {
 
@@ -22,29 +23,28 @@ std::vector<UpdateView> as_views(const std::vector<Update>& updates) {
 
 void validate_updates(std::span<const UpdateView> updates,
                       std::span<const std::int64_t> weights) {
-  if (updates.empty()) {
-    throw std::invalid_argument("aggregate: no updates submitted");
-  }
-  if (weights.size() != updates.size()) {
-    throw std::invalid_argument("aggregate: weights/updates size mismatch");
-  }
+  ZKA_CHECK(!updates.empty(), "aggregate: no updates submitted");
+  ZKA_CHECK(weights.size() == updates.size(),
+            "aggregate: %zu weights for %zu updates", weights.size(),
+            updates.size());
   const std::size_t dim = updates.front().size();
-  if (dim == 0) throw std::invalid_argument("aggregate: empty update");
-  for (const UpdateView u : updates) {
-    if (u.size() != dim) {
-      throw std::invalid_argument("aggregate: updates have differing sizes");
-    }
+  ZKA_CHECK(dim > 0, "aggregate: empty update");
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    const UpdateView u = updates[k];
+    ZKA_CHECK(u.size() == dim,
+              "aggregate: update %zu has %zu coordinates, expected %zu", k,
+              u.size(), dim);
     // Failure injection guard: a single NaN/Inf coordinate would silently
     // poison mean-based rules and corrupt Krum distances, so refuse it at
     // the server boundary (a real deployment would drop the client).
     for (const float value : u) {
-      if (!std::isfinite(value)) {
-        throw std::invalid_argument("aggregate: non-finite update value");
-      }
+      ZKA_CHECK(std::isfinite(value),
+                "aggregate: non-finite value in update %zu", k);
     }
   }
   for (const std::int64_t w : weights) {
-    if (w < 0) throw std::invalid_argument("aggregate: negative weight");
+    ZKA_CHECK(w >= 0, "aggregate: negative weight %lld",
+              static_cast<long long>(w));
   }
 }
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "defense/coordwise.h"
 #include "defense/krum.h"
+#include "util/check.h"
 
 namespace zka::defense {
 
@@ -13,8 +13,11 @@ AggregationResult Bulyan::aggregate(std::span<const UpdateView> updates,
                                     std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
-  // theta = n - 2f selections, clamped so at least one update survives.
-  const std::size_t theta = n > 2 * f_ ? n - 2 * f_ : 1;
+  // f/n feasibility: theta = n - 2f Multi-Krum selections must exist. (The
+  // full Bulyan bound n >= 4f + 3 is not required here; the per-coordinate
+  // keep window below degrades to 1 when theta <= 2f.)
+  ZKA_CHECK(n > 2 * f_, "Bulyan: need n > 2f updates (n=%zu, f=%zu)", n, f_);
+  const std::size_t theta = n - 2 * f_;
   // Keep beta = theta - 2f values per coordinate, at least one.
   const std::size_t keep = theta > 2 * f_ ? theta - 2 * f_ : 1;
 

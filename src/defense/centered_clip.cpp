@@ -4,6 +4,7 @@
 
 #include "defense/statistic.h"
 #include "tensor/reduce.h"
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace zka::defense {
@@ -12,6 +13,8 @@ AggregationResult CenteredClipping::aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
+  ZKA_CHECK(std::isfinite(tau_), "CenteredClipping: tau %g is not finite",
+            tau_);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
 

@@ -7,6 +7,7 @@
 
 #include "tensor/ops.h"
 #include "tensor/reduce.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace zka::defense {
@@ -17,6 +18,16 @@ void for_each_sorted_coordinate(
   const std::size_t n = updates.size();
   if (n == 0) return;
   const std::size_t dim = updates.front().size();
+  if constexpr (util::kContractsEnabled) {
+    // Update-dimension agreement: the tile loads below read dim floats
+    // from every row.
+    for (std::size_t r = 0; r < n; ++r) {
+      ZKA_DCHECK(updates[r].size() == dim,
+                 "sorted-coordinate walk: update %zu has %zu coordinates, "
+                 "expected %zu",
+                 r, updates[r].size(), dim);
+    }
+  }
   const std::size_t rows = std::bit_ceil(n);
   const std::size_t nblocks = (dim + kCoordBlock - 1) / kCoordBlock;
 

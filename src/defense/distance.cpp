@@ -8,6 +8,7 @@
 
 #include "tensor/ops.h"
 #include "tensor/reduce.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace zka::defense {
@@ -32,6 +33,17 @@ void for_each_row(std::size_t n, std::size_t dim,
   }
 }
 
+// Update-dimension agreement: every pairwise reduction below assumes a
+// rectangular [n, dim] block.
+void dcheck_rectangular(std::span<const UpdateView> updates, std::size_t dim) {
+  if constexpr (!util::kContractsEnabled) return;
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    ZKA_DCHECK(updates[k].size() == dim,
+               "pairwise: update %zu has %zu coordinates, expected %zu", k,
+               updates[k].size(), dim);
+  }
+}
+
 }  // namespace
 
 PairwiseMatrix pairwise_sq_distances(std::span<const UpdateView> updates) {
@@ -39,6 +51,7 @@ PairwiseMatrix pairwise_sq_distances(std::span<const UpdateView> updates) {
   PairwiseMatrix d(n);
   if (n < 2) return d;
   const std::size_t dim = updates.front().size();
+  dcheck_rectangular(updates, dim);
 
   if (n >= kGramMinRows && dim >= kGramMinDim) {
     std::vector<float> gram(n * n);
@@ -75,6 +88,7 @@ PairwiseMatrix pairwise_cosine(std::span<const UpdateView> updates) {
   PairwiseMatrix cs(n);
   if (n == 0) return cs;
   const std::size_t dim = updates.front().size();
+  dcheck_rectangular(updates, dim);
 
   if (n >= kGramMinRows && dim >= kGramMinDim) {
     std::vector<float> gram(n * n);
@@ -118,6 +132,10 @@ double krum_score(const PairwiseMatrix& sq_dist, std::size_t i,
                   std::size_t num_neighbors,
                   const std::vector<bool>& excluded) {
   const std::size_t n = sq_dist.size();
+  ZKA_DCHECK(i < n, "krum_score: index %zu out of %zu updates", i, n);
+  ZKA_DCHECK(excluded.size() == n,
+             "krum_score: exclusion mask of %zu for %zu updates",
+             excluded.size(), n);
   std::vector<double> dists;
   dists.reserve(n);
   const double* row = sq_dist.row(i);

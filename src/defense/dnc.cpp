@@ -6,12 +6,19 @@
 
 #include "defense/fedavg.h"
 #include "tensor/reduce.h"
+#include "util/check.h"
 
 namespace zka::defense {
 
 AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
                                  std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
+  ZKA_CHECK(options_.subsample_dim > 0, "DnC: subsample_dim must be positive");
+  ZKA_CHECK(options_.filter_fraction >= 0.0,
+            "DnC: filter_fraction %g is negative", options_.filter_fraction);
+  ZKA_CHECK(options_.iterations >= 0 && options_.power_iterations > 0,
+            "DnC: iterations=%d power_iterations=%d out of range",
+            options_.iterations, options_.power_iterations);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
   const std::size_t discard = std::min(

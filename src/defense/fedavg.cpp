@@ -1,8 +1,7 @@
 #include "defense/fedavg.h"
 
-#include <stdexcept>
-
 #include "tensor/reduce.h"
+#include "util/check.h"
 
 namespace zka::defense {
 
@@ -34,12 +33,14 @@ AggregationResult FedAvg::aggregate(std::span<const UpdateView> updates,
 
 Update mean_of(std::span<const UpdateView> updates,
                const std::vector<std::size_t>& subset) {
-  if (subset.empty()) throw std::invalid_argument("mean_of: empty subset");
+  ZKA_CHECK(!subset.empty(), "mean_of: empty subset");
+  ZKA_CHECK(!updates.empty(), "mean_of: no updates");
   const std::size_t dim = updates.front().size();
   std::vector<UpdateView> rows;
   rows.reserve(subset.size());
   for (const std::size_t k : subset) {
-    if (k >= updates.size()) throw std::out_of_range("mean_of: bad index");
+    ZKA_CHECK(k < updates.size(), "mean_of: index %zu out of %zu updates", k,
+              updates.size());
     rows.push_back(updates[k]);
   }
   const std::vector<double> ones(subset.size(), 1.0);

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
 
 #include "data/loader.h"
 #include "nn/loss.h"
 #include "nn/sgd.h"
 #include "tensor/reduce.h"
+#include "util/check.h"
 
 namespace zka::defense {
 
@@ -16,9 +16,7 @@ FlTrust::FlTrust(data::Dataset root, models::ModelFactory factory,
                  FlTrustOptions options, std::uint64_t seed)
     : root_(std::move(root)), factory_(std::move(factory)),
       options_(options), rng_(seed) {
-  if (root_.size() == 0) {
-    throw std::invalid_argument("FlTrust: root dataset is empty");
-  }
+  ZKA_CHECK(root_.size() > 0, "FlTrust: root dataset is empty");
 }
 
 void FlTrust::begin_round(std::span<const float> global_model,
@@ -48,11 +46,11 @@ void FlTrust::begin_round(std::span<const float> global_model,
 AggregationResult FlTrust::aggregate(std::span<const UpdateView> updates,
                                      std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
-  if (global_.size() != updates.front().size() ||
-      server_update_.size() != updates.front().size()) {
-    throw std::logic_error(
-        "FlTrust::aggregate called without a matching begin_round");
-  }
+  ZKA_CHECK(global_.size() == updates.front().size() &&
+                server_update_.size() == updates.front().size(),
+            "FlTrust::aggregate without a matching begin_round "
+            "(round dim %zu, update dim %zu)",
+            global_.size(), updates.front().size());
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
 

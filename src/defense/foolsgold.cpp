@@ -5,12 +5,16 @@
 
 #include "defense/distance.h"
 #include "tensor/reduce.h"
+#include "util/check.h"
 
 namespace zka::defense {
 
 AggregationResult FoolsGold::aggregate(std::span<const UpdateView> updates,
                                        std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
+  ZKA_CHECK(select_threshold_ >= 0.0 && select_threshold_ <= 1.0,
+            "FoolsGold: select_threshold %g outside [0, 1]",
+            select_threshold_);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
 

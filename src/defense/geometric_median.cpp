@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/reduce.h"
+#include "util/check.h"
 
 namespace zka::defense {
 
@@ -11,6 +12,10 @@ AggregationResult GeometricMedian::aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
+  ZKA_CHECK(max_iterations_ > 0 && smoothing_ > 0.0 && tolerance_ >= 0.0,
+            "GeometricMedian: bad config (max_iterations=%d, tolerance=%g, "
+            "smoothing=%g)",
+            max_iterations_, tolerance_, smoothing_);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
 
@@ -40,12 +45,9 @@ AggregationResult GeometricMedian::aggregate(
       denom += coeffs[k];
     }
     tensor::weighted_sum(updates, coeffs, next);
-    double movement = 0.0;
-    for (std::size_t i = 0; i < dim; ++i) {
-      next[i] /= denom;
-      const double d = next[i] - point[i];
-      movement += d * d;
-    }
+    for (std::size_t i = 0; i < dim; ++i) next[i] /= denom;
+    const double movement = tensor::squared_distance(
+        std::span<const double>(next), std::span<const double>(point));
     point.swap(next);
     if (std::sqrt(movement) < tolerance_) break;
   }

@@ -2,16 +2,22 @@
 
 #include <algorithm>
 #include <limits>
-#include <stdexcept>
 
 #include "defense/distance.h"
 #include "defense/fedavg.h"
+#include "util/check.h"
 
 namespace zka::defense {
 
 std::vector<std::size_t> MultiKrum::select(
     std::span<const UpdateView> updates) const {
   const std::size_t n = updates.size();
+  ZKA_CHECK(n > 0, "MultiKrum::select: no updates");
+  // f/n feasibility: the scores are meaningless once every update could be
+  // Byzantine. (The full Blanchard bound n > 2f + 2 is deliberately not
+  // enforced; small rounds degrade to fewer neighbors below.)
+  ZKA_CHECK(n == 1 || f_ < n,
+            "MultiKrum: assumed Byzantine count f=%zu must be < n=%zu", f_, n);
   std::size_t m = m_ == 0 ? (n > f_ ? n - f_ : 1) : m_;
   m = std::min(m, n);
   if (n == 1) return {0};

@@ -1,9 +1,9 @@
 #include "defense/statistic.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "defense/coordwise.h"
+#include "util/check.h"
 
 namespace zka::defense {
 
@@ -29,9 +29,9 @@ AggregationResult TrimmedMean::aggregate(
     std::span<const std::int64_t> weights) {
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
-  if (n <= 2 * trim_) {
-    throw std::invalid_argument("TrimmedMean: need more than 2*trim updates");
-  }
+  ZKA_CHECK(n > 2 * trim_,
+            "TrimmedMean: need more than 2*trim updates (n=%zu, trim=%zu)", n,
+            trim_);
   const std::size_t dim = updates.front().size();
   AggregationResult result;
   result.model.resize(dim);

@@ -3,6 +3,7 @@
 #include "data/loader.h"
 #include "nn/loss.h"
 #include "nn/sgd.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace zka::fl {
@@ -15,6 +16,8 @@ Client::Client(std::int64_t id, const data::Dataset& dataset,
 
 std::vector<float> Client::train(std::span<const float> global,
                                  std::uint64_t seed) const {
+  ZKA_CHECK(!global.empty(), "Client %lld: empty global model",
+            static_cast<long long>(id_));
   util::Rng rng(seed);
   auto model = factory_(rng.split(1)());
   nn::set_flat_params(*model, global);

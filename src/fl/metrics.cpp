@@ -6,6 +6,7 @@
 
 #include "attack/backdoor.h"
 #include "nn/loss.h"
+#include "util/check.h"
 
 namespace zka::fl {
 
@@ -23,6 +24,8 @@ double evaluate_accuracy(const models::ModelFactory& factory,
                          std::span<const float> params,
                          const data::Dataset& dataset,
                          std::int64_t batch_size) {
+  ZKA_CHECK(batch_size > 0, "evaluate_accuracy: batch_size %lld",
+            static_cast<long long>(batch_size));
   auto model = factory(0);
   nn::set_flat_params(*model, params);
   const std::int64_t n = dataset.size();
@@ -95,6 +98,10 @@ ConfusionMatrix evaluate_confusion(const models::ModelFactory& factory,
                                    std::span<const float> params,
                                    const data::Dataset& dataset,
                                    std::int64_t batch_size) {
+  ZKA_CHECK(batch_size > 0 && dataset.spec.num_classes > 0,
+            "evaluate_confusion: batch_size %lld, %lld classes",
+            static_cast<long long>(batch_size),
+            static_cast<long long>(dataset.spec.num_classes));
   auto model = factory(0);
   nn::set_flat_params(*model, params);
   ConfusionMatrix cm;
@@ -126,6 +133,7 @@ double backdoor_success_rate(const models::ModelFactory& factory,
                              std::int64_t batch_size) {
   // Build the triggered copy of all non-target-class test images.
   std::vector<std::int64_t> eligible;
+  eligible.reserve(static_cast<std::size_t>(clean_test.size()));
   for (std::int64_t i = 0; i < clean_test.size(); ++i) {
     if (clean_test.labels[static_cast<std::size_t>(i)] != target_label) {
       eligible.push_back(i);

@@ -1,11 +1,11 @@
 #include "fl/simulation.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/metrics.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -36,15 +36,16 @@ double SimulationResult::benign_pass_rate() const noexcept {
 Simulation::Simulation(SimulationConfig config)
     : config_(std::move(config)),
       factory_(models::task_model_factory(config_.task)) {
-  if (config_.clients_per_round <= 0 ||
-      config_.clients_per_round > config_.num_clients) {
-    throw std::invalid_argument("Simulation: bad clients_per_round");
-  }
-  if (config_.malicious_fraction < 0.0 || config_.malicious_fraction > 0.5) {
-    // The threat model caps adversarial control at 50% (Sec. III-A).
-    throw std::invalid_argument(
-        "Simulation: malicious_fraction must be in [0, 0.5]");
-  }
+  ZKA_CHECK(config_.clients_per_round > 0 &&
+                config_.clients_per_round <= config_.num_clients,
+            "Simulation: clients_per_round %lld outside [1, %lld]",
+            static_cast<long long>(config_.clients_per_round),
+            static_cast<long long>(config_.num_clients));
+  // The threat model caps adversarial control at 50% (Sec. III-A).
+  ZKA_CHECK(config_.malicious_fraction >= 0.0 &&
+                config_.malicious_fraction <= 0.5,
+            "Simulation: malicious_fraction %g must be in [0, 0.5]",
+            config_.malicious_fraction);
 
   util::Rng rng(config_.seed);
   train_ = data::make_synthetic_dataset(config_.task, config_.train_size,
@@ -71,9 +72,8 @@ Simulation::Simulation(SimulationConfig config)
                     ? config_.custom_defense()
                     : defense::make_aggregator(config_.defense,
                                                config_.defense_f);
-  if (aggregator_ == nullptr) {
-    throw std::invalid_argument("Simulation: custom_defense returned null");
-  }
+  ZKA_CHECK(aggregator_ != nullptr,
+            "Simulation: custom_defense returned null");
 }
 
 data::Dataset Simulation::malicious_data() const {
@@ -86,9 +86,8 @@ data::Dataset Simulation::malicious_data() const {
 }
 
 SimulationResult Simulation::run(attack::Attack* attack) {
-  if (attack != nullptr && num_malicious_ == 0) {
-    throw std::invalid_argument("Simulation: attack given but 0 malicious");
-  }
+  ZKA_CHECK(attack == nullptr || num_malicious_ > 0,
+            "Simulation: attack given but 0 malicious clients");
   util::Rng rng(config_.seed ^ 0xf00dULL);
   std::vector<float> global = nn::get_flat_params(*factory_(rng.split(2)()));
   std::vector<float> prev_global = global;
@@ -145,10 +144,10 @@ SimulationResult Simulation::run(attack::Attack* attack) {
           static_cast<std::int64_t>(malicious_ids.size());
       ctx.learning_rate = config_.client.learning_rate;
       malicious_update = attack->craft(ctx);
-      if (malicious_update.size() != global.size()) {
-        throw std::runtime_error(attack->name() +
-                                 " crafted an update of wrong size");
-      }
+      ZKA_CHECK(malicious_update.size() == global.size(),
+                "%s crafted %zu params, model has %zu",
+                attack->name().c_str(), malicious_update.size(),
+                global.size());
     }
 
     // Assemble the round's submissions in sampling order as views: every
@@ -172,6 +171,10 @@ SimulationResult Simulation::run(attack::Attack* attack) {
       weights.push_back(std::max<std::int64_t>(
           clients_[c].num_samples(), 1));
     }
+    ZKA_DCHECK(benign_cursor == benign_updates.size(),
+               "round %lld: %zu benign updates assembled, %zu trained",
+               static_cast<long long>(round), benign_cursor,
+               benign_updates.size());
 
     const defense::AggregationResult agg =
         aggregator_->aggregate(updates, weights);

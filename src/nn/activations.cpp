@@ -1,17 +1,17 @@
 #include "nn/activations.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace zka::nn {
 
 namespace {
 void check_grad_shape(const Tensor& cached, const Tensor& grad,
                       const char* layer) {
-  if (!cached.same_shape(grad)) {
-    throw std::invalid_argument(std::string(layer) +
-                                " backward: grad shape mismatch");
-  }
+  ZKA_CHECK(cached.same_shape(grad), "%s backward: grad shape %s vs %s",
+            layer, tensor::shape_to_string(grad.shape()).c_str(),
+            tensor::shape_to_string(cached.shape()).c_str());
 }
 }  // namespace
 

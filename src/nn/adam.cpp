@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace zka::nn {
 
 Adam::Adam(std::vector<Parameter*> params, AdamOptions options)
@@ -26,6 +28,9 @@ void Adam::step() {
     auto grad = p.grad.data();
     auto m = m_[k].data();
     auto v = v_[k].data();
+    ZKA_DCHECK(value.size() == grad.size() && value.size() == m.size(),
+               "Adam: param %zu sizes disagree (%zu values, %zu grads)", k,
+               value.size(), grad.size());
     for (std::size_t i = 0; i < value.size(); ++i) {
       float g = grad[i];
       if (options_.weight_decay != 0.0f) {

@@ -1,7 +1,8 @@
 #include "nn/batchnorm.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace zka::nn {
 
@@ -10,15 +11,15 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float epsilon, float momentum)
       gamma_(Tensor({channels}, 1.0f)), beta_(Tensor({channels})),
       running_mean_(Tensor({channels})),
       running_var_(Tensor({channels}, 1.0f)) {
-  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels <= 0");
+  ZKA_CHECK(channels > 0, "BatchNorm2d: channels %lld <= 0",
+            static_cast<long long>(channels));
 }
 
 Tensor BatchNorm2d::forward(const Tensor& input) {
-  if (input.rank() != 4 || input.dim(1) != channels_) {
-    throw std::invalid_argument("BatchNorm2d: expected [N, " +
-                                std::to_string(channels_) + ", H, W], got " +
-                                tensor::shape_to_string(input.shape()));
-  }
+  ZKA_CHECK(input.rank() == 4 && input.dim(1) == channels_,
+            "BatchNorm2d: expected [N, %lld, H, W], got %s",
+            static_cast<long long>(channels_),
+            tensor::shape_to_string(input.shape()).c_str());
   input_shape_ = input.shape();
   const std::int64_t n = input.dim(0);
   const std::int64_t h = input.dim(2);
@@ -77,9 +78,9 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {
-  if (grad_output.shape() != input_shape_) {
-    throw std::invalid_argument("BatchNorm2d backward: grad shape mismatch");
-  }
+  ZKA_CHECK(!input_shape_.empty(), "BatchNorm2d::backward before forward");
+  ZKA_CHECK_SHAPE(grad_output.shape(), input_shape_,
+                  "BatchNorm2d backward grad");
   const std::int64_t n = input_shape_[0];
   const std::int64_t spatial = input_shape_[2] * input_shape_[3];
   const std::int64_t m = n * spatial;

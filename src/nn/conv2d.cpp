@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace zka::nn {
@@ -26,20 +27,19 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
 }
 
 Tensor Conv2d::forward(const Tensor& input) {
-  if (input.rank() != 4 || input.dim(1) != in_channels_) {
-    throw std::invalid_argument("Conv2d: expected [N, " +
-                                std::to_string(in_channels_) + ", H, W], got " +
-                                tensor::shape_to_string(input.shape()));
-  }
+  ZKA_CHECK(input.rank() == 4 && input.dim(1) == in_channels_,
+            "Conv2d: expected [N, %lld, H, W], got %s",
+            static_cast<long long>(in_channels_),
+            tensor::shape_to_string(input.shape()).c_str());
   cached_input_ = input;
   geometry_ = tensor::ConvGeometry{in_channels_, input.dim(2), input.dim(3),
                                    kernel_, stride_, pad_};
   const std::int64_t n = input.dim(0);
   const std::int64_t oh = geometry_.out_h();
   const std::int64_t ow = geometry_.out_w();
-  if (oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("Conv2d: kernel larger than padded input");
-  }
+  ZKA_CHECK(oh > 0 && ow > 0, "Conv2d: kernel %lld larger than padded %s",
+            static_cast<long long>(kernel_),
+            tensor::shape_to_string(input.shape()).c_str());
   const std::int64_t spatial = oh * ow;
   const std::int64_t cols = n * spatial;
   const std::int64_t patch = geometry_.patch_size();
@@ -67,18 +67,16 @@ Tensor Conv2d::forward(const Tensor& input) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  ZKA_CHECK(cached_input_.rank() == 4, "Conv2d::backward before forward");
   const std::int64_t n = cached_input_.dim(0);
   const std::int64_t oh = geometry_.out_h();
   const std::int64_t ow = geometry_.out_w();
   const std::int64_t spatial = oh * ow;
   const std::int64_t cols = n * spatial;
   const std::int64_t patch = geometry_.patch_size();
-  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
-      grad_output.dim(1) != out_channels_ || grad_output.dim(2) != oh ||
-      grad_output.dim(3) != ow) {
-    throw std::invalid_argument("Conv2d backward: bad grad shape " +
-                                tensor::shape_to_string(grad_output.shape()));
-  }
+  ZKA_CHECK_SHAPE(grad_output.shape(),
+                  (tensor::Shape{n, out_channels_, oh, ow}),
+                  "Conv2d backward grad");
 
   // Gather dY into [OC, N*spatial] (the layout the batched GEMMs want) and
   // accumulate the bias gradient along the way.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace zka::nn {
@@ -27,21 +28,20 @@ ConvTranspose2d::ConvTranspose2d(std::int64_t in_channels,
 }
 
 Tensor ConvTranspose2d::forward(const Tensor& input) {
-  if (input.rank() != 4 || input.dim(1) != in_channels_) {
-    throw std::invalid_argument("ConvTranspose2d: expected [N, " +
-                                std::to_string(in_channels_) +
-                                ", H, W], got " +
-                                tensor::shape_to_string(input.shape()));
-  }
+  ZKA_CHECK(input.rank() == 4 && input.dim(1) == in_channels_,
+            "ConvTranspose2d: expected [N, %lld, H, W], got %s",
+            static_cast<long long>(in_channels_),
+            tensor::shape_to_string(input.shape()).c_str());
   cached_input_ = input;
   const std::int64_t n = input.dim(0);
   const std::int64_t h = input.dim(2);
   const std::int64_t w = input.dim(3);
   const std::int64_t oh = (h - 1) * stride_ - 2 * pad_ + kernel_;
   const std::int64_t ow = (w - 1) * stride_ - 2 * pad_ + kernel_;
-  if (oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("ConvTranspose2d: non-positive output size");
-  }
+  ZKA_CHECK(oh > 0 && ow > 0,
+            "ConvTranspose2d: non-positive output %lldx%lld for input %s",
+            static_cast<long long>(oh), static_cast<long long>(ow),
+            tensor::shape_to_string(input.shape()).c_str());
   geometry_ = tensor::ConvGeometry{out_channels_, oh, ow, kernel_, stride_, pad_};
   const std::int64_t spatial_in = h * w;
   const std::int64_t spatial_out = oh * ow;
@@ -79,6 +79,8 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
 }
 
 Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  ZKA_CHECK(cached_input_.rank() == 4,
+            "ConvTranspose2d::backward before forward");
   const std::int64_t n = cached_input_.dim(0);
   const std::int64_t h = cached_input_.dim(2);
   const std::int64_t w = cached_input_.dim(3);
@@ -86,13 +88,10 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
   const std::int64_t spatial_out = geometry_.in_h * geometry_.in_w;
   const std::int64_t cols = n * spatial_in;
   const std::int64_t patch = geometry_.patch_size();
-  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
-      grad_output.dim(1) != out_channels_ ||
-      grad_output.dim(2) != geometry_.in_h ||
-      grad_output.dim(3) != geometry_.in_w) {
-    throw std::invalid_argument("ConvTranspose2d backward: bad grad shape " +
-                                tensor::shape_to_string(grad_output.shape()));
-  }
+  ZKA_CHECK_SHAPE(
+      grad_output.shape(),
+      (tensor::Shape{n, out_channels_, geometry_.in_h, geometry_.in_w}),
+      "ConvTranspose2d backward grad");
 
   // Gather the output gradient into columns (adjoint of forward's scatter),
   // all samples at once; col_ is free to reuse after forward.

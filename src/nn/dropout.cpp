@@ -1,13 +1,12 @@
 #include "nn/dropout.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace zka::nn {
 
 Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
-  if (rate < 0.0f || rate >= 1.0f) {
-    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
-  }
+  ZKA_CHECK(rate >= 0.0f && rate < 1.0f, "Dropout: rate %g not in [0, 1)",
+            static_cast<double>(rate));
 }
 
 Tensor Dropout::forward(const Tensor& input) {
@@ -28,9 +27,8 @@ Tensor Dropout::forward(const Tensor& input) {
 
 Tensor Dropout::backward(const Tensor& grad_output) {
   if (mask_.numel() == 0) return grad_output;  // eval mode pass-through
-  if (!grad_output.same_shape(mask_)) {
-    throw std::invalid_argument("Dropout backward: grad shape mismatch");
-  }
+  ZKA_CHECK_SHAPE(grad_output.shape(), mask_.shape(),
+                  "Dropout backward grad");
   Tensor grad = grad_output;
   grad *= mask_;
   return grad;

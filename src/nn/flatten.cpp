@@ -1,11 +1,11 @@
 #include "nn/flatten.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace zka::nn {
 
 Tensor Flatten::forward(const Tensor& input) {
-  if (input.rank() < 1) throw std::invalid_argument("Flatten: rank-0 input");
+  ZKA_CHECK(input.rank() >= 1, "Flatten: rank-0 input");
   input_shape_ = input.shape();
   const std::int64_t n = input.dim(0);
   const std::int64_t features = n > 0 ? input.numel() / n : 0;
@@ -13,20 +13,21 @@ Tensor Flatten::forward(const Tensor& input) {
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {
+  ZKA_CHECK(!input_shape_.empty(), "Flatten::backward before forward");
   return grad_output.reshape(input_shape_);
 }
 
 Tensor Unflatten::forward(const Tensor& input) {
-  if (input.rank() != 2 || input.dim(1) != channels_ * height_ * width_) {
-    throw std::invalid_argument("Unflatten: expected [N, " +
-                                std::to_string(channels_ * height_ * width_) +
-                                "], got " +
-                                tensor::shape_to_string(input.shape()));
-  }
+  ZKA_CHECK(input.rank() == 2 && input.dim(1) == channels_ * height_ * width_,
+            "Unflatten: expected [N, %lld], got %s",
+            static_cast<long long>(channels_ * height_ * width_),
+            tensor::shape_to_string(input.shape()).c_str());
   return input.reshape({input.dim(0), channels_, height_, width_});
 }
 
 Tensor Unflatten::backward(const Tensor& grad_output) {
+  ZKA_CHECK(grad_output.rank() == 4, "Unflatten backward: grad rank %zu != 4",
+            grad_output.rank());
   return grad_output.reshape(
       {grad_output.dim(0), channels_ * height_ * width_});
 }

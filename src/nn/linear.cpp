@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace zka::nn {
@@ -23,11 +24,10 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features,
 }
 
 Tensor Linear::forward(const Tensor& input) {
-  if (input.rank() != 2 || input.dim(1) != in_features_) {
-    throw std::invalid_argument("Linear: expected [N, " +
-                                std::to_string(in_features_) + "], got " +
-                                tensor::shape_to_string(input.shape()));
-  }
+  ZKA_CHECK(input.rank() == 2 && input.dim(1) == in_features_,
+            "Linear: expected [N, %lld], got %s",
+            static_cast<long long>(in_features_),
+            tensor::shape_to_string(input.shape()).c_str());
   cached_input_ = input;
   const std::int64_t n = input.dim(0);
   // Prefill each output row with the bias and let the GEMM accumulate onto
@@ -43,12 +43,10 @@ Tensor Linear::forward(const Tensor& input) {
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
+  ZKA_CHECK(cached_input_.rank() == 2, "Linear::backward before forward");
   const std::int64_t n = cached_input_.dim(0);
-  if (grad_output.rank() != 2 || grad_output.dim(0) != n ||
-      grad_output.dim(1) != out_features_) {
-    throw std::invalid_argument("Linear backward: bad grad shape " +
-                                tensor::shape_to_string(grad_output.shape()));
-  }
+  ZKA_CHECK_SHAPE(grad_output.shape(), (tensor::Shape{n, out_features_}),
+                  "Linear backward grad");
   // dW += dYᵀ @ X ; dY is [N, out], X is [N, in].
   tensor::gemm_at_b(out_features_, in_features_, n, 1.0f, grad_output.raw(),
                     cached_input_.raw(), 1.0f, weight_.grad.raw());

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace zka::nn {
 
 Tensor softmax_rows(const Tensor& logits) {
-  if (logits.rank() != 2) {
-    throw std::invalid_argument("softmax_rows requires rank-2 logits");
-  }
+  ZKA_CHECK(logits.rank() == 2, "softmax_rows requires rank-2 logits, got %s",
+            tensor::shape_to_string(logits.shape()).c_str());
   const std::int64_t n = logits.dim(0);
   const std::int64_t l = logits.dim(1);
   Tensor probs(logits.shape());
@@ -30,16 +30,16 @@ Tensor softmax_rows(const Tensor& logits) {
 
 double SoftmaxCrossEntropy::forward(const Tensor& logits,
                                     std::span<const std::int64_t> labels) {
-  if (logits.rank() != 2 ||
-      logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
-    throw std::invalid_argument("SoftmaxCrossEntropy: bad logits/labels");
-  }
+  ZKA_CHECK(logits.rank() == 2 &&
+                logits.dim(0) == static_cast<std::int64_t>(labels.size()),
+            "SoftmaxCrossEntropy: logits %s vs %zu labels",
+            tensor::shape_to_string(logits.shape()).c_str(), labels.size());
   const std::int64_t l = logits.dim(1);
   Tensor targets(logits.shape());
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (labels[i] < 0 || labels[i] >= l) {
-      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
-    }
+    ZKA_CHECK(labels[i] >= 0 && labels[i] < l,
+              "SoftmaxCrossEntropy: label %lld out of [0, %lld)",
+              static_cast<long long>(labels[i]), static_cast<long long>(l));
     targets[static_cast<std::int64_t>(i) * l + labels[i]] = 1.0f;
   }
   return forward(logits, targets);
@@ -47,9 +47,8 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits,
 
 double SoftmaxCrossEntropy::forward(const Tensor& logits,
                                     const Tensor& soft_targets) {
-  if (!logits.same_shape(soft_targets)) {
-    throw std::invalid_argument("SoftmaxCrossEntropy: target shape mismatch");
-  }
+  ZKA_CHECK_SHAPE(soft_targets.shape(), logits.shape(),
+                  "SoftmaxCrossEntropy targets");
   probs_ = softmax_rows(logits);
   targets_ = soft_targets;
   const std::int64_t n = logits.dim(0);
@@ -64,9 +63,8 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits,
 }
 
 Tensor SoftmaxCrossEntropy::backward() const {
-  if (probs_.numel() == 0) {
-    throw std::logic_error("SoftmaxCrossEntropy::backward before forward");
-  }
+  ZKA_CHECK(probs_.numel() > 0,
+            "SoftmaxCrossEntropy::backward before forward");
   const std::int64_t n = probs_.dim(0);
   Tensor grad = probs_;
   grad -= targets_;

@@ -1,7 +1,8 @@
 #include "nn/module.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace zka::nn {
 
@@ -25,19 +26,17 @@ void set_flat_params(Module& module, std::span<const float> flat) {
   std::size_t offset = 0;
   for (Parameter* p : module.parameters()) {
     const std::size_t n = static_cast<std::size_t>(p->value.numel());
-    if (offset + n > flat.size()) {
-      throw std::invalid_argument("set_flat_params: vector too short");
-    }
+    ZKA_CHECK(offset + n <= flat.size(),
+              "set_flat_params: vector of %zu too short at offset %zu",
+              flat.size(), offset);
     std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
               flat.begin() + static_cast<std::ptrdiff_t>(offset + n),
               p->value.data().begin());
     offset += n;
   }
-  if (offset != flat.size()) {
-    throw std::invalid_argument("set_flat_params: vector too long (" +
-                                std::to_string(flat.size()) + " vs " +
-                                std::to_string(offset) + " params)");
-  }
+  ZKA_CHECK(offset == flat.size(),
+            "set_flat_params: vector too long (%zu vs %zu params)",
+            flat.size(), offset);
 }
 
 std::vector<float> get_flat_grads(Module& module) {
@@ -54,16 +53,16 @@ void add_to_flat_grads(Module& module, std::span<const float> delta) {
   std::size_t offset = 0;
   for (Parameter* p : module.parameters()) {
     const std::size_t n = static_cast<std::size_t>(p->grad.numel());
-    if (offset + n > delta.size()) {
-      throw std::invalid_argument("add_to_flat_grads: vector too short");
-    }
+    ZKA_CHECK(offset + n <= delta.size(),
+              "add_to_flat_grads: vector of %zu too short at offset %zu",
+              delta.size(), offset);
     auto grad = p->grad.data();
     for (std::size_t i = 0; i < n; ++i) grad[i] += delta[offset + i];
     offset += n;
   }
-  if (offset != delta.size()) {
-    throw std::invalid_argument("add_to_flat_grads: vector too long");
-  }
+  ZKA_CHECK(offset == delta.size(),
+            "add_to_flat_grads: vector too long (%zu vs %zu params)",
+            delta.size(), offset);
 }
 
 }  // namespace zka::nn

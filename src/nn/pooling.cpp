@@ -1,21 +1,19 @@
 #include "nn/pooling.h"
 
-#include <stdexcept>
+#include "util/check.h"
 
 namespace zka::nn {
 
 MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
     : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
-  if (kernel_ <= 0 || stride_ <= 0) {
-    throw std::invalid_argument("MaxPool2d: kernel/stride must be positive");
-  }
+  ZKA_CHECK(kernel_ > 0 && stride_ > 0,
+            "MaxPool2d: kernel %lld / stride %lld must be positive",
+            static_cast<long long>(kernel_), static_cast<long long>(stride_));
 }
 
 Tensor MaxPool2d::forward(const Tensor& input) {
-  if (input.rank() != 4) {
-    throw std::invalid_argument("MaxPool2d: expected NCHW input, got " +
-                                tensor::shape_to_string(input.shape()));
-  }
+  ZKA_CHECK(input.rank() == 4, "MaxPool2d: expected NCHW input, got %s",
+            tensor::shape_to_string(input.shape()).c_str());
   input_shape_ = input.shape();
   const std::int64_t n = input.dim(0);
   const std::int64_t c = input.dim(1);
@@ -23,9 +21,9 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   const std::int64_t w = input.dim(3);
   const std::int64_t oh = (h - kernel_) / stride_ + 1;
   const std::int64_t ow = (w - kernel_) / stride_ + 1;
-  if (oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("MaxPool2d: window larger than input");
-  }
+  ZKA_CHECK(oh > 0 && ow > 0, "MaxPool2d: window %lld larger than input %s",
+            static_cast<long long>(kernel_),
+            tensor::shape_to_string(input.shape()).c_str());
   Tensor out({n, c, oh, ow});
   argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
   std::int64_t o = 0;
@@ -58,9 +56,9 @@ Tensor MaxPool2d::forward(const Tensor& input) {
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
-  if (grad_output.numel() != static_cast<std::int64_t>(argmax_.size())) {
-    throw std::invalid_argument("MaxPool2d backward: grad numel mismatch");
-  }
+  ZKA_CHECK(grad_output.numel() == static_cast<std::int64_t>(argmax_.size()),
+            "MaxPool2d backward: grad numel %lld != %zu",
+            static_cast<long long>(grad_output.numel()), argmax_.size());
   Tensor grad_input(input_shape_);
   for (std::size_t o = 0; o < argmax_.size(); ++o) {
     grad_input[argmax_[o]] += grad_output[static_cast<std::int64_t>(o)];

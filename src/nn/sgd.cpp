@@ -1,5 +1,7 @@
 #include "nn/sgd.h"
 
+#include "util/check.h"
+
 namespace zka::nn {
 
 Sgd::Sgd(std::vector<Parameter*> params, SgdOptions options)
@@ -17,6 +19,9 @@ void Sgd::step() {
     Parameter& p = *params_[k];
     auto value = p.value.data();
     auto grad = p.grad.data();
+    ZKA_DCHECK(value.size() == grad.size(),
+               "Sgd: param %zu has %zu values but %zu grads", k, value.size(),
+               grad.size());
     for (std::size_t i = 0; i < value.size(); ++i) {
       float g = grad[i];
       if (options_.weight_decay != 0.0f) {

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cstring>
 #include <stdexcept>
 
 #include "tensor/gemm_dispatch.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace zka::tensor {
@@ -56,6 +56,13 @@ const Backend& backend() {
 void gemm_driver(GemmLayout layout, std::int64_t m, std::int64_t n,
                  std::int64_t k, float alpha, const float* a, const float* b,
                  float beta, float* c) {
+  ZKA_DCHECK(m >= 0 && n >= 0 && k >= 0, "gemm sizes m=%lld n=%lld k=%lld",
+             static_cast<long long>(m), static_cast<long long>(n),
+             static_cast<long long>(k));
+  ZKA_DCHECK(m * n == 0 || c != nullptr, "gemm: null C for %lldx%lld output",
+             static_cast<long long>(m), static_cast<long long>(n));
+  ZKA_DCHECK(m * n * k == 0 || (a != nullptr && b != nullptr),
+             "gemm: null operand for nonempty product");
   if (m <= 0 || n <= 0) return;
   if (beta == 0.0f) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
@@ -162,7 +169,9 @@ void im2col_one(const ConvGeometry& g, const float* image, float* col,
       }
     }
   }
-  assert(row == g.patch_size());
+  ZKA_DCHECK(row == g.patch_size(), "im2col rows %lld != patch size %lld",
+             static_cast<long long>(row),
+             static_cast<long long>(g.patch_size()));
 }
 
 void col2im_one(const ConvGeometry& g, const float* col, float* image,
@@ -188,7 +197,27 @@ void col2im_one(const ConvGeometry& g, const float* col, float* image,
       }
     }
   }
-  assert(row == g.patch_size());
+  ZKA_DCHECK(row == g.patch_size(), "col2im rows %lld != patch size %lld",
+             static_cast<long long>(row),
+             static_cast<long long>(g.patch_size()));
+}
+
+// Geometry preconditions shared by the four im2col/col2im entry points.
+// Violations are programmer errors in the conv layers, not user input, so
+// this is contract-build-only.
+void dcheck_geometry(const ConvGeometry& g, std::int64_t batch) noexcept {
+  ZKA_DCHECK(g.in_channels > 0 && g.in_h > 0 && g.in_w > 0,
+             "conv geometry: bad input %lldx%lldx%lld",
+             static_cast<long long>(g.in_channels),
+             static_cast<long long>(g.in_h), static_cast<long long>(g.in_w));
+  ZKA_DCHECK(g.kernel > 0 && g.stride > 0 && g.pad >= 0,
+             "conv geometry: kernel=%lld stride=%lld pad=%lld",
+             static_cast<long long>(g.kernel),
+             static_cast<long long>(g.stride), static_cast<long long>(g.pad));
+  ZKA_DCHECK(g.out_h() > 0 && g.out_w() > 0 && batch >= 0,
+             "conv geometry: empty output %lldx%lld (batch %lld)",
+             static_cast<long long>(g.out_h()),
+             static_cast<long long>(g.out_w()), static_cast<long long>(batch));
 }
 
 // Samples are independent (disjoint column slabs / disjoint images), so a
@@ -227,21 +256,21 @@ void gemm_a_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  if (a.rank() != 2 || b.rank() != 2) {
-    throw std::invalid_argument("matmul requires rank-2 tensors");
-  }
-  if (a.dim(1) != b.dim(0)) {
-    throw std::invalid_argument("matmul inner dimensions differ: " +
-                                shape_to_string(a.shape()) + " @ " +
-                                shape_to_string(b.shape()));
-  }
+  ZKA_CHECK(a.rank() == 2 && b.rank() == 2,
+            "matmul requires rank-2 tensors, got %s @ %s",
+            shape_to_string(a.shape()).c_str(),
+            shape_to_string(b.shape()).c_str());
+  ZKA_CHECK(a.dim(1) == b.dim(0), "matmul inner dimensions differ: %s @ %s",
+            shape_to_string(a.shape()).c_str(),
+            shape_to_string(b.shape()).c_str());
   Tensor c({a.dim(0), b.dim(1)});
   gemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.raw(), b.raw(), 0.0f, c.raw());
   return c;
 }
 
 Tensor transpose2d(const Tensor& a) {
-  if (a.rank() != 2) throw std::invalid_argument("transpose2d requires rank 2");
+  ZKA_CHECK(a.rank() == 2, "transpose2d requires rank 2, got %s",
+            shape_to_string(a.shape()).c_str());
   const std::int64_t rows = a.dim(0);
   const std::int64_t cols = a.dim(1);
   Tensor t({cols, rows});
@@ -254,15 +283,18 @@ Tensor transpose2d(const Tensor& a) {
 }
 
 void im2col(const ConvGeometry& g, const float* image, float* col) noexcept {
+  dcheck_geometry(g, 1);
   im2col_one(g, image, col, g.out_h() * g.out_w(), 0);
 }
 
 void col2im(const ConvGeometry& g, const float* col, float* image) noexcept {
+  dcheck_geometry(g, 1);
   col2im_one(g, col, image, g.out_h() * g.out_w(), 0);
 }
 
 void im2col_batched(const ConvGeometry& g, const float* images,
                     std::int64_t batch, float* col) noexcept {
+  dcheck_geometry(g, batch);
   const std::int64_t spatial = g.out_h() * g.out_w();
   const std::int64_t ld = batch * spatial;
   const std::int64_t image_size = g.in_channels * g.in_h * g.in_w;
@@ -282,6 +314,7 @@ void im2col_batched(const ConvGeometry& g, const float* images,
 
 void col2im_batched(const ConvGeometry& g, const float* col,
                     std::int64_t batch, float* images) noexcept {
+  dcheck_geometry(g, batch);
   const std::int64_t spatial = g.out_h() * g.out_w();
   const std::int64_t ld = batch * spatial;
   const std::int64_t image_size = g.in_channels * g.in_h * g.in_w;

@@ -1,13 +1,13 @@
 #include "tensor/reduce.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <functional>
 #include <vector>
 
 #include "tensor/ops.h"
 #include "tensor/reduce_dispatch.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace zka::tensor {
@@ -72,12 +72,12 @@ void for_each_block(std::size_t extent, std::size_t total_work,
 const char* reduce_backend_name() noexcept { return backend().name; }
 
 double dot(std::span<const float> a, std::span<const float> b) noexcept {
-  assert(a.size() == b.size());
+  ZKA_DCHECK(a.size() == b.size(), "dot: %zu vs %zu", a.size(), b.size());
   return backend().kernels->dot_ff(a.data(), b.data(), a.size());
 }
 
 double dot(std::span<const double> a, std::span<const double> b) noexcept {
-  assert(a.size() == b.size());
+  ZKA_DCHECK(a.size() == b.size(), "dot: %zu vs %zu", a.size(), b.size());
   return backend().kernels->dot_dd(a.data(), b.data(), a.size());
 }
 
@@ -87,31 +87,42 @@ double squared_norm(std::span<const float> a) noexcept {
 
 double squared_distance(std::span<const float> a,
                         std::span<const float> b) noexcept {
-  assert(a.size() == b.size());
+  ZKA_DCHECK(a.size() == b.size(), "squared_distance: %zu vs %zu", a.size(),
+             b.size());
   return backend().kernels->sqdist_ff(a.data(), b.data(), a.size());
 }
 
 double squared_distance(std::span<const float> a,
                         std::span<const double> b) noexcept {
-  assert(a.size() == b.size());
+  ZKA_DCHECK(a.size() == b.size(), "squared_distance: %zu vs %zu", a.size(),
+             b.size());
   return backend().kernels->sqdist_fd(a.data(), b.data(), a.size());
+}
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) noexcept {
+  ZKA_DCHECK(a.size() == b.size(), "squared_distance: %zu vs %zu", a.size(),
+             b.size());
+  return backend().kernels->sqdist_dd(a.data(), b.data(), a.size());
 }
 
 void axpy(double alpha, std::span<const float> x,
           std::span<double> y) noexcept {
-  assert(x.size() == y.size());
+  ZKA_DCHECK(x.size() == y.size(), "axpy: %zu vs %zu", x.size(), y.size());
   backend().kernels->axpy_fd(alpha, x.data(), y.data(), x.size());
 }
 
 void axpy(double alpha, std::span<const double> x,
           std::span<double> y) noexcept {
-  assert(x.size() == y.size());
+  ZKA_DCHECK(x.size() == y.size(), "axpy: %zu vs %zu", x.size(), y.size());
   backend().kernels->axpy_dd(alpha, x.data(), y.data(), x.size());
 }
 
 void weighted_sum(std::span<const std::span<const float>> rows,
                   std::span<const double> coeffs, std::span<double> out) {
-  assert(rows.size() == coeffs.size());
+  ZKA_CHECK(rows.size() == coeffs.size(),
+            "weighted_sum: %zu rows vs %zu coeffs", rows.size(),
+            coeffs.size());
   const std::size_t n = rows.size();
   const std::size_t dim = out.size();
   const detail::ReduceKernels& k = *backend().kernels;
@@ -119,7 +130,8 @@ void weighted_sum(std::span<const std::span<const float>> rows,
     double* dst = out.data() + c0;
     std::memset(dst, 0, (c1 - c0) * sizeof(double));
     for (std::size_t r = 0; r < n; ++r) {
-      assert(rows[r].size() == dim);
+      ZKA_DCHECK(rows[r].size() == dim, "weighted_sum: row %zu has %zu of %zu",
+                 r, rows[r].size(), dim);
       k.axpy_fd(coeffs[r], rows[r].data() + c0, dst, c1 - c0);
     }
   });
@@ -128,10 +140,12 @@ void weighted_sum(std::span<const std::span<const float>> rows,
 void gram_matrix(std::span<const std::span<const float>> rows,
                  std::span<float> gram, std::span<double> sqnorms) {
   const std::size_t n = rows.size();
-  assert(n > 0);
+  ZKA_CHECK(n > 0, "gram_matrix: no rows");
   const std::size_t d = rows.front().size();
-  assert(gram.size() == n * n);
-  assert(sqnorms.size() == n);
+  ZKA_CHECK(gram.size() == n * n, "gram_matrix: gram holds %zu, need %zu",
+            gram.size(), n * n);
+  ZKA_CHECK(sqnorms.size() == n, "gram_matrix: sqnorms holds %zu, need %zu",
+            sqnorms.size(), n);
 
   // Pack the rows contiguously so the whole pairwise geometry is one
   // [n, d] x [d, n] GEMM; the row copy and the exact norms fork over rows
@@ -139,7 +153,8 @@ void gram_matrix(std::span<const std::span<const float>> rows,
   std::vector<float> packed(n * d);
   const detail::ReduceKernels& k = *backend().kernels;
   auto pack_row = [&](std::size_t i) {
-    assert(rows[i].size() == d);
+    ZKA_DCHECK(rows[i].size() == d, "gram_matrix: row %zu has %zu of %zu", i,
+               rows[i].size(), d);
     std::memcpy(packed.data() + i * d, rows[i].data(), d * sizeof(float));
     sqnorms[i] = k.sqnorm_f(rows[i].data(), d);
   };
@@ -156,7 +171,8 @@ void gram_matrix(std::span<const std::span<const float>> rows,
 }
 
 void sort_columns(float* tile, std::size_t rows, std::size_t width) {
-  assert((rows & (rows - 1)) == 0);
+  ZKA_CHECK(rows > 0 && (rows & (rows - 1)) == 0,
+            "sort_columns: rows %zu is not a power of two", rows);
   const auto cmpx = backend().kernels->cmpx_rows;
   // Batcher's odd-even mergesort (Knuth 5.2.2M), iterative form for a
   // power-of-two row count.

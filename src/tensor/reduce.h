@@ -56,6 +56,8 @@ double squared_distance(std::span<const float> a,
                         std::span<const float> b) noexcept;
 double squared_distance(std::span<const float> a,
                         std::span<const double> b) noexcept;
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) noexcept;
 
 /// y += alpha * x (scaled accumulate). Spans must have equal size.
 void axpy(double alpha, std::span<const float> x,

@@ -32,6 +32,7 @@ struct ReduceKernels {
   double (*sqnorm_f)(const float* a, std::size_t n);
   double (*sqdist_ff)(const float* a, const float* b, std::size_t n);
   double (*sqdist_fd)(const float* a, const double* b, std::size_t n);
+  double (*sqdist_dd)(const double* a, const double* b, std::size_t n);
   void (*axpy_fd)(double alpha, const float* x, double* y, std::size_t n);
   void (*axpy_dd)(double alpha, const double* x, double* y, std::size_t n);
   void (*cmpx_rows)(float* a, float* b, std::size_t n);

@@ -112,6 +112,24 @@ double sqdist_fd(const float* a, const double* b, std::size_t n) {
   return acc;
 }
 
+double sqdist_dd(const double* a, const double* b, std::size_t n) {
+  double lanes[L] = {};
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    for (std::size_t l = 0; l < L; ++l) {
+      const double d = a[i + l] - b[i + l];
+      lanes[l] += d * d;
+    }
+  }
+  double acc = 0.0;
+  for (std::size_t l = 0; l < L; ++l) acc += lanes[l];
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
 // The axpy family is elementwise (one accumulator per output element), so
 // its result is association-free; the loops exist per tier purely so the
 // compiler emits full-width converts/FMAs.
@@ -133,6 +151,13 @@ void axpy_dd(double alpha, const double* x, double* y, std::size_t n) {
 // and callers pad their tiles with +inf, which that flag would outlaw.
 // The ISA branch keys on the compiler macros the tier's -m flags define,
 // so the one body still compiles once per tier like everything else.
+// GCC 12's _mm512_min_ps/_mm512_max_ps expand _mm512_undefined_ps(),
+// whose self-initialized temporary trips -Wmaybe-uninitialized through
+// inlining (GCC bug 105593). Nothing uninitialized is actually read.
+#if defined(__AVX512F__) && defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 void cmpx_rows(float* a, float* b, std::size_t n) {
   std::size_t i = 0;
 #if defined(__AVX512F__)
@@ -164,12 +189,16 @@ void cmpx_rows(float* a, float* b, std::size_t n) {
     b[i] = x < y ? y : x;
   }
 }
+#if defined(__AVX512F__) && defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 
 const ReduceKernels kernels = {
-    &dot_ff,   &dot_dd,  &sqnorm_f,  &sqdist_ff,
-    &sqdist_fd, &axpy_fd, &axpy_dd,  &cmpx_rows,
+    &dot_ff,    &dot_dd,    &sqnorm_f, &sqdist_ff,
+    &sqdist_fd, &sqdist_dd, &axpy_fd,  &axpy_dd,
+    &cmpx_rows,
 };
 
 }  // namespace ZKA_REDUCE_NS

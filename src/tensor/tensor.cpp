@@ -1,11 +1,11 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace zka::tensor {
@@ -75,11 +75,16 @@ std::int64_t Tensor::dim(std::size_t axis) const {
 }
 
 std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
-  assert(idx.size() == shape_.size());
+  ZKA_DCHECK(idx.size() == shape_.size(), "at(): %zu indices for rank-%zu %s",
+             idx.size(), shape_.size(), shape_to_string(shape_).c_str());
   std::int64_t flat = 0;
   std::size_t axis = 0;
   for (const std::int64_t i : idx) {
-    assert(i >= 0 && i < shape_[axis]);
+    ZKA_DCHECK(i >= 0 && i < shape_[axis],
+               "at(): index %lld out of [0, %lld) on axis %zu of %s",
+               static_cast<long long>(i),
+               static_cast<long long>(shape_[axis]), axis,
+               shape_to_string(shape_).c_str());
     flat = flat * shape_[axis] + i;
     ++axis;
   }
@@ -144,11 +149,9 @@ void Tensor::fill(float value) noexcept {
 
 namespace {
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
-  if (!a.same_shape(b)) {
-    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
-                                shape_to_string(a.shape()) + " vs " +
-                                shape_to_string(b.shape()));
-  }
+  ZKA_CHECK(a.same_shape(b), "%s: shape mismatch %s vs %s", op,
+            shape_to_string(a.shape()).c_str(),
+            shape_to_string(b.shape()).c_str());
 }
 }  // namespace
 
@@ -207,7 +210,8 @@ std::int64_t Tensor::argmax() const {
 }
 
 std::vector<std::int64_t> Tensor::argmax_rows() const {
-  if (rank() != 2) throw std::invalid_argument("argmax_rows requires rank 2");
+  ZKA_CHECK(rank() == 2, "argmax_rows requires rank 2, got %s",
+            shape_to_string(shape_).c_str());
   const std::int64_t rows = shape_[0];
   const std::int64_t cols = shape_[1];
   std::vector<std::int64_t> out(static_cast<std::size_t>(rows));

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
+
 namespace zka::util {
 class Rng;
 }
@@ -59,8 +61,17 @@ class Tensor {
   float* raw() noexcept { return data_.data(); }
   const float* raw() const noexcept { return data_.data(); }
 
-  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  // Flat element access. Unchecked in release; contract builds
+  // (ZKA_CONTRACTS) abort on out-of-bounds instead of silently reading
+  // whatever follows the buffer.
+  float& operator[](std::int64_t i) {
+    ZKA_DCHECK(i >= 0 && i < numel(), "flat index %lld out of [0, %lld)",
+               static_cast<long long>(i), static_cast<long long>(numel()));
+    return data_[static_cast<std::size_t>(i)];
+  }
   float operator[](std::int64_t i) const {
+    ZKA_DCHECK(i >= 0 && i < numel(), "flat index %lld out of [0, %lld)",
+               static_cast<long long>(i), static_cast<long long>(numel()));
     return data_[static_cast<std::size_t>(i)];
   }
 

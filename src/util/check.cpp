@@ -1,0 +1,65 @@
+#include "util/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zka::util::detail {
+
+namespace {
+
+std::string location_prefix(const char* kind, const char* cond,
+                            const char* file, int line) {
+  std::string msg(kind);
+  msg += " failed: ";
+  msg += cond;
+  msg += " (";
+  msg += file;
+  msg += ':';
+  msg += std::to_string(line);
+  msg += ')';
+  return msg;
+}
+
+}  // namespace
+
+std::string contract_message(const char* kind, const char* cond,
+                             const char* file, int line) {
+  return location_prefix(kind, cond, file, line);
+}
+
+std::string contract_message(const char* kind, const char* cond,
+                             const char* file, int line, const char* fmt,
+                             ...) {
+  std::string msg = location_prefix(kind, cond, file, line);
+  msg += ": ";
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (needed > 0) {
+    const std::size_t offset = msg.size();
+    msg.resize(offset + static_cast<std::size_t>(needed));
+    // C++11 strings are contiguous and writable through &msg[offset];
+    // vsnprintf's terminating NUL lands on the string's own terminator.
+    std::vsnprintf(msg.data() + offset, static_cast<std::size_t>(needed) + 1,
+                   fmt, args);
+  }
+  va_end(args);
+  return msg;
+}
+
+void contract_throw(const std::string& message) {
+  throw ContractViolation(message);
+}
+
+void contract_abort(const std::string& message) noexcept {
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace zka::util::detail

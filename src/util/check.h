@@ -1,0 +1,124 @@
+// Contract-checking macros used across every layer of the library.
+//
+// Three macros, one policy:
+//
+//   ZKA_CHECK(cond, ...)        Always compiled in. On failure throws
+//                               zka::util::ContractViolation (derives from
+//                               std::invalid_argument, so existing tests and
+//                               callers that catch std::invalid_argument /
+//                               std::logic_error keep working). Use for API
+//                               preconditions on cold paths: aggregate()
+//                               entry, layer construction, config parsing.
+//
+//   ZKA_DCHECK(cond, ...)       Compiled to nothing unless the build defines
+//                               ZKA_CONTRACTS (the asan/tsan presets turn it
+//                               on). On failure prints the formatted message
+//                               to stderr and aborts — abort, not throw, so
+//                               the macro is usable inside noexcept kernels
+//                               and death-testable with EXPECT_DEATH. Use for
+//                               per-element / per-iteration invariants the
+//                               release hot paths must not pay for:
+//                               operator[], GEMM size agreement, reduce span
+//                               lengths.
+//
+//   ZKA_CHECK_SHAPE(a, b, ...)  ZKA_CHECK specialization for shape/extent
+//                               agreement of two index sequences (tensor
+//                               Shape vectors, or any container of integers
+//                               comparable with ==). The failure message
+//                               formats both shapes "[2, 3] vs [4]".
+//
+// All three take an optional printf-style context message after the
+// condition: ZKA_CHECK(n > f, "Krum: n=%zu f=%zu", n, f).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace zka::util {
+
+/// Thrown by ZKA_CHECK / ZKA_CHECK_SHAPE. Derives from std::invalid_argument
+/// because a violated precondition is almost always a bad argument, and the
+/// pre-contract code (and its tests) threw exactly that.
+class ContractViolation : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+#ifdef ZKA_CONTRACTS
+inline constexpr bool kContractsEnabled = true;
+#else
+inline constexpr bool kContractsEnabled = false;
+#endif
+
+namespace detail {
+
+/// "kind failed: cond (file:line)" — no user context.
+std::string contract_message(const char* kind, const char* cond,
+                             const char* file, int line);
+
+/// Same, with a printf-formatted user context appended.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 5, 6)))
+#endif
+std::string contract_message(const char* kind, const char* cond,
+                             const char* file, int line, const char* fmt, ...);
+
+[[noreturn]] void contract_throw(const std::string& message);
+[[noreturn]] void contract_abort(const std::string& message) noexcept;
+
+/// "[2, 3, 4]" for any container of integers (tensor::Shape and friends).
+template <typename Seq>
+std::string format_extents(const Seq& extents) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const auto d : extents) {
+    if (!first) os << ", ";
+    os << static_cast<std::int64_t>(d);
+    first = false;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace zka::util
+
+#define ZKA_CHECK(cond, ...)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::zka::util::detail::contract_throw(                                 \
+          ::zka::util::detail::contract_message(                           \
+              "ZKA_CHECK", #cond, __FILE__,                                \
+              __LINE__ __VA_OPT__(, ) __VA_ARGS__));                       \
+    }                                                                      \
+  } while (0)
+
+// The condition and message arguments stay compiled (dead-code eliminated
+// when contracts are off), so variables used only in contracts never trip
+// -Wunused under -Werror and the expression can't bit-rot unchecked.
+#define ZKA_DCHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (::zka::util::kContractsEnabled && !(cond)) {                       \
+      ::zka::util::detail::contract_abort(                                 \
+          ::zka::util::detail::contract_message(                           \
+              "ZKA_DCHECK", #cond, __FILE__,                               \
+              __LINE__ __VA_OPT__(, ) __VA_ARGS__));                       \
+    }                                                                      \
+  } while (0)
+
+#define ZKA_CHECK_SHAPE(a, b, ...)                                         \
+  do {                                                                     \
+    const auto& zka_check_shape_a_ = (a);                                  \
+    const auto& zka_check_shape_b_ = (b);                                  \
+    if (!(zka_check_shape_a_ == zka_check_shape_b_)) {                     \
+      ::zka::util::detail::contract_throw(                                 \
+          ::zka::util::detail::contract_message(                           \
+              "ZKA_CHECK_SHAPE", #a " == " #b, __FILE__,                   \
+              __LINE__ __VA_OPT__(, ) __VA_ARGS__) +                       \
+          ": " + ::zka::util::detail::format_extents(zka_check_shape_a_) + \
+          " vs " + ::zka::util::detail::format_extents(zka_check_shape_b_)); \
+    }                                                                      \
+  } while (0)

@@ -1,9 +1,10 @@
 #include "util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "util/check.h"
 
 namespace zka::util {
 
@@ -45,7 +46,7 @@ double stddev(std::span<const float> xs) noexcept {
 namespace {
 template <typename T>
 T median_impl(std::vector<T>& xs) noexcept {
-  assert(!xs.empty());
+  ZKA_DCHECK(!xs.empty(), "median of empty range");
   const std::size_t mid = xs.size() / 2;
   std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
   T hi = xs[mid];
@@ -61,8 +62,8 @@ double median(std::vector<double> xs) noexcept { return median_impl(xs); }
 float median(std::vector<float> xs) noexcept { return median_impl(xs); }
 
 double quantile(std::vector<double> xs, double q) noexcept {
-  assert(!xs.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  ZKA_DCHECK(!xs.empty(), "quantile of empty range");
+  ZKA_DCHECK(q >= 0.0 && q <= 1.0, "quantile %g outside [0, 1]", q);
   std::sort(xs.begin(), xs.end());
   const double pos = q * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
@@ -72,7 +73,8 @@ double quantile(std::vector<double> xs, double q) noexcept {
 }
 
 double inverse_normal_cdf(double p) noexcept {
-  assert(p > 0.0 && p < 1.0);
+  ZKA_DCHECK(p > 0.0 && p < 1.0, "inverse_normal_cdf: p=%g outside (0, 1)",
+             p);
   // Peter Acklam's rational approximation.
   static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                                  -2.759285104469687e+02, 1.383577518672690e+02,
@@ -116,7 +118,8 @@ double l2_norm(std::span<const float> xs) noexcept {
 }
 
 double l2_distance(std::span<const float> a, std::span<const float> b) noexcept {
-  assert(a.size() == b.size());
+  ZKA_DCHECK(a.size() == b.size(), "l2_distance: %zu vs %zu elements",
+             a.size(), b.size());
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = static_cast<double>(a[i]) - b[i];
@@ -127,7 +130,8 @@ double l2_distance(std::span<const float> a, std::span<const float> b) noexcept 
 
 double cosine_similarity(std::span<const float> a,
                          std::span<const float> b) noexcept {
-  assert(a.size() == b.size());
+  ZKA_DCHECK(a.size() == b.size(), "cosine_similarity: %zu vs %zu elements",
+             a.size(), b.size());
   double dot = 0.0;
   double na = 0.0;
   double nb = 0.0;
