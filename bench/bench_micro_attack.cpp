@@ -4,6 +4,8 @@
 // DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.h"
+
 #include "core/zka_g.h"
 #include "core/zka_r.h"
 #include "data/synthetic.h"
@@ -92,4 +94,4 @@ BENCHMARK(BM_ZkaRFilterKernelSweep)->Arg(3)->Arg(5)->Arg(7);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZKA_BENCH_MAIN("micro_attack");

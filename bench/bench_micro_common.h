@@ -1,0 +1,61 @@
+// Shared plumbing for the google-benchmark micro benches.
+//
+// ZKA_BENCH_MAIN(name) replaces BENCHMARK_MAIN(): it runs the registered
+// benchmarks through a tee reporter that keeps the normal console output
+// while collecting every measurement into a BenchJson, then writes
+// results/BENCH_<name>.json (override the directory with ZKA_BENCH_OUT).
+// Runtime profiling is controlled by the ZKA_PROF environment variable as
+// everywhere else; the captured counters land in the report's "prof" block.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_json.h"
+
+namespace zka::bench {
+
+/// Console reporter that also funnels per-iteration timings (ns/op) into a
+/// BenchJson, one entry per benchmark case, one sample per repetition.
+class TeeReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit TeeReporter(BenchJson& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double iters =
+          static_cast<double>(std::max<std::int64_t>(run.iterations, 1));
+      report_.add_sample(run.benchmark_name(),
+                         run.real_accumulated_time / iters * 1e9);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJson& report_;
+};
+
+inline int run_micro_bench(const char* name, int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchJson report(name);
+  TeeReporter reporter(report);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  const char* dir = std::getenv("ZKA_BENCH_OUT");
+  std::printf("wrote %s\n", report.write(dir ? dir : "results").c_str());
+  return 0;
+}
+
+}  // namespace zka::bench
+
+#define ZKA_BENCH_MAIN(name)                                \
+  int main(int argc, char** argv) {                         \
+    return ::zka::bench::run_micro_bench(name, argc, argv); \
+  }

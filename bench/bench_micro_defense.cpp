@@ -3,6 +3,8 @@
 // mKrum parameter ablation is covered via the f argument).
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.h"
+
 #include "defense/aggregator.h"
 #include "util/rng.h"
 
@@ -69,4 +71,4 @@ BENCHMARK(BM_Dnc) DEFENSE_ARGS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZKA_BENCH_MAIN("micro_defense");

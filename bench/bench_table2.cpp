@@ -7,6 +7,7 @@ int main(int argc, char** argv) {
   using namespace zka;
   const util::CliArgs args(argc, argv);
   const bench::BenchScale scale = bench::scale_from_cli(args);
+  bench::BenchJson report = bench::make_report("table2", args, scale);
 
   const fl::AttackKind attacks[] = {
       fl::AttackKind::kFang, fl::AttackKind::kLie, fl::AttackKind::kMinMax,
@@ -22,9 +23,17 @@ int main(int argc, char** argv) {
       for (const fl::AttackKind attack : attacks) {
         const fl::SimulationConfig config =
             bench::make_config(task, scale, defense);
-        const fl::ExperimentOutcome outcome = fl::run_experiment(
-            config, attack, bench::default_zka_options(task), scale.runs,
-            baselines);
+        const std::string label = std::string(models::task_name(task)) +
+                                  "/" + defense + "/" +
+                                  fl::attack_kind_name(attack);
+        const fl::ExperimentOutcome outcome =
+            bench::timed(report, label, [&] {
+              return fl::run_experiment(config, attack,
+                                        bench::default_zka_options(task),
+                                        scale.runs, baselines);
+            });
+        report.add_metric(label, "acc", outcome.max_acc);
+        report.add_metric(label, "asr", outcome.asr);
         table.add_row({models::task_name(task), defense,
                        fl::attack_kind_name(attack),
                        util::Table::fmt(outcome.acc_natk, 1),
@@ -41,5 +50,6 @@ int main(int argc, char** argv) {
   }
   table.print("\nTable II — acc and ASR under attack (Dirichlet beta=0.5)");
   bench::maybe_write_csv(args, table);
+  bench::finish_report(report, args);
   return 0;
 }

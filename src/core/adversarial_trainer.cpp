@@ -5,6 +5,7 @@
 #include "nn/loss.h"
 #include "nn/sgd.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::core {
 
@@ -29,6 +30,7 @@ std::vector<double> AdversarialTrainer::train(
   std::vector<double> epoch_losses;
   epoch_losses.reserve(static_cast<std::size_t>(options_.epochs));
   for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    ZKA_PROF_SCOPE("adv_trainer/epoch");
     rng.shuffle(order);
     double total = 0.0;
     std::int64_t batches = 0;

@@ -3,6 +3,7 @@
 #include "nn/loss.h"
 #include "nn/sgd.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::core {
 
@@ -38,6 +39,7 @@ void ZkaGAttack::set_classifier_lambda(double lambda) {
 }
 
 attack::Update ZkaGAttack::craft(const attack::AttackContext& ctx) {
+  ZKA_PROF_SCOPE("zka_g/craft");
   attack::validate_context(*this, ctx);
 
   auto classifier = factory_(rng_.split(0x7e0)());
@@ -52,6 +54,7 @@ attack::Update ZkaGAttack::craft(const attack::AttackContext& ctx) {
     nn::SoftmaxCrossEntropy loss(-1.0f);
     nn::Sgd optimizer(*generator_, {.learning_rate = options_.synthesis_lr});
     for (std::int64_t epoch = 0; epoch < options_.synthesis_epochs; ++epoch) {
+      ZKA_PROF_SCOPE("zka_g/generator_epoch");
       optimizer.zero_grad();
       classifier->zero_grad();
       const tensor::Tensor images = generator_->forward(latent_);
@@ -70,8 +73,11 @@ attack::Update ZkaGAttack::craft(const attack::AttackContext& ctx) {
 
   // Step 2: adversarial classifier training on (S, Ỹ) with L_d.
   nn::set_flat_params(*classifier, ctx.global_model);
-  trainer_.train(*classifier, last_images_, decoy_label_, ctx.global_model,
-                 ctx.prev_global_model, rng_);
+  {
+    ZKA_PROF_SCOPE("zka_g/classifier_train");
+    trainer_.train(*classifier, last_images_, decoy_label_, ctx.global_model,
+                   ctx.prev_global_model, rng_);
+  }
   return nn::get_flat_params(*classifier);
 }
 

@@ -5,6 +5,7 @@
 #include "nn/loss.h"
 #include "nn/sgd.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::core {
 
@@ -28,6 +29,7 @@ void ZkaRAttack::set_classifier_lambda(double lambda) {
 }
 
 attack::Update ZkaRAttack::craft(const attack::AttackContext& ctx) {
+  ZKA_PROF_SCOPE("zka_r/craft");
   attack::validate_context(*this, ctx);
   ZKA_CHECK(options_.synthetic_size > 0 && options_.synthesis_epochs >= 0,
             "ZKA-R: synthetic_size=%lld, synthesis_epochs=%lld out of range",
@@ -53,6 +55,7 @@ attack::Update ZkaRAttack::craft(const attack::AttackContext& ctx) {
   nn::SoftmaxCrossEntropy loss;
   const std::int64_t plane = spec_.pixels();
   for (std::int64_t s = 0; s < s_count; ++s) {
+    ZKA_PROF_SCOPE("zka_r/synthesize_sample");
     // Static random image A; only the filter layer is trainable.
     const tensor::Tensor a = tensor::Tensor::uniform(
         {1, spec_.channels, spec_.height, spec_.width}, rng_, -1.0f, 1.0f);
@@ -84,8 +87,11 @@ attack::Update ZkaRAttack::craft(const attack::AttackContext& ctx) {
 
   // Step 2: adversarial classifier training on (S, Ỹ) with L_d.
   nn::set_flat_params(*classifier, ctx.global_model);
-  trainer_.train(*classifier, last_images_, decoy_label_, ctx.global_model,
-                 ctx.prev_global_model, rng_);
+  {
+    ZKA_PROF_SCOPE("zka_r/classifier_train");
+    trainer_.train(*classifier, last_images_, decoy_label_, ctx.global_model,
+                   ctx.prev_global_model, rng_);
+  }
   return nn::get_flat_params(*classifier);
 }
 

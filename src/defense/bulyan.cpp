@@ -6,11 +6,13 @@
 #include "defense/coordwise.h"
 #include "defense/krum.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::defense {
 
 AggregationResult Bulyan::aggregate(std::span<const UpdateView> updates,
                                     std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/bulyan");
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   // f/n feasibility: theta = n - 2f Multi-Krum selections must exist. (The

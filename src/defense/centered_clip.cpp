@@ -5,6 +5,7 @@
 #include "defense/statistic.h"
 #include "tensor/reduce.h"
 #include "util/check.h"
+#include "util/prof.h"
 #include "util/stats.h"
 
 namespace zka::defense {
@@ -12,6 +13,7 @@ namespace zka::defense {
 AggregationResult CenteredClipping::aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/centeredclip");
   validate_updates(updates, weights);
   ZKA_CHECK(std::isfinite(tau_), "CenteredClipping: tau %g is not finite",
             tau_);

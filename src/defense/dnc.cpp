@@ -7,11 +7,13 @@
 #include "defense/fedavg.h"
 #include "tensor/reduce.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::defense {
 
 AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
                                  std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/dnc");
   validate_updates(updates, weights);
   ZKA_CHECK(options_.subsample_dim > 0, "DnC: subsample_dim must be positive");
   ZKA_CHECK(options_.filter_fraction >= 0.0,

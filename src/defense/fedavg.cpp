@@ -2,11 +2,13 @@
 
 #include "tensor/reduce.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::defense {
 
 AggregationResult FedAvg::aggregate(std::span<const UpdateView> updates,
                                     std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/fedavg");
   validate_updates(updates, weights);
   double total = 0.0;
   for (const std::int64_t w : weights) total += static_cast<double>(w);

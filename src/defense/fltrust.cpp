@@ -9,6 +9,7 @@
 #include "nn/sgd.h"
 #include "tensor/reduce.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::defense {
 
@@ -45,6 +46,7 @@ void FlTrust::begin_round(std::span<const float> global_model,
 
 AggregationResult FlTrust::aggregate(std::span<const UpdateView> updates,
                                      std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/fltrust");
   validate_updates(updates, weights);
   ZKA_CHECK(global_.size() == updates.front().size() &&
                 server_update_.size() == updates.front().size(),

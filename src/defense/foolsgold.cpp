@@ -6,11 +6,13 @@
 #include "defense/distance.h"
 #include "tensor/reduce.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::defense {
 
 AggregationResult FoolsGold::aggregate(std::span<const UpdateView> updates,
                                        std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/foolsgold");
   validate_updates(updates, weights);
   ZKA_CHECK(select_threshold_ >= 0.0 && select_threshold_ <= 1.0,
             "FoolsGold: select_threshold %g outside [0, 1]",

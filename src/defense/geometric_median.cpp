@@ -5,12 +5,14 @@
 
 #include "tensor/reduce.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::defense {
 
 AggregationResult GeometricMedian::aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/geomedian");
   validate_updates(updates, weights);
   ZKA_CHECK(max_iterations_ > 0 && smoothing_ > 0.0 && tolerance_ >= 0.0,
             "GeometricMedian: bad config (max_iterations=%d, tolerance=%g, "

@@ -6,6 +6,7 @@
 #include "defense/distance.h"
 #include "defense/fedavg.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::defense {
 
@@ -69,6 +70,7 @@ std::vector<std::size_t> MultiKrum::select(
 
 AggregationResult MultiKrum::aggregate(std::span<const UpdateView> updates,
                                        std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/mkrum");
   validate_updates(updates, weights);
   AggregationResult result;
   result.selected = select(updates);

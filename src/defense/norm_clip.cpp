@@ -5,6 +5,7 @@
 
 #include "defense/statistic.h"
 #include "tensor/reduce.h"
+#include "util/prof.h"
 #include "util/stats.h"
 
 namespace zka::defense {
@@ -12,6 +13,7 @@ namespace zka::defense {
 AggregationResult NormClipping::aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/normclip");
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();

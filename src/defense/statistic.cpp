@@ -4,11 +4,13 @@
 
 #include "defense/coordwise.h"
 #include "util/check.h"
+#include "util/prof.h"
 
 namespace zka::defense {
 
 AggregationResult Median::aggregate(std::span<const UpdateView> updates,
                                     std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/median");
   validate_updates(updates, weights);
   const std::size_t dim = updates.front().size();
   const std::size_t n = updates.size();
@@ -27,6 +29,7 @@ AggregationResult Median::aggregate(std::span<const UpdateView> updates,
 AggregationResult TrimmedMean::aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
+  ZKA_PROF_SCOPE("aggregate/trmean");
   validate_updates(updates, weights);
   const std::size_t n = updates.size();
   ZKA_CHECK(n > 2 * trim_,

@@ -1,6 +1,8 @@
 #include "fl/experiment.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
@@ -15,6 +17,7 @@
 #include "core/zka_g.h"
 #include "core/zka_r.h"
 #include "fl/metrics.h"
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace zka::fl {
@@ -121,21 +124,30 @@ std::unique_ptr<attack::Attack> make_attack(AttackKind kind,
   throw std::invalid_argument("make_attack: bad kind");
 }
 
+std::string BaselineCache::key(const SimulationConfig& config) {
+  std::ostringstream key;
+  // Floating-point fields go in as exact bit patterns: the default ostream
+  // formatting rounds to 6 significant digits, which silently collided
+  // configs differing past that precision.
+  key << models::task_name(config.task) << '/' << config.seed << '/'
+      << config.rounds << '/' << config.train_size << '/' << config.test_size
+      << '/' << std::bit_cast<std::uint64_t>(config.beta) << '/'
+      << config.num_clients << '/' << config.clients_per_round << '/'
+      << std::bit_cast<std::uint32_t>(config.client.learning_rate) << '/'
+      << config.client.local_epochs << '/' << config.client.batch_size << '/'
+      << config.eval_every;
+  return key.str();
+}
+
 double BaselineCache::attack_free_accuracy(SimulationConfig config) {
   config.defense = "fedavg";
   config.malicious_fraction = 0.0;
-  std::ostringstream key;
-  key << models::task_name(config.task) << '/' << config.seed << '/'
-      << config.rounds << '/' << config.train_size << '/' << config.test_size
-      << '/' << config.beta << '/' << config.num_clients << '/'
-      << config.clients_per_round << '/' << config.client.learning_rate << '/'
-      << config.client.local_epochs << '/' << config.client.batch_size << '/'
-      << config.eval_every;
-  const auto it = cache_.find(key.str());
+  const std::string cache_key = key(config);
+  const auto it = cache_.find(cache_key);
   if (it != cache_.end()) return it->second;
   Simulation sim(config);
   const SimulationResult result = sim.run(nullptr);
-  cache_[key.str()] = result.max_accuracy;
+  cache_[cache_key] = result.max_accuracy;
   return result.max_accuracy;
 }
 
@@ -143,6 +155,12 @@ ExperimentOutcome run_experiment(SimulationConfig config, AttackKind kind,
                                  const core::ZkaOptions& zka, int runs,
                                  BaselineCache& baselines) {
   if (runs <= 0) throw std::invalid_argument("run_experiment: runs <= 0");
+  // The outcome's accuracy/ASR means assume evaluated rounds; with
+  // eval_every == 0 max_accuracy stays NaN and would poison them silently.
+  ZKA_CHECK(config.eval_every > 0,
+            "run_experiment: eval_every=%lld disables evaluation, so the "
+            "accuracy metrics would all be NaN",
+            static_cast<long long>(config.eval_every));
   ExperimentOutcome outcome;
   outcome.runs = runs;
   std::vector<double> asrs;

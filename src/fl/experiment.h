@@ -62,6 +62,12 @@ class BaselineCache {
   /// config but with defense forced to "fedavg" and no malicious clients.
   double attack_free_accuracy(SimulationConfig config);
 
+  /// The cache key for `config`. Real-valued fields (beta, learning rate)
+  /// are keyed by exact bit pattern, not decimal formatting — two configs
+  /// differing past the default 6 significant ostream digits must not
+  /// silently share a baseline. Exposed for the collision regression test.
+  static std::string key(const SimulationConfig& config);
+
  private:
   std::map<std::string, double> cache_;
 };

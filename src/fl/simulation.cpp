@@ -6,6 +6,7 @@
 #include "data/synthetic.h"
 #include "fl/metrics.h"
 #include "util/check.h"
+#include "util/prof.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -97,6 +98,7 @@ SimulationResult Simulation::run(attack::Attack* attack) {
   result.rounds.reserve(static_cast<std::size_t>(config_.rounds));
 
   for (std::int64_t round = 0; round < config_.rounds; ++round) {
+    ZKA_PROF_SCOPE("round");
     aggregator_->begin_round(global, round);
     util::Rng round_rng = rng.split(0x1000 + static_cast<std::uint64_t>(round));
     // Uniform client sampling without replacement.
@@ -117,22 +119,28 @@ SimulationResult Simulation::run(attack::Attack* attack) {
 
     // Benign local training (parallel across clients, deterministic seeds).
     std::vector<defense::Update> benign_updates(benign_ids.size());
-    auto train_one = [&](std::size_t k) {
-      const Client& client = clients_[benign_ids[k]];
-      const std::uint64_t seed = config_.seed * 0x9e3779b97f4a7c15ULL +
-                                 static_cast<std::uint64_t>(round) * 1315423911ULL +
-                                 static_cast<std::uint64_t>(client.id());
-      benign_updates[k] = client.train(global, seed);
-    };
-    if (config_.parallel_clients) {
-      util::global_thread_pool().parallel_for(benign_ids.size(), train_one);
-    } else {
-      for (std::size_t k = 0; k < benign_ids.size(); ++k) train_one(k);
+    {
+      ZKA_PROF_SCOPE("client_train");
+      auto train_one = [&](std::size_t k) {
+        ZKA_PROF_SCOPE("client_train/one");
+        const Client& client = clients_[benign_ids[k]];
+        const std::uint64_t seed =
+            config_.seed * 0x9e3779b97f4a7c15ULL +
+            static_cast<std::uint64_t>(round) * 1315423911ULL +
+            static_cast<std::uint64_t>(client.id());
+        benign_updates[k] = client.train(global, seed);
+      };
+      if (config_.parallel_clients) {
+        util::global_thread_pool().parallel_for(benign_ids.size(), train_one);
+      } else {
+        for (std::size_t k = 0; k < benign_ids.size(); ++k) train_one(k);
+      }
     }
 
     // Craft the malicious update once; all malicious clients submit it.
     defense::Update malicious_update;
     if (!malicious_ids.empty()) {
+      ZKA_PROF_SCOPE("attack_craft");
       attack::AttackContext ctx;
       ctx.global_model = global;
       ctx.prev_global_model = prev_global;
@@ -176,8 +184,11 @@ SimulationResult Simulation::run(attack::Attack* attack) {
                static_cast<long long>(round), benign_cursor,
                benign_updates.size());
 
-    const defense::AggregationResult agg =
-        aggregator_->aggregate(updates, weights);
+    defense::AggregationResult agg;
+    {
+      ZKA_PROF_SCOPE("aggregate");
+      agg = aggregator_->aggregate(updates, weights);
+    }
     prev_global = std::move(global);
     global = agg.model;
 
@@ -194,8 +205,14 @@ SimulationResult Simulation::run(attack::Attack* attack) {
     }
     if (config_.eval_every > 0 &&
         (round % config_.eval_every == 0 || round + 1 == config_.rounds)) {
+      ZKA_PROF_SCOPE("eval");
       record.accuracy = evaluate_accuracy(factory_, global, test_);
-      result.max_accuracy = std::max(result.max_accuracy, record.accuracy);
+      // max_accuracy starts NaN (nothing evaluated yet); std::max would
+      // propagate the NaN forever, so seed it from the first evaluation.
+      result.max_accuracy = std::isnan(result.max_accuracy)
+                                ? record.accuracy
+                                : std::max(result.max_accuracy,
+                                           record.accuracy);
       result.final_accuracy = record.accuracy;
     }
     result.rounds.push_back(record);

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -59,8 +60,11 @@ struct RoundRecord {
 
 struct SimulationResult {
   std::vector<RoundRecord> rounds;
-  double max_accuracy = 0.0;
-  double final_accuracy = 0.0;
+  /// Best / last evaluated test accuracy; NaN (like RoundRecord::accuracy)
+  /// when no round was evaluated (eval_every == 0), so an unevaluated run
+  /// is distinguishable from a genuine 0%-accuracy run.
+  double max_accuracy = std::numeric_limits<double>::quiet_NaN();
+  double final_accuracy = std::numeric_limits<double>::quiet_NaN();
   /// The global model after the last round (flat parameter vector).
   std::vector<float> final_model;
   /// Whether the defense reports selections (DPR defined).

@@ -7,6 +7,7 @@
 
 #include "tensor/gemm_dispatch.h"
 #include "util/check.h"
+#include "util/prof.h"
 #include "util/thread_pool.h"
 
 namespace zka::tensor {
@@ -25,22 +26,25 @@ constexpr std::int64_t kMinParallelFlops = std::int64_t{1} << 22;
 struct Backend {
   detail::GemmRangesFn ranges;
   const char* name;
+  /// Prof counter bumped once per gemm_driver call; fixed at startup, so
+  /// ZKA_PROF_COUNT's per-call-site cell caching is sound.
+  const char* tier_counter;
 };
 
 Backend select_backend() {
 #if defined(__x86_64__) && defined(__GNUC__)
 #if defined(ZKA_GEMM_AVX512)
   if (__builtin_cpu_supports("avx512f")) {
-    return {&detail::avx512::gemm_ranges, "avx512f"};
+    return {&detail::avx512::gemm_ranges, "avx512f", "gemm/tier/avx512f"};
   }
 #endif
 #if defined(ZKA_GEMM_AVX2)
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return {&detail::avx2::gemm_ranges, "avx2+fma"};
+    return {&detail::avx2::gemm_ranges, "avx2+fma", "gemm/tier/avx2+fma"};
   }
 #endif
 #endif
-  return {&detail::generic::gemm_ranges, "generic"};
+  return {&detail::generic::gemm_ranges, "generic", "gemm/tier/generic"};
 }
 
 const Backend& backend() {
@@ -64,6 +68,12 @@ void gemm_driver(GemmLayout layout, std::int64_t m, std::int64_t n,
   ZKA_DCHECK(m * n * k == 0 || (a != nullptr && b != nullptr),
              "gemm: null operand for nonempty product");
   if (m <= 0 || n <= 0) return;
+  ZKA_PROF_COUNT("gemm/calls", 1);
+  ZKA_PROF_COUNT("gemm/flops", 2 * m * n * k);
+  ZKA_PROF_COUNT("gemm/bytes",
+                 static_cast<std::int64_t>(sizeof(float)) *
+                     (m * k + k * n + 2 * m * n));
+  ZKA_PROF_COUNT(backend().tier_counter, 1);
   if (beta == 0.0f) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   } else if (beta != 1.0f) {

@@ -8,6 +8,7 @@
 #include "tensor/ops.h"
 #include "tensor/reduce_dispatch.h"
 #include "util/check.h"
+#include "util/prof.h"
 #include "util/thread_pool.h"
 
 namespace zka::tensor {
@@ -26,22 +27,25 @@ constexpr std::size_t kMinParallelElems = std::size_t{1} << 18;
 struct Backend {
   const detail::ReduceKernels* kernels;
   const char* name;
+  /// Prof counter bumped once per entry-point call; fixed at startup, so
+  /// ZKA_PROF_COUNT's per-call-site cell caching is sound.
+  const char* tier_counter;
 };
 
 Backend select_backend() {
 #if defined(__x86_64__) && defined(__GNUC__)
 #if defined(ZKA_GEMM_AVX512)
   if (__builtin_cpu_supports("avx512f")) {
-    return {&detail::avx512::kernels, "avx512f"};
+    return {&detail::avx512::kernels, "avx512f", "reduce/tier/avx512f"};
   }
 #endif
 #if defined(ZKA_GEMM_AVX2)
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return {&detail::avx2::kernels, "avx2+fma"};
+    return {&detail::avx2::kernels, "avx2+fma", "reduce/tier/avx2+fma"};
   }
 #endif
 #endif
-  return {&detail::generic::kernels, "generic"};
+  return {&detail::generic::kernels, "generic", "reduce/tier/generic"};
 }
 
 const Backend& backend() {
@@ -73,15 +77,22 @@ const char* reduce_backend_name() noexcept { return backend().name; }
 
 double dot(std::span<const float> a, std::span<const float> b) noexcept {
   ZKA_DCHECK(a.size() == b.size(), "dot: %zu vs %zu", a.size(), b.size());
+  ZKA_PROF_COUNT("reduce/dot/calls", 1);
+  ZKA_PROF_COUNT("reduce/dot/elems", a.size());
+  ZKA_PROF_COUNT(backend().tier_counter, 1);
   return backend().kernels->dot_ff(a.data(), b.data(), a.size());
 }
 
 double dot(std::span<const double> a, std::span<const double> b) noexcept {
   ZKA_DCHECK(a.size() == b.size(), "dot: %zu vs %zu", a.size(), b.size());
+  ZKA_PROF_COUNT("reduce/dot/calls", 1);
+  ZKA_PROF_COUNT("reduce/dot/elems", a.size());
   return backend().kernels->dot_dd(a.data(), b.data(), a.size());
 }
 
 double squared_norm(std::span<const float> a) noexcept {
+  ZKA_PROF_COUNT("reduce/sqnorm/calls", 1);
+  ZKA_PROF_COUNT("reduce/sqnorm/elems", a.size());
   return backend().kernels->sqnorm_f(a.data(), a.size());
 }
 
@@ -89,6 +100,8 @@ double squared_distance(std::span<const float> a,
                         std::span<const float> b) noexcept {
   ZKA_DCHECK(a.size() == b.size(), "squared_distance: %zu vs %zu", a.size(),
              b.size());
+  ZKA_PROF_COUNT("reduce/sqdist/calls", 1);
+  ZKA_PROF_COUNT("reduce/sqdist/elems", a.size());
   return backend().kernels->sqdist_ff(a.data(), b.data(), a.size());
 }
 
@@ -96,6 +109,8 @@ double squared_distance(std::span<const float> a,
                         std::span<const double> b) noexcept {
   ZKA_DCHECK(a.size() == b.size(), "squared_distance: %zu vs %zu", a.size(),
              b.size());
+  ZKA_PROF_COUNT("reduce/sqdist/calls", 1);
+  ZKA_PROF_COUNT("reduce/sqdist/elems", a.size());
   return backend().kernels->sqdist_fd(a.data(), b.data(), a.size());
 }
 
@@ -103,18 +118,24 @@ double squared_distance(std::span<const double> a,
                         std::span<const double> b) noexcept {
   ZKA_DCHECK(a.size() == b.size(), "squared_distance: %zu vs %zu", a.size(),
              b.size());
+  ZKA_PROF_COUNT("reduce/sqdist/calls", 1);
+  ZKA_PROF_COUNT("reduce/sqdist/elems", a.size());
   return backend().kernels->sqdist_dd(a.data(), b.data(), a.size());
 }
 
 void axpy(double alpha, std::span<const float> x,
           std::span<double> y) noexcept {
   ZKA_DCHECK(x.size() == y.size(), "axpy: %zu vs %zu", x.size(), y.size());
+  ZKA_PROF_COUNT("reduce/axpy/calls", 1);
+  ZKA_PROF_COUNT("reduce/axpy/elems", x.size());
   backend().kernels->axpy_fd(alpha, x.data(), y.data(), x.size());
 }
 
 void axpy(double alpha, std::span<const double> x,
           std::span<double> y) noexcept {
   ZKA_DCHECK(x.size() == y.size(), "axpy: %zu vs %zu", x.size(), y.size());
+  ZKA_PROF_COUNT("reduce/axpy/calls", 1);
+  ZKA_PROF_COUNT("reduce/axpy/elems", x.size());
   backend().kernels->axpy_dd(alpha, x.data(), y.data(), x.size());
 }
 
@@ -125,6 +146,9 @@ void weighted_sum(std::span<const std::span<const float>> rows,
             coeffs.size());
   const std::size_t n = rows.size();
   const std::size_t dim = out.size();
+  ZKA_PROF_COUNT("reduce/weighted_sum/calls", 1);
+  ZKA_PROF_COUNT("reduce/weighted_sum/elems", n * dim);
+  ZKA_PROF_COUNT(backend().tier_counter, 1);
   const detail::ReduceKernels& k = *backend().kernels;
   for_each_block(dim, n * dim, [&](std::size_t c0, std::size_t c1) {
     double* dst = out.data() + c0;
@@ -146,6 +170,9 @@ void gram_matrix(std::span<const std::span<const float>> rows,
             gram.size(), n * n);
   ZKA_CHECK(sqnorms.size() == n, "gram_matrix: sqnorms holds %zu, need %zu",
             sqnorms.size(), n);
+
+  ZKA_PROF_COUNT("reduce/gram/calls", 1);
+  ZKA_PROF_COUNT("reduce/gram/elems", n * d);
 
   // Pack the rows contiguously so the whole pairwise geometry is one
   // [n, d] x [d, n] GEMM; the row copy and the exact norms fork over rows
@@ -173,6 +200,8 @@ void gram_matrix(std::span<const std::span<const float>> rows,
 void sort_columns(float* tile, std::size_t rows, std::size_t width) {
   ZKA_CHECK(rows > 0 && (rows & (rows - 1)) == 0,
             "sort_columns: rows %zu is not a power of two", rows);
+  ZKA_PROF_COUNT("reduce/sort_columns/calls", 1);
+  ZKA_PROF_COUNT("reduce/sort_columns/elems", rows * width);
   const auto cmpx = backend().kernels->cmpx_rows;
   // Batcher's odd-even mergesort (Knuth 5.2.2M), iterative form for a
   // power-of-two row count.

@@ -1,0 +1,313 @@
+#include "util/prof.h"
+
+#include <algorithm>
+#include <chrono>  // zka-lint: allow(prof-timing) -- prof owns the clock
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace zka::util::prof {
+namespace {
+
+// One retained scope; plain struct, synchronized via the ring head (see
+// record_scope / snapshot_threads).
+struct Event {
+  const char* label;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+struct ThreadState {
+  ThreadState(std::uint32_t tid_in, std::size_t capacity)
+      : tid(tid_in), ring(capacity) {}
+  const std::uint32_t tid;
+  std::vector<Event> ring;
+  // Total events ever written since the last reset; the ring slot of event
+  // i is i % ring.size(). Release store publishes the slot contents.
+  std::atomic<std::uint64_t> head{0};
+  // Cells are appended under the registry mutex and never removed; flush
+  // reads the atomic values concurrently with hot-path relaxed adds.
+  std::vector<std::unique_ptr<detail::CounterCell>> cells;
+};
+
+struct Registry {
+  Registry() : epoch_ns(now_ns()) {}
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadState>> threads;  // registration order
+  std::uint32_t next_tid = 0;
+  const std::uint64_t epoch_ns;  // trace timestamps are relative to this
+};
+
+Registry& registry() {
+  static Registry reg;
+  return reg;
+}
+
+std::size_t env_ring_capacity() {
+  if (const char* env = std::getenv("ZKA_PROF_RING")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::size_t{1} << 14;  // 16384 events/thread, ~384 KiB
+}
+
+// The calling thread's state, registered globally on first use. Held by
+// shared_ptr from both sides so a flush after thread exit still reads the
+// thread's retained events.
+ThreadState& local_state() {
+  static thread_local std::shared_ptr<ThreadState> state = [] {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    auto s = std::make_shared<ThreadState>(reg.next_tid++, ring_capacity());
+    reg.threads.push_back(s);
+    return s;
+  }();
+  return *state;
+}
+
+bool env_enabled() {
+  const char* env = std::getenv("ZKA_PROF");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// Stable snapshot of every registered thread (flush side). The returned
+// shared_ptrs keep states alive even if their threads have exited.
+std::vector<std::shared_ptr<ThreadState>> snapshot_threads() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.threads;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+CounterCell* register_counter(const char* name) {
+  ThreadState& st = local_state();
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  st.cells.push_back(std::make_unique<CounterCell>());
+  st.cells.back()->name = name;
+  return st.cells.back().get();
+}
+
+void record_scope(const char* label, std::uint64_t start_ns,
+                  std::uint64_t end_ns) {
+  ThreadState& st = local_state();
+  const std::uint64_t h = st.head.load(std::memory_order_relaxed);
+  Event& slot = st.ring[h % st.ring.size()];
+  slot.label = label;
+  slot.start_ns = start_ns;
+  slot.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  st.head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(kCompiled && on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  // zka-lint: allow(prof-timing) -- prof owns the clock
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t ring_capacity() noexcept {
+  static const std::size_t cap = env_ring_capacity();
+  return cap;
+}
+
+std::vector<TraceEvent> events() {
+  const std::uint64_t epoch = registry().epoch_ns;
+  std::vector<TraceEvent> out;
+  for (const auto& st : snapshot_threads()) {
+    const std::uint64_t head = st->head.load(std::memory_order_acquire);
+    const std::uint64_t n =
+        std::min<std::uint64_t>(head, st->ring.size());
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const Event& e = st->ring[i % st->ring.size()];
+      TraceEvent ev;
+      ev.label = e.label;
+      ev.start_ns = e.start_ns >= epoch ? e.start_ns - epoch : 0;
+      ev.dur_ns = e.dur_ns;
+      ev.tid = st->tid;
+      out.push_back(std::move(ev));
+    }
+  }
+  // Deterministic merge order for any thread registration order.
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.label < b.label;
+            });
+  return out;
+}
+
+std::vector<LabelSummary> summary() {
+  std::map<std::string, std::vector<std::uint64_t>> durations;
+  for (const TraceEvent& e : events()) {
+    durations[e.label].push_back(e.dur_ns);
+  }
+  std::vector<LabelSummary> out;
+  out.reserve(durations.size());
+  for (auto& [label, ds] : durations) {
+    std::sort(ds.begin(), ds.end());
+    LabelSummary s;
+    s.label = label;
+    s.count = ds.size();
+    for (const std::uint64_t d : ds) s.total_ns += d;
+    s.min_ns = ds.front();
+    s.max_ns = ds.back();
+    s.p50_ns = ds[(ds.size() - 1) / 2];
+    s.p99_ns = ds[(ds.size() - 1) * 99 / 100];
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<CounterSample> counters() {
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& st : snapshot_threads()) {
+    // Cell list growth is guarded by the registry mutex (held by
+    // snapshot_threads' caller domain); re-lock to read the stable prefix.
+    const std::lock_guard<std::mutex> lock(registry().mu);
+    for (const auto& cell : st->cells) {
+      merged[cell->name] += cell->value.load(std::memory_order_relaxed);
+    }
+  }
+  std::vector<CounterSample> out;
+  out.reserve(merged.size());
+  for (const auto& [name, value] : merged) {
+    if (value != 0) out.push_back({name, value});
+  }
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  std::uint64_t dropped = 0;
+  for (const auto& st : snapshot_threads()) {
+    const std::uint64_t head = st->head.load(std::memory_order_acquire);
+    if (head > st->ring.size()) dropped += head - st->ring.size();
+  }
+  return dropped;
+}
+
+void reset() {
+  for (const auto& st : snapshot_threads()) {
+    st->head.store(0, std::memory_order_release);
+    const std::lock_guard<std::mutex> lock(registry().mu);
+    for (const auto& cell : st->cells) {
+      cell->value.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> evs = events();
+  std::string out;
+  out.reserve(evs.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"zka\"}}";
+  char buf[64];
+  for (const TraceEvent& e : evs) {
+    out += ",{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%u", e.tid);
+    out += buf;
+    out += ",\"name\":";
+    append_json_string(out, e.label);
+    // Microsecond timestamps with nanosecond fraction preserved.
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%llu.%03llu,\"dur\":%llu.%03llu}",
+                  static_cast<unsigned long long>(e.start_ns / 1000),
+                  static_cast<unsigned long long>(e.start_ns % 1000),
+                  static_cast<unsigned long long>(e.dur_ns / 1000),
+                  static_cast<unsigned long long>(e.dur_ns % 1000));
+    out += buf;
+  }
+  out += "],\"zkaDroppedEvents\":";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(dropped_events()));
+  out += buf;
+  out += ",\"zkaCounters\":{";
+  bool first = true;
+  for (const CounterSample& c : counters()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, c.name);
+    std::snprintf(buf, sizeof(buf), ":%llu",
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  out += "},\"zkaSummary\":[";
+  first = true;
+  for (const LabelSummary& s : summary()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"label\":";
+    append_json_string(out, s.label);
+    std::snprintf(buf, sizeof(buf), ",\"count\":%llu,\"total_ns\":%llu,",
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.total_ns));
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf), "\"min_ns\":%llu,\"max_ns\":%llu,",
+        static_cast<unsigned long long>(s.min_ns),
+        static_cast<unsigned long long>(s.max_ns));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"p50_ns\":%llu,\"p99_ns\":%llu}",
+                  static_cast<unsigned long long>(s.p50_ns),
+                  static_cast<unsigned long long>(s.p99_ns));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  ZKA_CHECK(out.good(), "prof::write_chrome_trace: cannot open %s",
+            path.c_str());
+  out << chrome_trace_json();
+  out.flush();
+  ZKA_CHECK(out.good(), "prof::write_chrome_trace: failed writing %s",
+            path.c_str());
+}
+
+}  // namespace zka::util::prof

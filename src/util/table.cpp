@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace zka::util {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -90,9 +92,11 @@ void Table::print(const std::string& title) const {
 
 void Table::write_csv(const std::string& path) const {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  ZKA_CHECK(out.good(), "Table::write_csv: cannot open %s for writing",
+            path.c_str());
   out << to_csv();
-  if (!out) throw std::runtime_error("failed writing " + path);
+  out.flush();
+  ZKA_CHECK(out.good(), "Table::write_csv: failed writing %s", path.c_str());
 }
 
 }  // namespace zka::util

@@ -103,6 +103,42 @@ TEST(BaselineCacheTest, TestSizeIsPartOfTheKey) {
   EXPECT_DOUBLE_EQ(shared, expected);
 }
 
+TEST(BaselineCacheTest, KeyIsBitExactForFloatFields) {
+  // Regression: the key used to format beta / learning_rate with printf
+  // precision, so configs whose floats differed below the printed digits
+  // collided and one silently reused the other's baseline. The key must
+  // distinguish any bitwise-different float.
+  SimulationConfig config = tiny_config();
+  SimulationConfig nudged = config;
+  nudged.beta = std::nextafter(config.beta, 1.0);
+  EXPECT_NE(BaselineCache::key(config), BaselineCache::key(nudged));
+
+  nudged = config;
+  nudged.client.learning_rate =
+      std::nextafter(config.client.learning_rate, 1.0f);
+  EXPECT_NE(BaselineCache::key(config), BaselineCache::key(nudged));
+
+  // And identical configs must still agree, including negative-zero vs
+  // zero (bitwise distinct, so distinct keys — exactness over aliasing).
+  EXPECT_EQ(BaselineCache::key(config), BaselineCache::key(config));
+  SimulationConfig zero = config;
+  zero.beta = 0.0;
+  SimulationConfig neg_zero = config;
+  neg_zero.beta = -0.0;
+  EXPECT_NE(BaselineCache::key(zero), BaselineCache::key(neg_zero));
+}
+
+TEST(RunExperiment, RejectsDisabledEvaluation) {
+  // eval_every = 0 disables evaluation, so every accuracy metric the
+  // experiment would report is NaN; run_experiment must refuse up front.
+  BaselineCache cache;
+  SimulationConfig config = tiny_config();
+  config.eval_every = 0;
+  EXPECT_THROW(run_experiment(config, AttackKind::kRandomWeights, tiny_zka(),
+                              1, cache),
+               std::invalid_argument);
+}
+
 TEST(RunExperiment, ProducesSaneOutcome) {
   BaselineCache cache;
   SimulationConfig config = tiny_config();

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "attack/random_weights.h"
 #include "data/synthetic.h"
@@ -171,6 +173,64 @@ TEST(Simulation, EvalEveryReducesEvaluations) {
   }
   EXPECT_LT(evaluated, 6);
   EXPECT_GE(evaluated, 2);  // first matching round and final round
+}
+
+TEST(Simulation, EvalDisabledLeavesAccuracyNaN) {
+  // Regression: with evaluation off (eval_every = 0, as bench_fig6 runs),
+  // the accuracy fields used to silently read 0.0; they must be NaN so a
+  // never-evaluated run cannot masquerade as a 0%-accuracy result.
+  SimulationConfig config = tiny_config();
+  config.eval_every = 0;
+  Simulation sim(config);
+  const auto result = sim.run(nullptr);
+  EXPECT_TRUE(std::isnan(result.max_accuracy));
+  EXPECT_TRUE(std::isnan(result.final_accuracy));
+  for (const auto& r : result.rounds) {
+    EXPECT_TRUE(std::isnan(r.accuracy));
+  }
+}
+
+TEST(Simulation, MaxAccuracyIsMaxOverEvaluatedRounds) {
+  // NaN-aware max: skipped rounds (accuracy = NaN) must not poison the
+  // running maximum, and the first evaluated round must seed it.
+  SimulationConfig config = tiny_config();
+  config.eval_every = 3;
+  Simulation sim(config);
+  const auto result = sim.run(nullptr);
+  double expected = std::nan("");
+  for (const auto& r : result.rounds) {
+    if (std::isnan(r.accuracy)) continue;
+    expected = std::isnan(expected) ? r.accuracy
+                                    : std::max(expected, r.accuracy);
+  }
+  ASSERT_FALSE(std::isnan(expected));
+  EXPECT_DOUBLE_EQ(result.max_accuracy, expected);
+}
+
+TEST(Simulation, RoundCallbackRecordsMatchFinalResult) {
+  // The callback must fire once per round, in order, with the same record
+  // the simulation later returns (it runs after the round's bookkeeping —
+  // consumers like bench_fig6 depend on that ordering).
+  SimulationConfig config = tiny_config();
+  config.eval_every = 2;
+  Simulation sim(config);
+  std::vector<RoundRecord> seen;
+  sim.set_round_callback(
+      [&](const RoundRecord& r) { seen.push_back(r); });
+  const auto result = sim.run(nullptr);
+  ASSERT_EQ(seen.size(), result.rounds.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].round, result.rounds[i].round);
+    EXPECT_EQ(seen[i].malicious_selected, result.rounds[i].malicious_selected);
+    EXPECT_EQ(seen[i].malicious_passed, result.rounds[i].malicious_passed);
+    EXPECT_EQ(seen[i].benign_selected, result.rounds[i].benign_selected);
+    EXPECT_EQ(seen[i].benign_passed, result.rounds[i].benign_passed);
+    if (std::isnan(seen[i].accuracy)) {
+      EXPECT_TRUE(std::isnan(result.rounds[i].accuracy));
+    } else {
+      EXPECT_DOUBLE_EQ(seen[i].accuracy, result.rounds[i].accuracy);
+    }
+  }
 }
 
 TEST(Simulation, CustomDefenseFactoryOverridesName) {

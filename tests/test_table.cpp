@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/check.h"
+
 namespace zka::util {
 namespace {
 
@@ -59,7 +61,12 @@ TEST(Table, WriteCsvRoundtrip) {
 
 TEST(Table, WriteCsvBadPathThrows) {
   Table t({"a"});
-  EXPECT_THROW(t.write_csv("/nonexistent-dir-zka/x.csv"), std::runtime_error);
+  t.add_row({"1"});
+  // ZKA_CHECK-style failure: a ContractViolation (an invalid_argument), so
+  // an unopenable output path can never silently drop results.
+  EXPECT_THROW(t.write_csv("/nonexistent-dir-zka/x.csv"), ContractViolation);
+  EXPECT_THROW(t.write_csv("/nonexistent-dir-zka/x.csv"),
+               std::invalid_argument);
 }
 
 TEST(Table, NumRows) {

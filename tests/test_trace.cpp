@@ -4,6 +4,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+
+#include "util/check.h"
 
 namespace zka::fl {
 namespace {
@@ -49,6 +52,17 @@ TEST(Trace, WriteCsvRoundTrip) {
             "round,accuracy,malicious_selected,malicious_passed,"
             "benign_selected,benign_passed");
   std::filesystem::remove(path);
+}
+
+TEST(Trace, WriteCsvBadPathThrows) {
+  // Regression: an unwritable path used to leave a half-reported run with
+  // no diagnostic; the failure must surface as a contract violation.
+  EXPECT_THROW(
+      write_trace_csv(sample_result(), "/nonexistent-zka-dir/trace.csv"),
+      util::ContractViolation);
+  EXPECT_THROW(
+      write_trace_csv(sample_result(), "/nonexistent-zka-dir/trace.csv"),
+      std::invalid_argument);
 }
 
 TEST(Trace, EmptyResultGivesHeaderOnly) {

@@ -29,6 +29,11 @@ and that code review keeps re-litigating:
                            tensor::dot / squared_norm / squared_distance
                            / axpy / weighted_sum own the accumulation
                            order (and hence bitwise determinism).
+  R6 prof-timing           Library code must not read clocks directly
+                           (std::chrono, clock_gettime, ...); timing goes
+                           through util/prof (scoped timers + now_ns),
+                           which is the single switchable, mergeable
+                           source of timing truth.
 
 A line can opt out with a trailing or preceding comment:
 
@@ -147,6 +152,16 @@ RULES = [
         "(+inf padding, signed-zero order); fmin/fmax have different "
         "NaN behavior than the min/max sweeps it is built on",
         includes=(r"^src/tensor/reduce",),
+    ),
+    Rule(
+        "prof-timing",
+        r"std::chrono\b|\bsteady_clock\b|\bsystem_clock\b"
+        r"|\bhigh_resolution_clock\b|\bclock_gettime\b|\bgettimeofday\b",
+        "library code must not read clocks directly; use util/prof "
+        "(ZKA_PROF_SCOPE / util::prof::now_ns), the single switchable "
+        "timing source",
+        includes=(r"^src/",),
+        excludes=(r"^src/util/prof\.",),
     ),
     Rule(
         "defense-raw-reduce",
