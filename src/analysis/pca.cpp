@@ -17,10 +17,13 @@ std::vector<double> center_rows(const tensor::Tensor& rows, std::int64_t n,
   std::vector<double> x(static_cast<std::size_t>(n * d));
   for (std::int64_t j = 0; j < d; ++j) {
     double mean = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) mean += rows[i * d + j];
+    for (std::int64_t i = 0; i < n; ++i) {
+      mean += static_cast<double>(rows[i * d + j]);
+    }
     mean /= static_cast<double>(n);
     for (std::int64_t i = 0; i < n; ++i) {
-      x[static_cast<std::size_t>(i * d + j)] = rows[i * d + j] - mean;
+      x[static_cast<std::size_t>(i * d + j)] =
+          static_cast<double>(rows[i * d + j]) - mean;
     }
   }
   return x;
@@ -115,11 +118,13 @@ double mean_feature_variance(const tensor::Tensor& rows) {
   double total = 0.0;
   for (std::int64_t j = 0; j < d; ++j) {
     double mean = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) mean += rows[i * d + j];
+    for (std::int64_t i = 0; i < n; ++i) {
+      mean += static_cast<double>(rows[i * d + j]);
+    }
     mean /= static_cast<double>(n);
     double var = 0.0;
     for (std::int64_t i = 0; i < n; ++i) {
-      const double diff = rows[i * d + j] - mean;
+      const double diff = static_cast<double>(rows[i * d + j]) - mean;
       var += diff * diff;
     }
     total += var / static_cast<double>(n - 1);

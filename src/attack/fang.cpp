@@ -23,19 +23,21 @@ Update FangAttack::craft(const AttackContext& ctx) {
       const float v = benign[k][i];
       lo = std::min(lo, v);
       hi = std::max(hi, v);
-      sum += v;
+      sum += static_cast<double>(v);
     }
     const double mean = sum / static_cast<double>(nb);
     const double direction = mean - static_cast<double>(ctx.global_model[i]);
     const double b = rng_.uniform(1.0, 2.0);
     if (direction >= 0.0) {
       // Benign updates increase this coordinate: submit below the minimum.
-      crafted[i] = static_cast<float>(
-          lo >= 0.0f ? lo / b : lo * b);
+      crafted[i] = static_cast<float>(lo >= 0.0f
+                                          ? static_cast<double>(lo) / b
+                                          : static_cast<double>(lo) * b);
     } else {
       // Benign updates decrease it: submit above the maximum.
-      crafted[i] = static_cast<float>(
-          hi >= 0.0f ? hi * b : hi / b);
+      crafted[i] = static_cast<float>(hi >= 0.0f
+                                          ? static_cast<double>(hi) * b
+                                          : static_cast<double>(hi) / b);
     }
   }
   return crafted;
@@ -54,7 +56,7 @@ Update FangKrumAttack::craft(const AttackContext& ctx) {
   Update direction(dim);
   for (std::size_t i = 0; i < dim; ++i) {
     double mean = 0.0;
-    for (const Update& u : benign) mean += u[i];
+    for (const Update& u : benign) mean += static_cast<double>(u[i]);
     mean /= static_cast<double>(benign.size());
     const double d = mean - static_cast<double>(ctx.global_model[i]);
     direction[i] = d > 0.0 ? 1.0f : (d < 0.0 ? -1.0f : 0.0f);

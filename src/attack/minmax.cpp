@@ -31,7 +31,10 @@ Update perturbation_direction(Perturbation kind,
     case Perturbation::kInverseUnit: {
       const double norm = util::l2_norm(mean);
       for (std::size_t i = 0; i < dim; ++i) {
-        perturb[i] = norm > 0.0 ? static_cast<float>(-mean[i] / norm) : 0.0f;
+        perturb[i] = norm > 0.0
+                         ? static_cast<float>(-static_cast<double>(mean[i]) /
+                                              norm)
+                         : 0.0f;
       }
       break;
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "attack/attack.h"
+
 #include "core/zka_g.h"
 #include "core/zka_r.h"
 #include "util/check.h"
@@ -40,6 +42,7 @@ void AdaptiveZkaAttack::apply_lambda() {
 }
 
 attack::Update AdaptiveZkaAttack::craft(const attack::AttackContext& ctx) {
+  attack::validate_context(*this, ctx);
   // Infer last round's fate from how the global model actually moved.
   if (!last_submitted_.empty() &&
       last_global_.size() == ctx.global_model.size()) {

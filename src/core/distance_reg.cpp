@@ -30,7 +30,10 @@ double DistanceRegularizer::apply(nn::Module& model,
     std::vector<float> grad(w.size());
     const double scale = lambda_ / dist;
     for (std::size_t i = 0; i < w.size(); ++i) {
-      grad[i] = static_cast<float>(scale * (w[i] - global[i]));
+      // Subtract in float (the wire precision), then promote explicitly:
+      // the scale factor carries the double path.
+      grad[i] = static_cast<float>(scale *
+                                   static_cast<double>(w[i] - global[i]));
     }
     nn::add_to_flat_grads(model, grad);
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <span>
+
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -130,10 +132,15 @@ Dataset make_synthetic_dataset(models::Task task, std::int64_t n,
                         max_s
                   : 0;
     const float contrast = static_cast<float>(
-        rng.uniform(1.0 - options.contrast_jitter, 1.0 + options.contrast_jitter));
-    float* dst = out.images.raw() + i * spec.channels * plane;
+        rng.uniform(1.0 - static_cast<double>(options.contrast_jitter),
+                    1.0 + static_cast<double>(options.contrast_jitter)));
+    const std::span<float> dst = out.images.data().subspan(
+        static_cast<std::size_t>(i * spec.channels * plane),
+        static_cast<std::size_t>(spec.channels * plane));
     for (std::int64_t c = 0; c < spec.channels; ++c) {
-      const float* src = proto.raw() + c * plane;
+      const std::span<const float> src = proto.data().subspan(
+          static_cast<std::size_t>(c * plane),
+          static_cast<std::size_t>(plane));
       for (std::int64_t y = 0; y < spec.height; ++y) {
         // Toroidal shift keeps all structure in frame.
         const std::int64_t sy = ((y + dy) % spec.height + spec.height) %

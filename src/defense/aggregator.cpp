@@ -6,6 +6,7 @@
 
 namespace zka::defense {
 
+// zka-lint: allow(A4) -- pure delegation; the virtual overload validates
 AggregationResult Aggregator::aggregate(
     const std::vector<Update>& updates,
     const std::vector<std::int64_t>& weights) {

@@ -56,10 +56,10 @@ AggregationResult Bulyan::aggregate(std::span<const UpdateView> updates,
           (l >= 0 && std::abs(column[static_cast<std::size_t>(l)] - med) <=
                          std::abs(column[static_cast<std::size_t>(r)] - med));
       if (take_left) {
-        acc += column[static_cast<std::size_t>(l)];
+        acc += static_cast<double>(column[static_cast<std::size_t>(l)]);
         --l;
       } else {
-        acc += column[static_cast<std::size_t>(r)];
+        acc += static_cast<double>(column[static_cast<std::size_t>(r)]);
         ++r;
       }
     }

@@ -43,13 +43,15 @@ AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
     // Centered submatrix A [n, b].
     std::vector<double> mean(b, 0.0);
     for (const UpdateView u : updates) {
-      for (std::size_t j = 0; j < b; ++j) mean[j] += u[coords[j]];
+      for (std::size_t j = 0; j < b; ++j) {
+        mean[j] += static_cast<double>(u[coords[j]]);
+      }
     }
     for (auto& m : mean) m /= static_cast<double>(n);
     std::vector<double> a(n * b);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < b; ++j) {
-        a[i * b + j] = updates[i][coords[j]] - mean[j];
+        a[i * b + j] = static_cast<double>(updates[i][coords[j]]) - mean[j];
       }
     }
     const auto row = [&](std::size_t i) {

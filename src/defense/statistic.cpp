@@ -41,7 +41,9 @@ AggregationResult TrimmedMean::aggregate(
   for_each_sorted_coordinate(
       updates, [&](std::size_t i, std::span<const float> column) {
         double acc = 0.0;
-        for (std::size_t k = trim_; k < n - trim_; ++k) acc += column[k];
+        for (std::size_t k = trim_; k < n - trim_; ++k) {
+          acc += static_cast<double>(column[k]);
+        }
         result.model[i] =
             static_cast<float>(acc / static_cast<double>(n - 2 * trim_));
       });

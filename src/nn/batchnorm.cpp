@@ -37,13 +37,15 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     if (training_) {
       for (std::int64_t s = 0; s < n; ++s) {
         const float* plane = input.raw() + (s * channels_ + c) * spatial;
-        for (std::int64_t i = 0; i < spatial; ++i) mean += plane[i];
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          mean += static_cast<double>(plane[i]);
+        }
       }
       mean /= static_cast<double>(m);
       for (std::int64_t s = 0; s < n; ++s) {
         const float* plane = input.raw() + (s * channels_ + c) * spatial;
         for (std::int64_t i = 0; i < spatial; ++i) {
-          const double d = plane[i] - mean;
+          const double d = static_cast<double>(plane[i]) - mean;
           var += d * d;
         }
       }
@@ -57,7 +59,7 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
       mean = running_mean_.value[c];
       var = running_var_.value[c];
     }
-    const double inv_std = 1.0 / std::sqrt(var + epsilon_);
+    const double inv_std = 1.0 / std::sqrt(var + static_cast<double>(epsilon_));
     cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
     const float g = gamma_.value[c];
     const float b = beta_.value[c];
@@ -67,8 +69,8 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
           cached_xhat_.raw() + (s * channels_ + c) * spatial;
       float* out_plane = out.raw() + (s * channels_ + c) * spatial;
       for (std::int64_t i = 0; i < spatial; ++i) {
-        const float xhat =
-            static_cast<float>((in_plane[i] - mean) * inv_std);
+        const float xhat = static_cast<float>(
+            (static_cast<double>(in_plane[i]) - mean) * inv_std);
         xhat_plane[i] = xhat;
         out_plane[i] = g * xhat + b;
       }
@@ -94,8 +96,9 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
       const float* dy = grad_output.raw() + (s * channels_ + c) * spatial;
       const float* xhat = cached_xhat_.raw() + (s * channels_ + c) * spatial;
       for (std::int64_t i = 0; i < spatial; ++i) {
-        sum_dy += dy[i];
-        sum_dy_xhat += static_cast<double>(dy[i]) * xhat[i];
+        sum_dy += static_cast<double>(dy[i]);
+        sum_dy_xhat +=
+            static_cast<double>(dy[i]) * static_cast<double>(xhat[i]);
       }
     }
     gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
@@ -114,7 +117,8 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
         for (std::int64_t i = 0; i < spatial; ++i) {
           dx[i] = static_cast<float>(
               g * inv_std *
-              (dy[i] - mean_dy - xhat[i] * mean_dy_xhat));
+              (static_cast<double>(dy[i]) - mean_dy -
+               static_cast<double>(xhat[i]) * mean_dy_xhat));
         }
       }
     } else {
@@ -123,7 +127,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
         const float* dy = grad_output.raw() + (s * channels_ + c) * spatial;
         float* dx = grad_input.raw() + (s * channels_ + c) * spatial;
         for (std::int64_t i = 0; i < spatial; ++i) {
-          dx[i] = static_cast<float>(g * inv_std * dy[i]);
+          dx[i] = static_cast<float>(g * inv_std * static_cast<double>(dy[i]));
         }
       }
     }

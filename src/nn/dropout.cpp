@@ -18,7 +18,7 @@ Tensor Dropout::forward(const Tensor& input) {
   mask_ = Tensor(input.shape());
   Tensor out = input;
   for (std::int64_t i = 0; i < input.numel(); ++i) {
-    const bool keep = rng_.uniform() >= rate_;
+    const bool keep = rng_.uniform() >= static_cast<double>(rate_);
     mask_[i] = keep ? keep_scale : 0.0f;
     out[i] *= mask_[i];
   }

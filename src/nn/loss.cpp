@@ -20,7 +20,7 @@ Tensor softmax_rows(const Tensor& logits) {
     double sum = 0.0;
     for (std::int64_t j = 0; j < l; ++j) {
       out[j] = std::exp(in[j] - hi);
-      sum += out[j];
+      sum += static_cast<double>(out[j]);
     }
     const float inv = static_cast<float>(1.0 / sum);
     for (std::int64_t j = 0; j < l; ++j) out[j] *= inv;
@@ -56,10 +56,11 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits,
   for (std::int64_t i = 0; i < probs_.numel(); ++i) {
     if (targets_[i] != 0.0f) {
       loss -= static_cast<double>(targets_[i]) *
-              std::log(std::max(probs_[i], 1e-12f));
+              static_cast<double>(std::log(std::max(probs_[i], 1e-12f)));
     }
   }
-  return scale_ * loss / static_cast<double>(std::max<std::int64_t>(n, 1));
+  return static_cast<double>(scale_) * loss /
+         static_cast<double>(std::max<std::int64_t>(n, 1));
 }
 
 Tensor SoftmaxCrossEntropy::backward() const {

@@ -185,7 +185,7 @@ Tensor& Tensor::operator*=(float scalar) noexcept {
 
 float Tensor::sum() const noexcept {
   double total = 0.0;
-  for (const float x : data_) total += x;
+  for (const float x : data_) total += static_cast<double>(x);
   return static_cast<float>(total);
 }
 
@@ -225,7 +225,9 @@ std::vector<std::int64_t> Tensor::argmax_rows() const {
 
 double Tensor::l2_norm() const noexcept {
   double sum = 0.0;
-  for (const float x : data_) sum += static_cast<double>(x) * x;
+  for (const float x : data_) {
+    sum += static_cast<double>(x) * static_cast<double>(x);
+  }
   return std::sqrt(sum);
 }
 

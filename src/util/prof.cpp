@@ -1,7 +1,7 @@
 #include "util/prof.h"
 
 #include <algorithm>
-#include <chrono>  // zka-lint: allow(prof-timing) -- prof owns the clock
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -140,7 +140,6 @@ void set_enabled(bool on) noexcept {
 }
 
 std::uint64_t now_ns() noexcept {
-  // zka-lint: allow(prof-timing) -- prof owns the clock
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())

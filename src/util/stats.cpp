@@ -113,7 +113,9 @@ double normal_cdf(double x) noexcept {
 
 double l2_norm(std::span<const float> xs) noexcept {
   double sum = 0.0;
-  for (const float x : xs) sum += static_cast<double>(x) * x;
+  for (const float x : xs) {
+    sum += static_cast<double>(x) * static_cast<double>(x);
+  }
   return std::sqrt(sum);
 }
 
@@ -122,7 +124,7 @@ double l2_distance(std::span<const float> a, std::span<const float> b) noexcept 
              a.size(), b.size());
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
     sum += d * d;
   }
   return std::sqrt(sum);
@@ -136,9 +138,9 @@ double cosine_similarity(std::span<const float> a,
   double na = 0.0;
   double nb = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
   }
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return dot / (std::sqrt(na) * std::sqrt(nb));

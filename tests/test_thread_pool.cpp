@@ -38,14 +38,14 @@ TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
 
 TEST(ThreadPool, ParallelForZeroAndOne) {
   ThreadPool pool(2);
-  int calls = 0;
-  pool.parallel_for(0, [&](std::size_t) { ++calls; });
-  EXPECT_EQ(calls, 0);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
   pool.parallel_for(1, [&](std::size_t i) {
     EXPECT_EQ(i, 0u);
-    ++calls;
+    calls.fetch_add(1);
   });
-  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(calls.load(), 1);
 }
 
 TEST(ThreadPool, ParallelForPropagatesException) {

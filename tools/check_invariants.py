@@ -39,6 +39,12 @@ A line can opt out with a trailing or preceding comment:
 
     // zka-lint: allow(rule-name) -- justification
 
+Escape hygiene is enforced too: an allow() naming an unknown rule is an
+error, and an allow() for an R-rule that no longer suppresses anything
+is an error (dead escapes must be deleted, not accumulate). Escapes for
+the AST rules A1-A5 are name-validated only here; their usage is checked
+by tools/zka_analyze, which owns those rules.
+
 Runs from the repo root (CMake registers it as the `check_invariants`
 test); exits non-zero and prints `path:line: [rule] message` per hit.
 """
@@ -52,9 +58,16 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 CXX_EXTS = {".cpp", ".h", ".inl"}
-SCAN_ROOTS = ["src", "tests", "bench", "examples"]
+SCAN_ROOTS = ["src", "tests", "bench", "examples", "tools"]
+# Never scanned: the zka_analyze fixtures are deliberate violations with
+# their own expectations and driver.
+DENY_ROOTS = ("tools/zka_analyze/tests",)
 
-ALLOW_RE = re.compile(r"zka-lint:\s*allow\(([a-z0-9-]+)\)")
+ALLOW_RE = re.compile(r"zka-lint:\s*allow\(([A-Za-z0-9-]+)\)")
+
+# Rules owned by tools/zka_analyze (AST-level); escapes naming them are
+# validated here but their usage is checked by the analyzer itself.
+FOREIGN_RULES = {"A1", "A2", "A3", "A4", "A5"}
 
 
 def cxx_files(root: Path):
@@ -62,6 +75,9 @@ def cxx_files(root: Path):
         return
     for path in sorted(root.rglob("*")):
         if path.suffix in CXX_EXTS and path.is_file():
+            rel = path.relative_to(REPO).as_posix()
+            if rel.startswith(DENY_ROOTS):
+                continue
             yield path
 
 
@@ -181,28 +197,53 @@ FASTMATH_RE = re.compile(r"-ffast-math|-ffinite-math-only|-funsafe-math")
 
 def lint_cxx() -> list[str]:
     findings = []
+    known_rules = {r.name for r in RULES}
+    # (rel, line_idx, rule) for every escape comment, and the subset that
+    # actually suppressed a finding -- the difference is dead weight.
+    escapes: list[tuple[str, int, str]] = []
+    used_escapes: set[tuple[str, int, str]] = set()
     for root_name in SCAN_ROOTS:
         for path in cxx_files(REPO / root_name):
             rel = path.relative_to(REPO).as_posix()
+            raw_lines = path.read_text(encoding="utf-8").splitlines()
+            for idx, line in enumerate(raw_lines):
+                for name in ALLOW_RE.findall(line):
+                    escapes.append((rel, idx, name))
             rules = [r for r in RULES if r.applies_to(rel)]
             if not rules:
                 continue
-            raw_lines = path.read_text(encoding="utf-8").splitlines()
             code_lines = strip_comments("\n".join(raw_lines))
             for idx, code in enumerate(code_lines):
                 for rule in rules:
                     if not rule.pattern.search(code):
                         continue
-                    allowed = set()
+                    suppressed = False
                     for probe in (idx, idx - 1):
-                        if 0 <= probe < len(raw_lines):
-                            allowed.update(ALLOW_RE.findall(raw_lines[probe]))
-                    if rule.name in allowed:
+                        if 0 <= probe < len(raw_lines) and rule.name in ALLOW_RE.findall(
+                            raw_lines[probe]
+                        ):
+                            used_escapes.add((rel, probe, rule.name))
+                            suppressed = True
+                    if suppressed:
                         continue
                     findings.append(
                         f"{rel}:{idx + 1}: [{rule.name}] {rule.message}\n"
                         f"    {raw_lines[idx].strip()}"
                     )
+    for rel, idx, name in escapes:
+        if name in FOREIGN_RULES:
+            continue  # usage checked by tools/zka_analyze
+        if name not in known_rules:
+            findings.append(
+                f"{rel}:{idx + 1}: [escape-hygiene] allow({name}) names no "
+                f"known rule (R-rules: {', '.join(sorted(known_rules))}; "
+                f"AST rules: {', '.join(sorted(FOREIGN_RULES))})"
+            )
+        elif (rel, idx, name) not in used_escapes:
+            findings.append(
+                f"{rel}:{idx + 1}: [escape-hygiene] allow({name}) suppresses "
+                f"nothing; delete the dead escape"
+            )
     return findings
 
 

@@ -1,0 +1,107 @@
+"""Locate libclang and hand back a working `clang.cindex` module.
+
+The analyzer must degrade to "skipped" (exit 77) on machines without
+libclang -- developer laptops and minimal containers -- so every probing
+failure here is swallowed and reported as unavailability, never raised.
+
+Resolution order:
+  1. `ZKA_LIBCLANG` env var: explicit path to the shared library.
+  2. Whatever `clang.cindex` finds on its own (the `libclang` pip wheel
+     bundles its own native library, so this is the CI path).
+  3. A list of well-known distro sonames.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+
+# Newest first; the analyzer only uses API surface that has been stable
+# since clang 10 (CursorKind/TypeKind enums, extents, tokens).
+_CANDIDATE_LIBS = [
+    "libclang.so",
+    "libclang-19.so.1",
+    "libclang.so.19",
+    "libclang-18.so.1",
+    "libclang.so.18",
+    "libclang-17.so.1",
+    "libclang.so.17",
+    "libclang-16.so.1",
+    "libclang.so.16",
+    "libclang-15.so.1",
+    "libclang.so.15",
+    "libclang-14.so.1",
+    "libclang.so.14",
+    "libclang.so.1",
+]
+
+
+def _usable(cindex) -> bool:
+    try:
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def load_cindex():
+    """Return the `clang.cindex` module with a loadable library, or None."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+
+    override = os.environ.get("ZKA_LIBCLANG")
+    if override:
+        try:
+            cindex.Config.set_library_file(override)
+        except Exception:
+            pass
+        return cindex if _usable(cindex) else None
+
+    if _usable(cindex):
+        return cindex
+
+    for name in _CANDIDATE_LIBS:
+        try:
+            cindex.Config.set_library_file(name)
+        except Exception:
+            # set_library_file refuses once a library is loaded; if one is
+            # loaded, _usable() above already succeeded, so this only
+            # triggers on exotic cindex versions -- give up cleanly.
+            return None
+        if _usable(cindex):
+            return cindex
+    return None
+
+
+def resource_dir_args() -> list:
+    """Extra parse args pointing at clang's builtin headers.
+
+    The libclang pip wheel ships only the shared library; without the
+    resource directory (stddef.h, stdarg.h, ...) every TU that touches a
+    system header fails to parse. A distro clang tool (clang-tidy is
+    installed in the CI lint job) provides one under /usr/lib. Returns []
+    when none is found -- some libclang builds resolve it themselves.
+    """
+    override = os.environ.get("ZKA_CLANG_RESOURCE_DIR")
+    if override:
+        return ["-resource-dir", override]
+    best, best_ver = None, ()
+    for pattern in (
+        "/usr/lib/llvm-*/lib/clang/*",
+        "/usr/lib/clang/*",
+        "/usr/local/lib/clang/*",
+    ):
+        for candidate in glob.glob(pattern):
+            if not os.path.isfile(
+                os.path.join(candidate, "include", "stddef.h")
+            ):
+                continue
+            ver = tuple(
+                int(x) for x in re.findall(r"\d+", os.path.basename(candidate))
+            ) or (0,)
+            if ver >= best_ver:
+                best, best_ver = candidate, ver
+    return ["-resource-dir", best] if best else []

@@ -1,0 +1,316 @@
+"""AST analysis engine shared by the CLI and the fixture driver.
+
+Responsibilities: load compile_commands.json entries, parse translation
+units, walk every in-scope cursor through the rule set, and apply the
+two suppression layers (inline `// zka-lint: allow(<rule>)` escapes and
+the committed baseline file).
+
+This module deliberately has no top-level `clang` import: it receives
+the `cindex` module from clang_loader so it stays importable -- and the
+exit-77 skip path stays reachable -- on machines without libclang.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shlex
+from dataclasses import dataclass
+
+ALLOW_RE = re.compile(r"zka-lint:\s*allow\(([A-Za-z0-9-]+)\)")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ENV = 2
+EXIT_SKIP = 77
+
+# Repo-relative prefixes never analyzed: generated trees and the lint
+# fixtures (which are violations on purpose).
+DEFAULT_EXCLUDES = ("build/", "third_party/", "tools/zka_analyze/tests/")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str  # repo-relative, forward slashes (virtual path in fixtures)
+    line: int
+    rule: str  # "A1".."A5"
+    message: str
+    function: str = "*"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    rule: str
+    function: str  # "*" matches any enclosing function
+    max_count: int
+    lineno: int  # line in baseline.txt, for stale-entry reporting
+
+    def render(self) -> str:
+        return f"{self.path}|{self.rule}|{self.function}|{self.max_count}"
+
+
+@dataclass
+class CompileCommand:
+    file: str  # absolute, realpath'd
+    directory: str
+    args: list
+
+
+# ---------------------------------------------------------------------------
+# compile_commands.json
+
+
+def load_compile_commands(path: str) -> list[CompileCommand]:
+    with open(path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    commands = []
+    for entry in entries:
+        directory = entry.get("directory", ".")
+        file_path = entry["file"]
+        if not os.path.isabs(file_path):
+            file_path = os.path.join(directory, file_path)
+        file_path = os.path.realpath(file_path)
+        if "arguments" in entry:
+            raw = list(entry["arguments"])
+        else:
+            raw = shlex.split(entry["command"])
+        commands.append(
+            CompileCommand(
+                file=file_path,
+                directory=directory,
+                args=_clean_args(raw, file_path),
+            )
+        )
+    return commands
+
+
+def _clean_args(raw: list, file_path: str) -> list:
+    """Keep the flags libclang needs (-I/-D/-std/...), drop the compiler
+    invocation mechanics (-c, -o, dependency-file flags, the source)."""
+    args = []
+    skip_next = False
+    for i, arg in enumerate(raw):
+        if i == 0:  # the compiler executable itself
+            continue
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-o", "-MF", "-MT", "-MQ", "-Xclang", "--serialize-diagnostics"):
+            skip_next = True
+            continue
+        if arg in ("-c", "-MD", "-MMD", "-MP"):
+            continue
+        if not arg.startswith("-"):
+            if os.path.realpath(os.path.join(".", arg)) == file_path or os.path.basename(
+                arg
+            ) == os.path.basename(file_path):
+                continue
+        args.append(arg)
+    return args
+
+
+# ---------------------------------------------------------------------------
+# Parsing and rule dispatch
+
+
+class AnalysisError(Exception):
+    """Environment-level failure (unparsable TU); maps to exit code 2."""
+
+
+def parse_tu(cindex, index, file_path: str, args: list, directory: str | None = None):
+    """Parse one TU; raises AnalysisError on hard parse failure."""
+    full_args = list(args)
+    if directory:
+        full_args.append("-working-directory=" + directory)
+    # The build owns warnings; the analyzer only cares about its own rules.
+    full_args.append("-Wno-everything")
+    try:
+        tu = index.parse(file_path, args=full_args)
+    except Exception as exc:  # TranslationUnitLoadError has no useful payload
+        raise AnalysisError(f"{file_path}: libclang failed to parse: {exc}") from exc
+    errors = [
+        d
+        for d in tu.diagnostics
+        if d.severity >= cindex.Diagnostic.Error
+    ]
+    if errors:
+        detail = "; ".join(f"{d.location.line}: {d.spelling}" for d in errors[:5])
+        raise AnalysisError(f"{file_path}: parse errors: {detail}")
+    return tu
+
+
+class Scope:
+    """Maps cursors to repo-relative paths and decides what is in scope.
+
+    `path_map` rewrites real files to virtual paths (fixture mode: a file
+    under tools/zka_analyze/tests/ pretends to live under src/ so the
+    path-scoped rules fire). `restrict_to`, when non-empty, limits
+    analysis to exactly those real files.
+    """
+
+    def __init__(self, repo_root, path_map=None, restrict_to=None, excludes=DEFAULT_EXCLUDES):
+        self.repo_root = os.path.realpath(repo_root)
+        self.path_map = {os.path.realpath(k): v for k, v in (path_map or {}).items()}
+        self.restrict_to = {os.path.realpath(p) for p in (restrict_to or ())} or None
+        self.excludes = excludes
+        self._cache: dict = {}
+
+    def rel_path(self, cursor) -> str | None:
+        loc_file = cursor.location.file
+        if loc_file is None:
+            return None
+        name = loc_file.name
+        cached = self._cache.get(name, False)
+        if cached is not False:
+            return cached
+        real = os.path.realpath(name)
+        rel = None
+        if self.restrict_to is not None and real not in self.restrict_to:
+            rel = None
+        elif real in self.path_map:
+            rel = self.path_map[real]
+        elif real.startswith(self.repo_root + os.sep):
+            candidate = os.path.relpath(real, self.repo_root).replace(os.sep, "/")
+            if not candidate.startswith(self.excludes):
+                rel = candidate
+        self._cache[name] = rel
+        return rel
+
+
+def run_rules(cindex, tu, scope: Scope, rules) -> list[Finding]:
+    """Single pre-order walk; every in-scope cursor visits every rule."""
+    findings: list[Finding] = []
+    func_kinds = {
+        cindex.CursorKind.FUNCTION_DECL,
+        cindex.CursorKind.CXX_METHOD,
+        cindex.CursorKind.CONSTRUCTOR,
+        cindex.CursorKind.DESTRUCTOR,
+        cindex.CursorKind.FUNCTION_TEMPLATE,
+    }
+    func_stack: list = []
+
+    def visit(node):
+        entered = False
+        if node.kind in func_kinds and node.is_definition():
+            func_stack.append(node)
+            entered = True
+        rel = scope.rel_path(node)
+        if rel is not None:
+            for rule in rules:
+                hits = rule.check(node, rel, func_stack)
+                if hits:
+                    findings.extend(hits)
+        for child in node.get_children():
+            visit(child)
+        if entered:
+            func_stack.pop()
+
+    visit(tu.cursor)
+    return findings
+
+
+def dedupe(findings) -> list[Finding]:
+    """Headers are parsed once per including TU; collapse repeats and give
+    the output a stable order."""
+    return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+# ---------------------------------------------------------------------------
+# Suppression: inline escapes, then baseline
+
+
+def filter_allows(findings, line_provider):
+    """Drop findings escaped by `// zka-lint: allow(<rule>)` on the finding
+    line or the line above (same convention as tools/check_invariants.py).
+
+    `line_provider(path)` returns the file's lines (or None if unreadable).
+    Returns (kept_findings, used_escape_locations) where the second item is
+    a set of (path, lineno_0based) marking escapes that suppressed something.
+    """
+    kept = []
+    used = set()
+    for f in findings:
+        lines = line_provider(f.path)
+        suppressed = False
+        if lines:
+            idx = f.line - 1
+            for probe in (idx, idx - 1):
+                if 0 <= probe < len(lines) and f.rule in ALLOW_RE.findall(lines[probe]):
+                    used.add((f.path, probe))
+                    suppressed = True
+        if not suppressed:
+            kept.append(f)
+    return kept, used
+
+
+def find_unused_allows(analyzed_paths, line_provider, used, rule_ids):
+    """Escapes naming an analyzer rule that suppressed nothing, in files the
+    analyzer actually walked. Reported so dead escapes cannot accumulate."""
+    unused = []
+    for path in sorted(analyzed_paths):
+        lines = line_provider(path)
+        if not lines:
+            continue
+        for idx, line in enumerate(lines):
+            for rule in ALLOW_RE.findall(line):
+                if rule in rule_ids and (path, idx) not in used:
+                    unused.append(f"{path}:{idx + 1}: unused escape allow({rule})")
+    return unused
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+
+
+def load_baseline(path: str) -> list[BaselineEntry]:
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) != 4:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'path|rule|function|max_count', got {line!r}"
+                )
+            entries.append(
+                BaselineEntry(
+                    path=parts[0].strip(),
+                    rule=parts[1].strip(),
+                    function=parts[2].strip(),
+                    max_count=int(parts[3]),
+                    lineno=lineno,
+                )
+            )
+    return entries
+
+
+def apply_baseline(findings, entries):
+    """Absorb findings into baseline entries (first matching entry with
+    headroom wins). Returns (remaining_findings, stale_entries); an entry
+    that absorbed nothing is stale and should be deleted, never grown."""
+    used = {id(e): 0 for e in entries}
+    remaining = []
+    for f in findings:
+        matched = None
+        for e in entries:
+            if (
+                e.path == f.path
+                and e.rule == f.rule
+                and (e.function == "*" or e.function == f.function)
+                and used[id(e)] < e.max_count
+            ):
+                matched = e
+                break
+        if matched is not None:
+            used[id(matched)] += 1
+        else:
+            remaining.append(f)
+    stale = [e for e in entries if used[id(e)] == 0]
+    return remaining, stale

@@ -1,0 +1,503 @@
+"""The five AST rules (A1-A5).
+
+These are the semantic half of the repo's policy suite; the regex half
+(R1-R6) lives in tools/check_invariants.py. Each rule is a small class
+with `check(node, rel, func_stack) -> list[Finding]`, dispatched from a
+single AST walk in engine.run_rules.
+
+cindex pitfalls this file works around:
+  * ImplicitCastExpr surfaces as UNEXPOSED_EXPR whose `.type` is the
+    cast-TO type. The pre-conversion type lives one (or more) children
+    down, so operand types are read through `peel()`.
+  * Binary operator spellings are not exposed on the cursor; the
+    operator token is found by scanning the tokens that sit between the
+    two operand extents.
+  * Macro bodies attribute their cursors to the expansion site, so
+    token-level checks (rule A4) use `get_tokens()`, which reads the
+    spelled source and therefore still sees macro names like ZKA_CHECK.
+
+Known, deliberate limitations (documented in DESIGN.md): A1 does not
+model call-argument conversions (the -Wdouble-promotion/-Wfloat-conversion
+build flags own that half); A2 only tracks direct mutation of captured
+scalars, not mutation through captured pointers; A3 only matches
+arithmetic applied directly to a `Tensor::raw()`/`Tensor::data()` call
+result, not pointers stored first.
+"""
+
+from __future__ import annotations
+
+from engine import Finding
+
+ALL_RULE_IDS = ("A1", "A2", "A3", "A4", "A5")
+
+RULE_SUMMARIES = {
+    "A1": "mixed-precision: implicit float<->double conversion",
+    "A2": "parallel-ref-mutation: racy capture in parallel_for body",
+    "A3": "raw-tensor-arith: pointer arithmetic on Tensor storage",
+    "A4": "entry-contract: aggregate/craft without a contract check",
+    "A5": "unordered-iteration: nondeterministic container order",
+}
+
+
+def build_rules(cindex, only=None):
+    rules = [
+        MixedPrecisionRule(cindex),
+        ParallelRefMutationRule(cindex),
+        RawTensorArithRule(cindex),
+        EntryContractRule(cindex),
+        UnorderedIterationRule(cindex),
+    ]
+    if only:
+        rules = [r for r in rules if r.rule_id in only]
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Shared cursor helpers
+
+
+def peel(cindex, cursor):
+    """Strip implicit-cast (UNEXPOSED_EXPR) and paren wrappers so `.type`
+    reflects the expression as written, not post-conversion."""
+    wrappers = (cindex.CursorKind.UNEXPOSED_EXPR, cindex.CursorKind.PAREN_EXPR)
+    while cursor.kind in wrappers:
+        children = list(cursor.get_children())
+        if len(children) != 1:
+            break
+        cursor = children[0]
+    return cursor
+
+
+def float_class(cindex, type_obj) -> str | None:
+    """'float' / 'double' / 'long double' for floating types (through
+    references), else None."""
+    canonical = type_obj.get_canonical()
+    if canonical.kind in (
+        cindex.TypeKind.LVALUEREFERENCE,
+        cindex.TypeKind.RVALUEREFERENCE,
+    ):
+        canonical = canonical.get_pointee().get_canonical()
+    return {
+        cindex.TypeKind.FLOAT: "float",
+        cindex.TypeKind.DOUBLE: "double",
+        cindex.TypeKind.LONGDOUBLE: "long double",
+    }.get(canonical.kind)
+
+
+def binop_spelling(node) -> str:
+    """The operator token of a binary/compound-assignment cursor: the first
+    punctuation token between the operand extents. Empty when tokens are
+    unavailable (e.g. fully macro-generated code)."""
+    children = list(node.get_children())
+    if len(children) != 2:
+        return ""
+    lhs, rhs = children
+    lo = lhs.extent.end.offset
+    hi = rhs.extent.start.offset
+    for tok in node.get_tokens():
+        off = tok.extent.start.offset
+        if (
+            lo <= off < hi
+            and tok.kind.name == "PUNCTUATION"
+            and tok.spelling not in ("(", ")")
+        ):
+            return tok.spelling
+    return ""
+
+
+def enclosing_function_name(func_stack) -> str:
+    if not func_stack:
+        return "*"
+    node = func_stack[-1]
+    parent = node.semantic_parent
+    if parent is not None and parent.kind.is_declaration() and parent.spelling:
+        qualifier = parent.spelling
+        if qualifier not in ("", node.translation_unit.spelling):
+            return f"{qualifier}::{node.spelling}"
+    return node.spelling
+
+
+def type_spelling_contains(cursor_type, needle: str) -> bool:
+    return needle in cursor_type.get_canonical().spelling
+
+
+# ---------------------------------------------------------------------------
+# A1: mixed precision
+
+
+class MixedPrecisionRule:
+    """Implicit float<->double conversions in src/.
+
+    The numeric policy requires every precision change to be spelled with
+    an explicit cast so accumulation precision is visible at the call
+    site (reductions accumulate in double on a float wire format; see
+    DESIGN.md "Numeric policy")."""
+
+    rule_id = "A1"
+
+    _ARITH_OPS = frozenset({"+", "-", "*", "/", "=", "<", ">", "<=", ">=", "==", "!="})
+
+    def __init__(self, cindex):
+        self.cx = cindex
+
+    def check(self, node, rel, func_stack):
+        if not rel.startswith("src/"):
+            return ()
+        cx = self.cx
+        kind = node.kind
+        if kind == cx.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+            return self._check_binary(node, rel, func_stack, compound=True)
+        if kind == cx.CursorKind.BINARY_OPERATOR:
+            return self._check_binary(node, rel, func_stack, compound=False)
+        if kind == cx.CursorKind.VAR_DECL:
+            return self._check_var_decl(node, rel, func_stack)
+        return ()
+
+    def _operand_classes(self, node):
+        children = list(node.get_children())
+        if len(children) != 2:
+            return None
+        cx = self.cx
+        lhs, rhs = children
+        lhs_cls = float_class(cx, peel(cx, lhs).type)
+        rhs_cls = float_class(cx, peel(cx, rhs).type)
+        return lhs_cls, rhs_cls
+
+    def _check_binary(self, node, rel, func_stack, compound):
+        classes = self._operand_classes(node)
+        if classes is None:
+            return ()
+        lhs_cls, rhs_cls = classes
+        if lhs_cls is None or rhs_cls is None or lhs_cls == rhs_cls:
+            return ()
+        op = binop_spelling(node)
+        if not compound and op not in self._ARITH_OPS:
+            return ()
+        what = "accumulation" if compound or op == "=" else f"operand of '{op}'"
+        return [
+            Finding(
+                path=rel,
+                line=node.location.line,
+                rule=self.rule_id,
+                message=(
+                    f"implicit {rhs_cls}<->{lhs_cls} {what}; spell the "
+                    f"conversion with static_cast so the accumulation "
+                    f"precision is explicit"
+                ),
+                function=enclosing_function_name(func_stack),
+            )
+        ]
+
+    def _check_var_decl(self, node, rel, func_stack):
+        cx = self.cx
+        var_cls = float_class(cx, node.type)
+        if var_cls is None:
+            return ()
+        children = [
+            c
+            for c in node.get_children()
+            if c.kind.is_expression()
+        ]
+        if not children:
+            return ()
+        init_cls = float_class(cx, peel(cx, children[-1]).type)
+        if init_cls is None or init_cls == var_cls:
+            return ()
+        return [
+            Finding(
+                path=rel,
+                line=node.location.line,
+                rule=self.rule_id,
+                message=(
+                    f"'{node.spelling}' is {var_cls} but its initializer is "
+                    f"{init_cls}; spell the conversion with static_cast"
+                ),
+                function=enclosing_function_name(func_stack),
+            )
+        ]
+
+
+# ---------------------------------------------------------------------------
+# A2: racy mutation inside parallel_for bodies
+
+
+class ParallelRefMutationRule:
+    """ThreadPool::parallel_for shares ONE closure across all workers (the
+    body is `const std::function&`), so any mutation of a variable
+    declared outside the lambda races unless it is atomic or a per-index
+    slot. Flags direct mutations of captured non-atomic scalars."""
+
+    rule_id = "A2"
+
+    def __init__(self, cindex):
+        self.cx = cindex
+
+    def check(self, node, rel, func_stack):
+        cx = self.cx
+        if node.kind != cx.CursorKind.CALL_EXPR:
+            return ()
+        callee = node.referenced
+        if callee is None or callee.spelling != "parallel_for":
+            return ()
+        lam = self._find_lambda(node)
+        if lam is None:
+            return ()
+        findings = []
+        self._scan_body(lam, lam, rel, func_stack, findings)
+        return findings
+
+    def _find_lambda(self, node):
+        cx = self.cx
+        stack = list(node.get_children())
+        while stack:
+            cur = stack.pop()
+            if cur.kind == cx.CursorKind.LAMBDA_EXPR:
+                return cur
+            stack.extend(cur.get_children())
+        return None
+
+    def _scan_body(self, node, lam, rel, func_stack, findings):
+        cx = self.cx
+        target = None
+        if node.kind == cx.CursorKind.UNARY_OPERATOR:
+            tokens = [t.spelling for t in node.get_tokens()]
+            if "++" in tokens or "--" in tokens:
+                children = list(node.get_children())
+                target = children[0] if children else None
+        elif node.kind == cx.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+            children = list(node.get_children())
+            target = children[0] if children else None
+        elif node.kind == cx.CursorKind.BINARY_OPERATOR and binop_spelling(node) == "=":
+            children = list(node.get_children())
+            target = children[0] if children else None
+        if target is not None:
+            finding = self._classify_target(target, lam, rel, func_stack, node)
+            if finding is not None:
+                findings.append(finding)
+        for child in node.get_children():
+            self._scan_body(child, lam, rel, func_stack, findings)
+
+    def _classify_target(self, target, lam, rel, func_stack, mutation):
+        cx = self.cx
+        target = peel(cx, target)
+        if target.kind != cx.CursorKind.DECL_REF_EXPR:
+            # Subscripted stores (slots[i] = ...) are the sanctioned
+            # per-thread-slot pattern; member/pointer stores are out of
+            # scope for this heuristic.
+            return None
+        decl = target.referenced
+        if decl is None or decl.kind != cx.CursorKind.VAR_DECL:
+            return None
+        if self._declared_inside(decl, lam):
+            return None
+        if type_spelling_contains(decl.type, "atomic"):
+            return None
+        return Finding(
+            path=rel,
+            line=mutation.location.line,
+            rule=self.rule_id,
+            message=(
+                f"'{decl.spelling}' is declared outside this parallel_for "
+                f"lambda and mutated inside it; the closure is shared by "
+                f"every worker, so use std::atomic or a per-index slot"
+            ),
+            function=enclosing_function_name(func_stack),
+        )
+
+    @staticmethod
+    def _declared_inside(decl, lam) -> bool:
+        decl_file = decl.location.file
+        lam_file = lam.extent.start.file
+        if decl_file is None or lam_file is None or decl_file.name != lam_file.name:
+            return False
+        off = decl.location.offset
+        return lam.extent.start.offset <= off <= lam.extent.end.offset
+
+
+# ---------------------------------------------------------------------------
+# A3: raw pointer arithmetic on Tensor storage
+
+
+class RawTensorArithRule:
+    """Pointer arithmetic applied directly to Tensor::raw()/data() outside
+    src/tensor/ bypasses the ZKA_CHECK bounds layer; callers should slice
+    with data().subspan(...) instead. src/tensor/ itself owns the raw
+    layout and is exempt."""
+
+    rule_id = "A3"
+
+    _ACCESSORS = frozenset({"raw", "data"})
+
+    def __init__(self, cindex):
+        self.cx = cindex
+
+    def check(self, node, rel, func_stack):
+        cx = self.cx
+        if rel.startswith("src/tensor/"):
+            return ()
+        if node.kind != cx.CursorKind.BINARY_OPERATOR:
+            return ()
+        op = binop_spelling(node)
+        if op not in ("+", "-"):
+            return ()
+        for operand in node.get_children():
+            operand = peel(cx, operand)
+            if operand.kind != cx.CursorKind.CALL_EXPR:
+                continue
+            callee = operand.referenced
+            if callee is None or callee.spelling not in self._ACCESSORS:
+                continue
+            parent = callee.semantic_parent
+            if parent is None or parent.spelling != "Tensor":
+                continue
+            return [
+                Finding(
+                    path=rel,
+                    line=node.location.line,
+                    rule=self.rule_id,
+                    message=(
+                        f"pointer arithmetic on Tensor::{callee.spelling}() "
+                        f"bypasses the bounds-checked span layer; slice with "
+                        f"data().subspan(offset, count) instead"
+                    ),
+                    function=enclosing_function_name(func_stack),
+                )
+            ]
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# A4: contract check at aggregation/attack entry points
+
+
+class EntryContractRule:
+    """Every Aggregator::aggregate / Attack::craft override must establish
+    its preconditions before touching updates: a validate_updates /
+    validate_context call or a ZKA_CHECK* in the body. Token-level scan so
+    macro names (erased from the AST) still count."""
+
+    rule_id = "A4"
+
+    _ENTRY_NAMES = frozenset({"aggregate", "craft"})
+    _BASE_NAMES = frozenset({"Aggregator", "Attack"})
+    _CONTRACT_TOKENS = frozenset(
+        {
+            "ZKA_CHECK",
+            "ZKA_DCHECK",
+            "ZKA_CHECK_SHAPE",
+            "validate_updates",
+            "validate_context",
+        }
+    )
+
+    def __init__(self, cindex):
+        self.cx = cindex
+
+    def check(self, node, rel, func_stack):
+        if not rel.startswith("src/"):
+            return ()
+        cx = self.cx
+        if node.kind != cx.CursorKind.CXX_METHOD:
+            return ()
+        if node.spelling not in self._ENTRY_NAMES or not node.is_definition():
+            return ()
+        cls = node.semantic_parent
+        if cls is None or not self._in_hierarchy(cls):
+            return ()
+        body = None
+        for child in node.get_children():
+            if child.kind == cx.CursorKind.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return ()
+        for tok in body.get_tokens():
+            if tok.spelling in self._CONTRACT_TOKENS:
+                return ()
+        return [
+            Finding(
+                path=rel,
+                line=node.location.line,
+                rule=self.rule_id,
+                message=(
+                    f"{cls.spelling}::{node.spelling} has no contract check; "
+                    f"call validate_updates/validate_context (or ZKA_CHECK "
+                    f"the preconditions) before using the inputs"
+                ),
+                function=f"{cls.spelling}::{node.spelling}",
+            )
+        ]
+
+    def _in_hierarchy(self, cls) -> bool:
+        if cls.spelling in self._BASE_NAMES:
+            return True
+        # Out-of-line definitions hand back the class *declaration*; base
+        # specifiers only hang off the definition cursor.
+        cls = cls.get_definition() or cls
+        return self._derives(cls, set())
+
+    def _derives(self, cls, seen) -> bool:
+        cx = self.cx
+        key = cls.get_usr()
+        if key in seen:
+            return False
+        seen.add(key)
+        for child in cls.get_children():
+            if child.kind != cx.CursorKind.CXX_BASE_SPECIFIER:
+                continue
+            base = child.type.get_declaration()
+            if base is None:
+                continue
+            if base.spelling in self._BASE_NAMES:
+                return True
+            base_def = base.get_definition()
+            if base_def is not None and self._derives(base_def, seen):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# A5: iteration over unordered containers
+
+
+class UnorderedIterationRule:
+    """Range-for over std::unordered_map/unordered_set visits elements in a
+    hash-dependent order, which varies across libstdc++ versions and
+    poisons run-to-run determinism; iterate a sorted view instead."""
+
+    rule_id = "A5"
+
+    def __init__(self, cindex):
+        self.cx = cindex
+
+    def check(self, node, rel, func_stack):
+        cx = self.cx
+        if node.kind != cx.CursorKind.CXX_FOR_RANGE_STMT:
+            return ()
+        # The loop body is the last child; the range expression and the
+        # implicit begin/end machinery come before it.
+        children = list(node.get_children())
+        if not children:
+            return ()
+        for child in children[:-1]:
+            if self._mentions_unordered(child):
+                return [
+                    Finding(
+                        path=rel,
+                        line=node.location.line,
+                        rule=self.rule_id,
+                        message=(
+                            "range-for over an unordered container; iteration "
+                            "order is hash- and platform-dependent, which "
+                            "breaks run-to-run determinism -- iterate sorted "
+                            "keys or switch to an ordered container"
+                        ),
+                        function=enclosing_function_name(func_stack),
+                    )
+                ]
+        return ()
+
+    def _mentions_unordered(self, node) -> bool:
+        spelling = node.type.get_canonical().spelling
+        if "unordered_map<" in spelling or "unordered_set<" in spelling:
+            return True
+        return any(self._mentions_unordered(c) for c in node.get_children())

@@ -1,0 +1,41 @@
+// zka-fixture-path: src/fixture/a1_mixed_precision.cpp
+// A1 positive + negative: implicit float<->double moves vs explicit casts.
+#include "fixture_support.h"
+
+double bad_accumulate(const float* xs, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += xs[i];  // expect: A1
+  }
+  return acc;
+}
+
+float bad_narrowing_init(double scale) {
+  float s = scale;  // expect: A1
+  return s;
+}
+
+bool bad_mixed_compare(float x) {
+  double limit = 0.5;
+  bool r = x < limit;  // expect: A1
+  return r;
+}
+
+double good_accumulate(const float* xs, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += static_cast<double>(xs[i]);
+  }
+  return acc;
+}
+
+float good_narrowing_init(double scale) {
+  float s = static_cast<float>(scale);
+  return s;
+}
+
+bool good_compare(float x) {
+  float limit = 0.5f;
+  bool r = x < limit;
+  return r;
+}

@@ -1,0 +1,13 @@
+// zka-fixture-path: tests/fixture/a1_scope_negative.cpp
+// A1 scope negative: the same mixed-precision code outside src/ is not
+// flagged -- tests/bench trade strictness for convenience, and the
+// -Wdouble-promotion build flags only cover src/ as well.
+#include "fixture_support.h"
+
+double loose_accumulate(const float* xs, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += xs[i];
+  }
+  return acc;
+}

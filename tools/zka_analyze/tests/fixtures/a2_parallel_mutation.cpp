@@ -1,0 +1,31 @@
+// zka-fixture-path: src/fixture/a2_parallel_mutation.cpp
+// A2 positive + negative: parallel_for shares one closure across all
+// workers, so mutating a captured non-atomic variable races.
+#include "fixture_support.h"
+
+void bad_shared_counter(zka::util::ThreadPool& pool, int n) {
+  int total = 0;
+  pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t i) {
+    total += static_cast<int>(i);  // expect: A2
+  });
+  (void)total;
+}
+
+void bad_shared_increment(zka::util::ThreadPool& pool) {
+  std::size_t hits = 0;
+  pool.parallel_for(4, [&](std::size_t) { ++hits; });  // expect: A2
+  (void)hits;
+}
+
+void good_patterns(zka::util::ThreadPool& pool) {
+  std::atomic<int> total{0};
+  std::vector<int> slots(8, 0);
+  pool.parallel_for(8, [&](std::size_t i) {
+    total.fetch_add(1);           // atomic: fine
+    slots[i] = static_cast<int>(i);  // per-index slot: fine
+    int local = 0;                // lambda-local: fine
+    ++local;
+    local += 2;
+    (void)local;
+  });
+}

@@ -1,0 +1,16 @@
+// zka-fixture-path: src/fixture/a3_raw_arith.cpp
+// A3 positive + negative: raw pointer arithmetic on Tensor storage vs
+// the bounds-checkable subspan slice.
+#include "fixture_support.h"
+
+float bad_offset_read(const zka::tensor::Tensor& t, std::size_t row,
+                      std::size_t cols) {
+  const float* p = t.raw() + row * cols;  // expect: A3
+  return p[0];
+}
+
+float good_span_read(const zka::tensor::Tensor& t, std::size_t row,
+                     std::size_t cols) {
+  const std::span<const float> r = t.data().subspan(row * cols, cols);
+  return r[0];
+}

@@ -1,0 +1,10 @@
+// zka-fixture-path: src/tensor/fixture_internal.cpp
+// A3 scope negative: src/tensor/ owns the raw storage layout, so the
+// same arithmetic inside it is exempt.
+#include "fixture_support.h"
+
+float internal_offset_read(const zka::tensor::Tensor& t, std::size_t row,
+                           std::size_t cols) {
+  const float* p = t.raw() + row * cols;
+  return p[0];
+}

@@ -1,0 +1,49 @@
+// zka-fixture-path: src/fixture/a4_entry_contract.cpp
+// A4 positive + negative: aggregate/craft overrides with and without a
+// contract call in the body.
+#include "fixture_support.h"
+
+namespace zka::defense {
+
+class UncheckedMean : public Aggregator {
+ public:
+  AggregationResult aggregate(  // expect: A4
+      std::span<const UpdateView> updates,
+      std::span<const std::int64_t> weights) override {
+    (void)updates;
+    (void)weights;
+    return {};
+  }
+};
+
+class CheckedMean : public Aggregator {
+ public:
+  AggregationResult aggregate(
+      std::span<const UpdateView> updates,
+      std::span<const std::int64_t> weights) override {
+    validate_updates(updates, weights);
+    return {};
+  }
+};
+
+}  // namespace zka::defense
+
+namespace zka::attack {
+
+class UncheckedNoise : public Attack {
+ public:
+  Update craft(const AttackContext& ctx) override {  // expect: A4
+    (void)ctx;
+    return {};
+  }
+};
+
+class CheckedNoise : public Attack {
+ public:
+  Update craft(const AttackContext& ctx) override {
+    validate_context(*this, ctx);
+    return {};
+  }
+};
+
+}  // namespace zka::attack

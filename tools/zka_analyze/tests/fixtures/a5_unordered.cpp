@@ -1,0 +1,28 @@
+// zka-fixture-path: src/fixture/a5_unordered.cpp
+// A5 positive + negative: range-for over unordered containers vs a
+// deterministically ordered one.
+#include "fixture_support.h"
+
+int bad_map_sum(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  for (const auto& kv : m) {  // expect: A5
+    s += kv.second;
+  }
+  return s;
+}
+
+int bad_set_sum(const std::unordered_set<int>& keys) {
+  int s = 0;
+  for (int k : keys) {  // expect: A5
+    s += k;
+  }
+  return s;
+}
+
+int good_vector_sum(const std::vector<int>& v) {
+  int s = 0;
+  for (int x : v) {
+    s += x;
+  }
+  return s;
+}

@@ -1,0 +1,10 @@
+// zka-fixture-path: src/fixture/allow_escape.cpp
+// Suppression: an inline zka-lint escape on the preceding line absorbs
+// the finding, so this fixture expects nothing.
+#include "fixture_support.h"
+
+float escaped_read(const zka::tensor::Tensor& t) {
+  // zka-lint: allow(A3) -- fixture: escape must suppress the finding below
+  const float* p = t.raw() + 4;
+  return p[0];
+}

@@ -1,0 +1,10 @@
+// zka-fixture-path: src/fixture/baseline_suppress.cpp
+// zka-fixture-baseline: src/fixture/baseline_suppress.cpp|A3|*|1
+// Suppression: a baseline entry (declared above, consumed by the
+// driver) absorbs the finding, so this fixture expects nothing.
+#include "fixture_support.h"
+
+float grandfathered_read(const zka::tensor::Tensor& t) {
+  const float* p = t.raw() + 2;
+  return p[0];
+}

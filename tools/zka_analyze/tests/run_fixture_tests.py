@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Fixture tests for the zka_analyze AST rules.
+
+Each fixture under fixtures/ is a standalone C++20 file carrying its own
+expectations:
+
+    // zka-fixture-path: src/fixture/foo.cpp     virtual repo path (rules
+                                                 scope on path prefixes)
+    // zka-fixture-baseline: path|rule|fn|count  baseline entry to apply
+    some_code();  // expect: A3                  finding expected exactly
+                                                 here, exactly this rule
+
+The driver parses every fixture with libclang, runs the full rule set,
+applies inline-escape and declared-baseline suppression, and compares
+the surviving {(line, rule)} set against the expectations -- pytest
+style, one PASS/FAIL line per fixture.
+
+Exit codes: 0 all pass, 1 any failure, 77 libclang unavailable (ctest
+registers this as SKIP_RETURN_CODE).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+PKG = os.path.dirname(HERE)
+sys.path.insert(0, PKG)
+
+import engine
+from clang_loader import load_cindex, resource_dir_args
+
+REPO_ROOT = os.path.realpath(os.path.join(PKG, "..", ".."))
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([A-Za-z0-9,\s]+?)\s*$")
+VPATH_RE = re.compile(r"//\s*zka-fixture-path:\s*(\S+)")
+BASELINE_RE = re.compile(r"//\s*zka-fixture-baseline:\s*(\S+)")
+
+
+def parse_fixture(path: str):
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    vpath = None
+    expected = set()
+    baseline_entries = []
+    for lineno, line in enumerate(lines, start=1):
+        m = VPATH_RE.search(line)
+        if m:
+            vpath = m.group(1)
+            continue
+        m = BASELINE_RE.search(line)
+        if m:
+            parts = m.group(1).split("|")
+            baseline_entries.append(
+                engine.BaselineEntry(
+                    path=parts[0],
+                    rule=parts[1],
+                    function=parts[2],
+                    max_count=int(parts[3]),
+                    lineno=lineno,
+                )
+            )
+            continue
+        m = EXPECT_RE.search(line)
+        if m:
+            for rule in re.split(r"[,\s]+", m.group(1)):
+                if rule:
+                    expected.add((lineno, rule))
+    return lines, vpath, expected, baseline_entries
+
+
+def run_fixture(cindex, rules_mod, index, path: str):
+    """Returns a list of failure messages (empty = pass)."""
+    lines, vpath, expected, baseline_entries = parse_fixture(path)
+    if vpath is None:
+        return ["missing '// zka-fixture-path:' header"]
+    args = ["-x", "c++", "-std=c++20", "-I", os.path.dirname(path)]
+    args += resource_dir_args()
+    try:
+        tu = engine.parse_tu(cindex, index, path, args)
+    except engine.AnalysisError as exc:
+        return [f"fixture failed to parse: {exc}"]
+    scope = engine.Scope(REPO_ROOT, path_map={path: vpath}, restrict_to=[path])
+    findings = engine.dedupe(
+        engine.run_rules(cindex, tu, scope, rules_mod.build_rules(cindex))
+    )
+
+    def provider(rel, _lines=lines, _vpath=vpath):
+        return _lines if rel == _vpath else None
+
+    findings, _used = engine.filter_allows(findings, provider)
+    remaining, stale = engine.apply_baseline(findings, baseline_entries)
+
+    got = {(f.line, f.rule) for f in remaining}
+    failures = []
+    for line, rule in sorted(expected - got):
+        failures.append(f"expected [{rule}] at line {line}, not reported")
+    for line, rule in sorted(got - expected):
+        detail = next(
+            f.message for f in remaining if (f.line, f.rule) == (line, rule)
+        )
+        failures.append(f"unexpected [{rule}] at line {line}: {detail}")
+    for entry in stale:
+        failures.append(f"declared baseline entry matched nothing: {entry.render()}")
+    return failures
+
+
+def main() -> int:
+    cindex = load_cindex()
+    if cindex is None:
+        print(
+            "run_fixture_tests: libclang unavailable; skipping", file=sys.stderr
+        )
+        return engine.EXIT_SKIP
+    import rules as rules_mod
+
+    sys.setrecursionlimit(100000)
+    index = cindex.Index.create()
+    fixtures_dir = os.path.join(HERE, "fixtures")
+    names = sorted(
+        n for n in os.listdir(fixtures_dir) if n.endswith(".cpp")
+    )
+    if not names:
+        print("run_fixture_tests: no fixtures found", file=sys.stderr)
+        return engine.EXIT_ENV
+
+    failed = 0
+    for name in names:
+        failures = run_fixture(
+            cindex, rules_mod, index, os.path.join(fixtures_dir, name)
+        )
+        if failures:
+            failed += 1
+            print(f"FAIL {name}")
+            for message in failures:
+                print(f"     {message}")
+        else:
+            print(f"PASS {name}")
+    print(f"run_fixture_tests: {len(names) - failed}/{len(names)} passed")
+    return engine.EXIT_FINDINGS if failed else engine.EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""AST-level policy analyzer for the ZKA codebase.
+
+Drives libclang over the CMake-exported compile_commands.json and
+enforces the five semantic policy rules (A1-A5; see rules.py and
+DESIGN.md "Static analysis"). The regex half of the policy suite lives
+in tools/check_invariants.py.
+
+Usage:
+    python3 tools/zka_analyze/zka_analyze.py \
+        --compile-commands build/compile_commands.json \
+        [--baseline tools/zka_analyze/baseline.txt] \
+        [--strict-baseline] [--json findings.json] [--only A1 A3] [-v]
+
+Exit codes:
+    0   clean (all findings suppressed by escapes or baseline)
+    1   non-baselined findings, or (with --strict-baseline) stale
+        baseline entries / unused allow() escapes
+    2   environment error (missing/unparsable compile_commands, TU parse
+        failure)
+    77  libclang unavailable -- registered with ctest as
+        SKIP_RETURN_CODE so the test is skipped, not failed
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import engine
+from clang_loader import load_cindex, resource_dir_args
+
+REPO_ROOT = os.path.realpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+)
+
+# Only translation units under these roots are analyzed (their headers
+# come along transitively).
+TU_ROOTS = ("src/", "tests/", "bench/", "examples/")
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compile-commands",
+        default=os.path.join(REPO_ROOT, "build", "compile_commands.json"),
+        help="path to the CMake-exported compilation database",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "tools", "zka_analyze", "baseline.txt"),
+        help="grandfathered-findings file; pass an empty string to disable",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail on stale baseline entries and unused allow() escapes "
+        "(CI mode); default only warns",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write findings and baseline state as JSON",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="RULE",
+        help="restrict to a subset of rules, e.g. --only A1 A3",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="log each TU as it is parsed"
+    )
+    return parser.parse_args(argv)
+
+
+def make_line_provider(repo_root):
+    cache: dict = {}
+
+    def provider(rel_path):
+        if rel_path not in cache:
+            full = os.path.join(repo_root, rel_path)
+            try:
+                with open(full, encoding="utf-8") as fh:
+                    cache[rel_path] = fh.read().splitlines()
+            except OSError:
+                cache[rel_path] = None
+        return cache[rel_path]
+
+    return provider
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+
+    cindex = load_cindex()
+    if cindex is None:
+        print(
+            "zka_analyze: libclang unavailable (pip install libclang, or set "
+            "ZKA_LIBCLANG to the shared library); skipping",
+            file=sys.stderr,
+        )
+        return engine.EXIT_SKIP
+
+    import rules as rules_mod  # after the loader check: imports clang helpers
+
+    if not os.path.exists(args.compile_commands):
+        print(
+            f"zka_analyze: {args.compile_commands} not found; configure the "
+            f"build first (cmake --preset release)",
+            file=sys.stderr,
+        )
+        return engine.EXIT_ENV
+
+    try:
+        commands = engine.load_compile_commands(args.compile_commands)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"zka_analyze: bad compilation database: {exc}", file=sys.stderr)
+        return engine.EXIT_ENV
+
+    scope = engine.Scope(REPO_ROOT)
+    rule_set = rules_mod.build_rules(cindex, only=args.only)
+    index = cindex.Index.create()
+    extra_args = resource_dir_args()
+    # Expression trees nest deeply; the default recursion limit is too
+    # tight for a full TU walk.
+    sys.setrecursionlimit(100000)
+
+    all_findings = []
+    analyzed_paths = set()
+    parsed = 0
+    for cmd in commands:
+        if not cmd.file.startswith(REPO_ROOT + os.sep):
+            continue
+        rel = os.path.relpath(cmd.file, REPO_ROOT).replace(os.sep, "/")
+        if not rel.startswith(TU_ROOTS) or rel.startswith(engine.DEFAULT_EXCLUDES):
+            continue
+        if args.verbose:
+            print(f"zka_analyze: parsing {rel}", file=sys.stderr)
+        try:
+            tu = engine.parse_tu(
+                cindex, index, cmd.file, cmd.args + extra_args, cmd.directory
+            )
+        except engine.AnalysisError as exc:
+            print(f"zka_analyze: {exc}", file=sys.stderr)
+            return engine.EXIT_ENV
+        parsed += 1
+        analyzed_paths.add(rel)
+        for f in engine.run_rules(cindex, tu, scope, rule_set):
+            analyzed_paths.add(f.path)
+            all_findings.append(f)
+
+    if parsed == 0:
+        print(
+            "zka_analyze: compilation database contained no analyzable "
+            "translation units",
+            file=sys.stderr,
+        )
+        return engine.EXIT_ENV
+
+    findings = engine.dedupe(all_findings)
+    provider = make_line_provider(REPO_ROOT)
+    findings, used_escapes = engine.filter_allows(findings, provider)
+    unused = engine.find_unused_allows(
+        analyzed_paths, provider, used_escapes, set(rules_mod.ALL_RULE_IDS)
+    )
+
+    baseline_entries = []
+    if args.baseline and os.path.exists(args.baseline):
+        try:
+            baseline_entries = engine.load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"zka_analyze: {exc}", file=sys.stderr)
+            return engine.EXIT_ENV
+    remaining, stale = engine.apply_baseline(findings, baseline_entries)
+
+    if args.json:
+        payload = {
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "function": f.function,
+                    "message": f.message,
+                }
+                for f in remaining
+            ],
+            "baselined": len(findings) - len(remaining),
+            "stale_baseline": [e.render() for e in stale],
+            "unused_escapes": unused,
+            "translation_units": parsed,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    for f in remaining:
+        print(f.render())
+    for line in unused:
+        severity = "error" if args.strict_baseline else "warning"
+        print(f"zka_analyze: {severity}: {line}")
+    for e in stale:
+        severity = "error" if args.strict_baseline else "warning"
+        print(
+            f"zka_analyze: {severity}: stale baseline entry "
+            f"(baseline.txt:{e.lineno}: {e.render()}) matched nothing; "
+            f"delete it -- the baseline only shrinks"
+        )
+
+    if remaining:
+        print(
+            f"zka_analyze: {len(remaining)} finding(s) "
+            f"({len(findings) - len(remaining)} baselined, {parsed} TUs)",
+            file=sys.stderr,
+        )
+        return engine.EXIT_FINDINGS
+    if args.strict_baseline and (stale or unused):
+        return engine.EXIT_FINDINGS
+    print(
+        f"zka_analyze: OK ({parsed} TUs, {len(findings) - len(remaining)} "
+        f"baselined finding(s))"
+    )
+    return engine.EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())
