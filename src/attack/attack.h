@@ -34,6 +34,11 @@ struct AttackContext {
   std::int64_t num_malicious_selected = 0;
   /// The task's public training configuration (known to everyone).
   float learning_rate = 0.01f;
+  /// Median sample count reported by this round's sampled benign clients
+  /// (the server does not verify client-reported counts, so this is what a
+  /// weight-blending attacker would mimic). 1 when no benign client was
+  /// sampled. Input to Attack::reported_weight.
+  std::int64_t benign_median_weight = 1;
 };
 
 class Attack {
@@ -45,6 +50,17 @@ class Attack {
 
   /// True for omniscient baselines that require ctx.benign_updates.
   virtual bool needs_benign_updates() const noexcept { return false; }
+
+  /// The FedAvg sample count every sybil reports alongside the crafted
+  /// update. Sample counts are client-reported and unverifiable in FL, so
+  /// this is an attacker-chosen quantity, not a property of the (possibly
+  /// empty) shards the adversary's clients happen to own — the simulator
+  /// used to silently substitute max(shard_size, 1), fabricating a weight
+  /// the paper's threat model never states. The default blends in with the
+  /// round's benign population by reporting its median sample count.
+  virtual std::int64_t reported_weight(const AttackContext& ctx) const {
+    return ctx.benign_median_weight;
+  }
 
   virtual std::string name() const = 0;
 };

@@ -27,6 +27,9 @@ void validate_context(const Attack& attack, const AttackContext& ctx) {
             "%s: m=%lld malicious among K=%lld selected clients",
             name.c_str(), static_cast<long long>(ctx.num_malicious_selected),
             static_cast<long long>(ctx.num_selected));
+  ZKA_CHECK(ctx.benign_median_weight >= 0,
+            "%s: negative benign median weight %lld", name.c_str(),
+            static_cast<long long>(ctx.benign_median_weight));
   if (attack.needs_benign_updates()) {
     ZKA_CHECK(ctx.benign_updates != nullptr && !ctx.benign_updates->empty(),
               "%s is omniscient and requires benign updates", name.c_str());

@@ -84,4 +84,44 @@ std::vector<std::vector<std::int64_t>> dirichlet_partition(
   return parts;
 }
 
+HashedShardSpec::HashedShardSpec(std::int64_t dataset_size,
+                                 std::int64_t population,
+                                 std::int64_t samples_per_client,
+                                 std::uint64_t seed)
+    : dataset_size_(dataset_size),
+      population_(population),
+      shard_size_(std::min(samples_per_client, dataset_size)),
+      seed_(seed) {
+  ZKA_CHECK(dataset_size >= 0, "HashedShardSpec: dataset_size %lld",
+            static_cast<long long>(dataset_size));
+  ZKA_CHECK(population > 0, "HashedShardSpec: population %lld",
+            static_cast<long long>(population));
+  ZKA_CHECK(samples_per_client > 0,
+            "HashedShardSpec: samples_per_client %lld",
+            static_cast<long long>(samples_per_client));
+}
+
+std::vector<std::int64_t> HashedShardSpec::shard(std::int64_t client) const {
+  ZKA_CHECK(client >= 0 && client < population_,
+            "HashedShardSpec: client %lld outside [0, %lld)",
+            static_cast<long long>(client),
+            static_cast<long long>(population_));
+  if (shard_size_ == 0) return {};
+  // Each client gets its own SplitMix64-derived stream, so shards are
+  // independent of computation order and of every other client.
+  std::uint64_t key =
+      seed_ ^ (static_cast<std::uint64_t>(client) * 0x9e3779b97f4a7c15ULL +
+               0x7f4a7c15ULL);
+  util::Rng rng(util::splitmix64(key));
+  const auto draw = rng.sample_without_replacement(
+      static_cast<std::size_t>(dataset_size_),
+      static_cast<std::size_t>(shard_size_));
+  std::vector<std::int64_t> indices;
+  indices.reserve(draw.size());
+  for (const std::size_t i : draw) {
+    indices.push_back(static_cast<std::int64_t>(i));
+  }
+  return indices;
+}
+
 }  // namespace zka::data

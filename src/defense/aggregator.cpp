@@ -15,6 +15,23 @@ AggregationResult Aggregator::aggregate(
                    std::span<const std::int64_t>(weights));
 }
 
+void Aggregator::begin_stream(std::size_t dim,
+                              std::span<const std::int64_t> weights) {
+  (void)dim;
+  (void)weights;
+  ZKA_CHECK(false, "%s does not support streaming ingestion", name().c_str());
+}
+
+void Aggregator::stream_update(UpdateView update) {
+  (void)update;
+  ZKA_CHECK(false, "%s does not support streaming ingestion", name().c_str());
+}
+
+AggregationResult Aggregator::finish_stream() {
+  ZKA_CHECK(false, "%s does not support streaming ingestion", name().c_str());
+  return {};
+}
+
 std::vector<UpdateView> as_views(const std::vector<Update>& updates) {
   std::vector<UpdateView> views;
   views.reserve(updates.size());

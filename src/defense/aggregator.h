@@ -65,6 +65,42 @@ class Aggregator {
   virtual bool selects_clients() const noexcept = 0;
 
   virtual std::string name() const = 0;
+
+  // ── Streaming ingestion (production-scale rounds) ────────────────────
+  //
+  // Rules that can fold updates one at a time — without ever holding the
+  // round's full update matrix — opt in by overriding supports_streaming()
+  // and the three hooks below. The server then calls
+  //
+  //   begin_stream(dim, weights);        // all round weights, up front
+  //   stream_update(u_0); ... stream_update(u_{n-1});   // submission order
+  //   finish_stream();
+  //
+  // and may free each update buffer as soon as its stream_update returns,
+  // bounding server memory by the training-wave size instead of n.
+  // Contract: streaming MUST produce a bitwise-identical model to
+  // aggregate() given the same updates in the same order (FedAvg
+  // guarantees this by folding with the exact per-coordinate accumulation
+  // order of tensor::weighted_sum). Pairwise-distance and coordinate-wise
+  // rules inherently need all n updates and keep the default (false);
+  // for them the server's floor is n = clients_per_round buffers.
+
+  /// True when this rule implements the streaming hooks.
+  virtual bool supports_streaming() const noexcept { return false; }
+
+  /// Starts a streaming round: `dim` coordinates per update, one weight
+  /// per forthcoming stream_update call, in call order. Throws unless the
+  /// rule supports streaming.
+  virtual void begin_stream(std::size_t dim,
+                            std::span<const std::int64_t> weights);
+
+  /// Folds the next update (submission order). The view need only stay
+  /// valid for the duration of the call.
+  virtual void stream_update(UpdateView update);
+
+  /// Finishes the round and returns the aggregate, exactly as aggregate()
+  /// would have. Requires one stream_update per begin_stream weight.
+  virtual AggregationResult finish_stream();
 };
 
 /// View list over a vector of owning updates (no copies).

@@ -1,28 +1,35 @@
 #include "defense/fedavg.h"
 
+#include <cmath>
+
 #include "tensor/reduce.h"
 #include "util/check.h"
 #include "util/prof.h"
 
 namespace zka::defense {
 
+std::vector<double> fedavg_coefficients(
+    std::span<const std::int64_t> weights) {
+  double total = 0.0;
+  for (const std::int64_t w : weights) total += static_cast<double>(w);
+  std::vector<double> coeffs(weights.size());
+  if (total <= 0.0) {
+    // All-zero weights degenerate to the unweighted mean.
+    for (auto& c : coeffs) c = 1.0 / static_cast<double>(weights.size());
+  } else {
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      coeffs[k] = static_cast<double>(weights[k]) / total;
+    }
+  }
+  return coeffs;
+}
+
 AggregationResult FedAvg::aggregate(std::span<const UpdateView> updates,
                                     std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/fedavg");
   validate_updates(updates, weights);
-  double total = 0.0;
-  for (const std::int64_t w : weights) total += static_cast<double>(w);
-  const std::size_t n = updates.size();
   const std::size_t dim = updates.front().size();
-  std::vector<double> coeffs(n);
-  if (total <= 0.0) {
-    // All-zero weights degenerate to the unweighted mean.
-    for (auto& c : coeffs) c = 1.0 / static_cast<double>(n);
-  } else {
-    for (std::size_t k = 0; k < n; ++k) {
-      coeffs[k] = static_cast<double>(weights[k]) / total;
-    }
-  }
+  const std::vector<double> coeffs = fedavg_coefficients(weights);
   std::vector<double> acc(dim);
   tensor::weighted_sum(updates, coeffs, acc);
   AggregationResult result;
@@ -30,6 +37,57 @@ AggregationResult FedAvg::aggregate(std::span<const UpdateView> updates,
   for (std::size_t i = 0; i < dim; ++i) {
     result.model[i] = static_cast<float>(acc[i]);
   }
+  return result;
+}
+
+void FedAvg::begin_stream(std::size_t dim,
+                          std::span<const std::int64_t> weights) {
+  ZKA_CHECK(!streaming_, "FedAvg: begin_stream during an open stream");
+  ZKA_CHECK(dim > 0, "FedAvg: empty update dimension");
+  ZKA_CHECK(!weights.empty(), "FedAvg: no weights for streaming round");
+  for (const std::int64_t w : weights) {
+    ZKA_CHECK(w >= 0, "FedAvg: negative weight %lld",
+              static_cast<long long>(w));
+  }
+  stream_coeffs_ = fedavg_coefficients(weights);
+  stream_acc_.assign(dim, 0.0);
+  stream_next_ = 0;
+  streaming_ = true;
+}
+
+void FedAvg::stream_update(UpdateView update) {
+  ZKA_PROF_SCOPE("aggregate/fedavg_stream");
+  ZKA_CHECK(streaming_, "FedAvg: stream_update without begin_stream");
+  ZKA_CHECK(stream_next_ < stream_coeffs_.size(),
+            "FedAvg: more updates streamed than weights announced (%zu)",
+            stream_coeffs_.size());
+  ZKA_CHECK(update.size() == stream_acc_.size(),
+            "FedAvg: streamed update has %zu coordinates, expected %zu",
+            update.size(), stream_acc_.size());
+  for (const float value : update) {
+    ZKA_CHECK(std::isfinite(value),
+              "FedAvg: non-finite value in streamed update %zu",
+              stream_next_);
+  }
+  tensor::axpy(stream_coeffs_[stream_next_], update,
+               std::span<double>(stream_acc_));
+  ++stream_next_;
+}
+
+AggregationResult FedAvg::finish_stream() {
+  ZKA_CHECK(streaming_, "FedAvg: finish_stream without begin_stream");
+  ZKA_CHECK(stream_next_ == stream_coeffs_.size(),
+            "FedAvg: %zu of %zu announced updates streamed", stream_next_,
+            stream_coeffs_.size());
+  AggregationResult result;
+  result.model.resize(stream_acc_.size());
+  for (std::size_t i = 0; i < stream_acc_.size(); ++i) {
+    result.model[i] = static_cast<float>(stream_acc_[i]);
+  }
+  streaming_ = false;
+  stream_coeffs_.clear();
+  stream_acc_.clear();
+  stream_acc_.shrink_to_fit();
   return result;
 }
 

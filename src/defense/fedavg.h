@@ -13,7 +13,29 @@ class FedAvg : public Aggregator {
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "FedAvg"; }
+
+  /// A weighted mean folds one update at a time: the streaming path
+  /// replays tensor::weighted_sum's exact per-coordinate accumulation
+  /// order (coefficients fixed up front from the full weight list, one
+  /// axpy per update in submission order), so it is bitwise identical to
+  /// aggregate() while holding O(dim) server state instead of O(n·dim).
+  bool supports_streaming() const noexcept override { return true; }
+  void begin_stream(std::size_t dim,
+                    std::span<const std::int64_t> weights) override;
+  void stream_update(UpdateView update) override;
+  AggregationResult finish_stream() override;
+
+ private:
+  std::vector<double> stream_coeffs_;
+  std::vector<double> stream_acc_;
+  std::size_t stream_next_ = 0;
+  bool streaming_ = false;
 };
+
+/// FedAvg mixing coefficients: weights normalized by their sum, or the
+/// unweighted 1/n fallback when the total is zero. Shared by the batch and
+/// streaming paths so they stay bit-identical by construction.
+std::vector<double> fedavg_coefficients(std::span<const std::int64_t> weights);
 
 /// Unweighted mean of the given updates (shared helper; mKrum and Bulyan
 /// average their selected subsets with it).

@@ -1,5 +1,6 @@
 #include "fl/experiment.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -135,7 +136,11 @@ std::string BaselineCache::key(const SimulationConfig& config) {
       << config.num_clients << '/' << config.clients_per_round << '/'
       << std::bit_cast<std::uint32_t>(config.client.learning_rate) << '/'
       << config.client.local_epochs << '/' << config.client.batch_size << '/'
-      << config.eval_every;
+      << config.eval_every << '/' << config.population << '/'
+      << config.samples_per_client;
+  // memory_budget_bytes is deliberately absent: streaming ingestion is
+  // bitwise-identical to the buffered path, so the budget cannot change a
+  // baseline accuracy.
   return key.str();
 }
 
@@ -178,6 +183,8 @@ ExperimentOutcome run_experiment(SimulationConfig config, AttackKind kind,
     const auto attack =
         make_attack(kind, sim, zka, run_config.seed ^ 0xa77acc);
     const SimulationResult result = sim.run(attack.get());
+    outcome.peak_update_bytes =
+        std::max(outcome.peak_update_bytes, result.peak_update_bytes);
     acc_stat.push(result.max_accuracy * 100.0);
     asrs.push_back(attack_success_rate(acc_natk, result.max_accuracy));
     const double dpr = result.dpr();

@@ -52,6 +52,9 @@ struct ExperimentOutcome {
   double asr = 0.0;         // mean attack success rate (%)
   double asr_stddev = 0.0;  // across repetitions
   double dpr = 0.0;         // mean defense pass rate (%); NaN if undefined
+  /// Largest SimulationResult::peak_update_bytes across the attacked runs —
+  /// what a memory_budget_bytes claim is checked against.
+  std::size_t peak_update_bytes = 0;
 };
 
 /// Caches the attack-free/defense-free reference accuracy per (task, seed,

@@ -11,6 +11,17 @@
 #include "util/thread_pool.h"
 
 namespace zka::fl {
+namespace {
+
+/// Median of a sample-count list (lower middle for even sizes); 1 when the
+/// list is empty. Used as the default attacker-reported FedAvg weight.
+std::int64_t median_weight(std::vector<std::int64_t> counts) {
+  if (counts.empty()) return 1;
+  std::sort(counts.begin(), counts.end());
+  return counts[(counts.size() - 1) / 2];
+}
+
+}  // namespace
 
 double SimulationResult::dpr() const noexcept {
   if (!defense_selects) return std::nan("");
@@ -37,11 +48,14 @@ double SimulationResult::benign_pass_rate() const noexcept {
 Simulation::Simulation(SimulationConfig config)
     : config_(std::move(config)),
       factory_(models::task_model_factory(config_.task)) {
+  const bool production = config_.population > 0;
+  const std::int64_t population =
+      production ? config_.population : config_.num_clients;
   ZKA_CHECK(config_.clients_per_round > 0 &&
-                config_.clients_per_round <= config_.num_clients,
+                config_.clients_per_round <= population,
             "Simulation: clients_per_round %lld outside [1, %lld]",
             static_cast<long long>(config_.clients_per_round),
-            static_cast<long long>(config_.num_clients));
+            static_cast<long long>(population));
   // The threat model caps adversarial control at 50% (Sec. III-A).
   ZKA_CHECK(config_.malicious_fraction >= 0.0 &&
                 config_.malicious_fraction <= 0.5,
@@ -55,20 +69,28 @@ Simulation::Simulation(SimulationConfig config)
                                        rng.split(0x7e57)());
 
   util::Rng part_rng = rng.split(0x9a27);
-  const auto parts =
-      config_.beta > 0.0
-          ? data::dirichlet_partition(train_.labels, train_.spec.num_classes,
-                                      config_.num_clients, config_.beta,
-                                      part_rng)
-          : data::iid_partition(train_.size(), config_.num_clients, part_rng);
-
-  clients_.reserve(static_cast<std::size_t>(config_.num_clients));
-  for (std::int64_t i = 0; i < config_.num_clients; ++i) {
-    clients_.emplace_back(i, train_, parts[static_cast<std::size_t>(i)],
-                          factory_, config_.client);
+  if (production) {
+    const data::HashedShardSpec spec(train_.size(), population,
+                                     config_.samples_per_client, part_rng());
+    registry_.emplace(train_, spec, factory_, config_.client,
+                      config_.eager_registry);
+  } else {
+    auto parts =
+        config_.beta > 0.0
+            ? data::dirichlet_partition(train_.labels, train_.spec.num_classes,
+                                        config_.num_clients, config_.beta,
+                                        part_rng)
+            : data::iid_partition(train_.size(), config_.num_clients,
+                                  part_rng);
+    registry_.emplace(train_, std::move(parts), factory_, config_.client);
   }
+
   num_malicious_ = static_cast<std::int64_t>(
-      config_.malicious_fraction * static_cast<double>(config_.num_clients));
+      config_.malicious_fraction * static_cast<double>(population));
+  if (config_.malicious_rounding == MaliciousRounding::kAtLeastOne &&
+      config_.malicious_fraction > 0.0 && num_malicious_ == 0) {
+    num_malicious_ = 1;
+  }
   aggregator_ = config_.custom_defense
                     ? config_.custom_defense()
                     : defense::make_aggregator(config_.defense,
@@ -80,15 +102,13 @@ Simulation::Simulation(SimulationConfig config)
 data::Dataset Simulation::malicious_data() const {
   std::vector<std::int64_t> indices;
   for (std::int64_t c = 0; c < num_malicious_; ++c) {
-    const auto& shard = clients_[static_cast<std::size_t>(c)].indices();
+    const auto shard = registry_->shard(c);
     indices.insert(indices.end(), shard.begin(), shard.end());
   }
   return train_.subset(indices);
 }
 
 SimulationResult Simulation::run(attack::Attack* attack) {
-  ZKA_CHECK(attack == nullptr || num_malicious_ > 0,
-            "Simulation: attack given but 0 malicious clients");
   util::Rng rng(config_.seed ^ 0xf00dULL);
   std::vector<float> global = nn::get_flat_params(*factory_(rng.split(2)()));
   std::vector<float> prev_global = global;
@@ -97,98 +117,238 @@ SimulationResult Simulation::run(attack::Attack* attack) {
   result.defense_selects = aggregator_->selects_clients();
   result.rounds.reserve(static_cast<std::size_t>(config_.rounds));
 
+  const std::int64_t population = registry_->population();
+  const std::size_t update_bytes = global.size() * sizeof(float);
+  // A malicious client is one the adversary controls (by convention the
+  // lowest ids, which under uniform sampling is distribution-equivalent to
+  // any other fixed subset). With num_malicious_ == 0 — e.g. a sub-1%
+  // fraction floored away at small populations — an attack degrades to a
+  // clean baseline run instead of throwing.
+  const auto is_malicious_id = [&](std::size_t c) {
+    return attack != nullptr &&
+           static_cast<std::int64_t>(c) < num_malicious_;
+  };
+
   for (std::int64_t round = 0; round < config_.rounds; ++round) {
     ZKA_PROF_SCOPE("round");
     aggregator_->begin_round(global, round);
     util::Rng round_rng = rng.split(0x1000 + static_cast<std::uint64_t>(round));
-    // Uniform client sampling without replacement.
+    // Uniform client sampling without replacement: O(clients_per_round)
+    // regardless of population (Floyd above Rng::kDenseSampleMax).
     const auto sampled = round_rng.sample_without_replacement(
-        static_cast<std::size_t>(config_.num_clients),
+        static_cast<std::size_t>(population),
         static_cast<std::size_t>(config_.clients_per_round));
 
     std::vector<std::size_t> benign_ids;
     std::vector<std::size_t> malicious_ids;
     for (const std::size_t c : sampled) {
-      if (attack != nullptr &&
-          static_cast<std::int64_t>(c) < num_malicious_) {
+      if (is_malicious_id(c)) {
         malicious_ids.push_back(c);
       } else {
         benign_ids.push_back(c);
       }
     }
+    const bool have_malicious = !malicious_ids.empty();
 
-    // Benign local training (parallel across clients, deterministic seeds).
-    std::vector<defense::Update> benign_updates(benign_ids.size());
-    {
-      ZKA_PROF_SCOPE("client_train");
-      auto train_one = [&](std::size_t k) {
-        ZKA_PROF_SCOPE("client_train/one");
-        const Client& client = clients_[benign_ids[k]];
-        const std::uint64_t seed =
-            config_.seed * 0x9e3779b97f4a7c15ULL +
-            static_cast<std::uint64_t>(round) * 1315423911ULL +
-            static_cast<std::uint64_t>(client.id());
-        benign_updates[k] = client.train(global, seed);
-      };
-      if (config_.parallel_clients) {
-        util::global_thread_pool().parallel_for(benign_ids.size(), train_one);
-      } else {
-        for (std::size_t k = 0; k < benign_ids.size(); ++k) train_one(k);
-      }
+    // Per-client FedAvg weights are client-reported sample counts: benign
+    // clients report their true shard size (registry lookup, no
+    // materialization); malicious clients report whatever the attack
+    // chooses (Attack::reported_weight, defaulting to the benign median)
+    // — never a fabricated max(shard, 1).
+    std::vector<std::int64_t> benign_weights;
+    benign_weights.reserve(benign_ids.size());
+    for (const std::size_t c : benign_ids) {
+      benign_weights.push_back(
+          registry_->num_samples(static_cast<std::int64_t>(c)));
     }
+    const std::int64_t benign_median = median_weight(benign_weights);
 
-    // Craft the malicious update once; all malicious clients submit it.
     defense::Update malicious_update;
-    if (!malicious_ids.empty()) {
-      ZKA_PROF_SCOPE("attack_craft");
-      attack::AttackContext ctx;
-      ctx.global_model = global;
-      ctx.prev_global_model = prev_global;
-      ctx.benign_updates =
-          attack->needs_benign_updates() ? &benign_updates : nullptr;
-      ctx.round = round;
-      ctx.num_selected = config_.clients_per_round;
-      ctx.num_malicious_selected =
-          static_cast<std::int64_t>(malicious_ids.size());
-      ctx.learning_rate = config_.client.learning_rate;
-      malicious_update = attack->craft(ctx);
-      ZKA_CHECK(malicious_update.size() == global.size(),
-                "%s crafted %zu params, model has %zu",
-                attack->name().c_str(), malicious_update.size(),
-                global.size());
-    }
+    std::int64_t malicious_weight = 0;
+    const auto craft =
+        [&](const std::vector<defense::Update>* benign_updates) {
+          ZKA_PROF_SCOPE("attack_craft");
+          attack::AttackContext ctx;
+          ctx.global_model = global;
+          ctx.prev_global_model = prev_global;
+          ctx.benign_updates =
+              attack->needs_benign_updates() ? benign_updates : nullptr;
+          ctx.round = round;
+          ctx.num_selected = config_.clients_per_round;
+          ctx.num_malicious_selected =
+              static_cast<std::int64_t>(malicious_ids.size());
+          ctx.learning_rate = config_.client.learning_rate;
+          ctx.benign_median_weight = benign_median;
+          malicious_update = attack->craft(ctx);
+          ZKA_CHECK(malicious_update.size() == global.size(),
+                    "%s crafted %zu params, model has %zu",
+                    attack->name().c_str(), malicious_update.size(),
+                    global.size());
+          malicious_weight = attack->reported_weight(ctx);
+          ZKA_CHECK(malicious_weight >= 0,
+                    "%s reported negative weight %lld",
+                    attack->name().c_str(),
+                    static_cast<long long>(malicious_weight));
+        };
 
-    // Assemble the round's submissions in sampling order as views: every
-    // malicious client shares the one crafted buffer instead of deep
-    // copies, and benign updates stay in their training slots.
-    std::vector<defense::UpdateView> updates;
-    std::vector<std::int64_t> weights;
-    std::vector<bool> is_malicious;
-    updates.reserve(sampled.size());
-    std::size_t benign_cursor = 0;
-    for (const std::size_t c : sampled) {
-      const bool mal =
-          attack != nullptr && static_cast<std::int64_t>(c) < num_malicious_;
-      is_malicious.push_back(mal);
-      if (mal) {
-        updates.emplace_back(malicious_update);
-      } else {
-        updates.emplace_back(benign_updates[benign_cursor]);
-        ++benign_cursor;
-      }
-      weights.push_back(std::max<std::int64_t>(
-          clients_[c].num_samples(), 1));
-    }
-    ZKA_DCHECK(benign_cursor == benign_updates.size(),
-               "round %lld: %zu benign updates assembled, %zu trained",
-               static_cast<long long>(round), benign_cursor,
-               benign_updates.size());
+    const auto train_client = [&](std::size_t c, defense::Update& out) {
+      ZKA_PROF_SCOPE("client_train/one");
+      const Client client =
+          registry_->client(static_cast<std::int64_t>(c));
+      const std::uint64_t seed =
+          config_.seed * 0x9e3779b97f4a7c15ULL +
+          static_cast<std::uint64_t>(round) * 1315423911ULL +
+          static_cast<std::uint64_t>(client.id());
+      out = client.train(global, seed);
+    };
+
+    // Streaming ingestion: with a fold-capable defense (and an attack that
+    // does not demand the full benign update matrix) the round proceeds in
+    // waves sized by the memory budget — train a wave, fold it, free it —
+    // so the server never holds more than one wave of updates.
+    const bool streaming =
+        config_.memory_budget_bytes > 0 && aggregator_->supports_streaming() &&
+        (attack == nullptr || !attack->needs_benign_updates());
 
     defense::AggregationResult agg;
-    {
-      ZKA_PROF_SCOPE("aggregate");
-      agg = aggregator_->aggregate(updates, weights);
+    std::vector<bool> is_malicious;  // buffered path only (selection DPR)
+    std::size_t round_peak_bytes = 0;
+
+    if (streaming) {
+      // Data-free crafting: the attack sees the global models but no
+      // benign updates (none exist yet — waves train after crafting).
+      if (have_malicious) craft(nullptr);
+
+      std::vector<std::int64_t> weights;
+      weights.reserve(sampled.size());
+      std::size_t benign_cursor = 0;
+      for (const std::size_t c : sampled) {
+        weights.push_back(is_malicious_id(c)
+                              ? malicious_weight
+                              : benign_weights[benign_cursor++]);
+      }
+      aggregator_->begin_stream(global.size(), weights);
+
+      // The crafted buffer stays live across every wave, so it counts
+      // against the budget alongside the wave's training slots. Peak live
+      // bytes are therefore <= max(budget, 2 * update_bytes) — the floor
+      // being one training slot plus the crafted update.
+      const std::size_t capacity =
+          config_.memory_budget_bytes / update_bytes;
+      const std::size_t wave = std::clamp<std::size_t>(
+          have_malicious && capacity > 1 ? capacity - 1 : capacity,
+          std::size_t{1}, sampled.size());
+      for (std::size_t start = 0; start < sampled.size(); start += wave) {
+        const std::size_t end = std::min(start + wave, sampled.size());
+        std::vector<std::size_t> wave_benign;
+        for (std::size_t i = start; i < end; ++i) {
+          if (!is_malicious_id(sampled[i])) wave_benign.push_back(sampled[i]);
+        }
+        std::vector<defense::Update> wave_updates(wave_benign.size());
+        {
+          ZKA_PROF_SCOPE("client_train");
+          const auto train_one = [&](std::size_t k) {
+            train_client(wave_benign[k], wave_updates[k]);
+          };
+          if (config_.parallel_clients) {
+            util::global_thread_pool().parallel_for(wave_benign.size(),
+                                                    train_one);
+          } else {
+            for (std::size_t k = 0; k < wave_benign.size(); ++k) {
+              train_one(k);
+            }
+          }
+        }
+        round_peak_bytes = std::max(
+            round_peak_bytes,
+            (wave_updates.size() + (have_malicious ? 1 : 0)) * update_bytes);
+        {
+          ZKA_PROF_SCOPE("aggregate");
+          std::size_t wave_cursor = 0;
+          for (std::size_t i = start; i < end; ++i) {
+            aggregator_->stream_update(is_malicious_id(sampled[i])
+                                           ? defense::UpdateView(
+                                                 malicious_update)
+                                           : defense::UpdateView(
+                                                 wave_updates[wave_cursor++]));
+          }
+          ZKA_DCHECK(wave_cursor == wave_updates.size(),
+                     "round %lld: wave folded %zu of %zu benign updates",
+                     static_cast<long long>(round), wave_cursor,
+                     wave_updates.size());
+        }
+      }
+      {
+        ZKA_PROF_SCOPE("aggregate");
+        agg = aggregator_->finish_stream();
+      }
+    } else {
+      // Buffered path: the defense (or an omniscient attack) needs the
+      // round's full update matrix, so the floor is clients_per_round live
+      // buffers; a budget below that is a configuration error, not
+      // something to paper over silently.
+      ZKA_CHECK(
+          config_.memory_budget_bytes == 0 ||
+              config_.memory_budget_bytes >= sampled.size() * update_bytes,
+          "Simulation: %s cannot stream, so the round needs %zu update "
+          "bytes, above memory_budget_bytes %zu — raise the budget or use "
+          "a streaming defense",
+          aggregator_->name().c_str(), sampled.size() * update_bytes,
+          config_.memory_budget_bytes);
+
+      // Benign local training (parallel across clients, deterministic
+      // seeds).
+      std::vector<defense::Update> benign_updates(benign_ids.size());
+      {
+        ZKA_PROF_SCOPE("client_train");
+        const auto train_one = [&](std::size_t k) {
+          train_client(benign_ids[k], benign_updates[k]);
+        };
+        if (config_.parallel_clients) {
+          util::global_thread_pool().parallel_for(benign_ids.size(),
+                                                  train_one);
+        } else {
+          for (std::size_t k = 0; k < benign_ids.size(); ++k) train_one(k);
+        }
+      }
+
+      // Craft the malicious update once; all malicious clients submit it.
+      if (have_malicious) craft(&benign_updates);
+
+      // Assemble the round's submissions in sampling order as views: every
+      // malicious client shares the one crafted buffer instead of deep
+      // copies, and benign updates stay in their training slots.
+      std::vector<defense::UpdateView> updates;
+      std::vector<std::int64_t> weights;
+      updates.reserve(sampled.size());
+      weights.reserve(sampled.size());
+      std::size_t benign_cursor = 0;
+      for (const std::size_t c : sampled) {
+        const bool mal = is_malicious_id(c);
+        is_malicious.push_back(mal);
+        if (mal) {
+          updates.emplace_back(malicious_update);
+          weights.push_back(malicious_weight);
+        } else {
+          updates.emplace_back(benign_updates[benign_cursor]);
+          weights.push_back(benign_weights[benign_cursor]);
+          ++benign_cursor;
+        }
+      }
+      ZKA_DCHECK(benign_cursor == benign_updates.size(),
+                 "round %lld: %zu benign updates assembled, %zu trained",
+                 static_cast<long long>(round), benign_cursor,
+                 benign_updates.size());
+      round_peak_bytes =
+          (benign_updates.size() + (have_malicious ? 1 : 0)) * update_bytes;
+
+      {
+        ZKA_PROF_SCOPE("aggregate");
+        agg = aggregator_->aggregate(updates, weights);
+      }
     }
+    result.peak_update_bytes =
+        std::max(result.peak_update_bytes, round_peak_bytes);
     prev_global = std::move(global);
     global = agg.model;
 

@@ -1,7 +1,20 @@
-// The FL emulator: N clients, K sampled uniformly per round, a fraction of
-// them controlled by one adversary, a robust aggregation defense on the
-// server, and per-round accuracy / defense-selection bookkeeping — the
-// paper's experimental apparatus (Sec. V-A).
+// The FL emulator: a population of N clients, K sampled uniformly per
+// round, a fraction of them controlled by one adversary, a robust
+// aggregation defense on the server, and per-round accuracy /
+// defense-selection bookkeeping — the paper's experimental apparatus
+// (Sec. V-A), extended to the production cross-device regime
+// (populations of 10^5-10^6 devices, a few hundred sampled per round,
+// attacker fractions well under 1%; Shejwalkar et al.).
+//
+// Two population modes share one round loop:
+//   * legacy (population == 0): `num_clients` shards materialized eagerly
+//     from the IID/Dirichlet partition — the paper's Table-2 setup,
+//     bit-compatible with historical seeds;
+//   * production (population > 0): a lazy ClientRegistry over a
+//     HashedShardSpec instantiates only the clients sampled this round;
+//     sampling is O(K) (Floyd), and with a streaming-capable defense the
+//     server trains in waves sized by `memory_budget_bytes`, never holding
+//     more than a wave of updates at once.
 #pragma once
 
 #include <cmath>
@@ -17,18 +30,31 @@
 #include "data/dataset.h"
 #include "defense/aggregator.h"
 #include "fl/client.h"
+#include "fl/registry.h"
 #include "models/models.h"
 
 namespace zka::fl {
+
+/// How `floor(malicious_fraction * population)` rounds when the product is
+/// fractional. kFloor (default, the historical behaviour) can round a
+/// small positive fraction down to zero attackers — such a run now
+/// executes as a clean baseline instead of throwing, so sub-1% fraction
+/// sweeps report the zero-attacker point instead of crashing. kAtLeastOne
+/// guarantees the adversary controls at least one client whenever
+/// malicious_fraction > 0.
+enum class MaliciousRounding { kFloor, kAtLeastOne };
 
 struct SimulationConfig {
   models::Task task = models::Task::kFashion;
   std::int64_t num_clients = 100;
   std::int64_t clients_per_round = 10;
-  /// Fraction of the N clients the adversary controls (paper: 0.2).
+  /// Fraction of the population the adversary controls (paper: 0.2).
   double malicious_fraction = 0.2;
+  /// Attacker-count rounding policy (see MaliciousRounding).
+  MaliciousRounding malicious_rounding = MaliciousRounding::kFloor;
   std::int64_t rounds = 30;
   /// Dirichlet concentration beta; values <= 0 select an IID partition.
+  /// Legacy mode only — production mode shards through HashedShardSpec.
   double beta = 0.5;
   std::int64_t train_size = 2000;
   std::int64_t test_size = 500;
@@ -46,6 +72,25 @@ struct SimulationConfig {
   bool parallel_clients = true;
   /// Evaluate test accuracy every k rounds (1 = every round).
   std::int64_t eval_every = 1;
+
+  // ── Production cross-device mode ─────────────────────────────────────
+  /// Device population size. 0 (default) selects the legacy eager path
+  /// over `num_clients`; > 0 selects the lazy registry path, in which
+  /// `num_clients` and `beta` are ignored.
+  std::int64_t population = 0;
+  /// Per-device shard size in production mode (clamped to train_size).
+  std::int64_t samples_per_client = 32;
+  /// Server memory budget for update ingestion, in bytes. 0 = unbounded.
+  /// With a streaming defense (FedAvg) the round trains in waves of
+  /// floor(budget / update_bytes) clients (minimum 1) and folds each wave
+  /// before training the next, so at most one wave of updates is live.
+  /// Non-streaming defenses need all clients_per_round updates at once;
+  /// configuring a budget below that throws at run() time.
+  std::size_t memory_budget_bytes = 0;
+  /// Materialize every lazy shard up front (testing / memory-comparison
+  /// knob; production mode only). Must be bitwise-equivalent to the lazy
+  /// path — the determinism tests enforce it.
+  bool eager_registry = false;
 };
 
 struct RoundRecord {
@@ -69,6 +114,10 @@ struct SimulationResult {
   std::vector<float> final_model;
   /// Whether the defense reports selections (DPR defined).
   bool defense_selects = false;
+  /// Largest number of update-buffer bytes (benign training slots + the
+  /// shared crafted buffer) the server held live at any point of the run —
+  /// the quantity memory_budget_bytes bounds in streaming rounds.
+  std::size_t peak_update_bytes = 0;
 
   /// Defense pass rate over the whole run (Eq. 5); NaN when undefined.
   double dpr() const noexcept;
@@ -82,7 +131,9 @@ class Simulation {
 
   /// Runs the configured number of rounds. `attack` may be nullptr for an
   /// attack-free run; otherwise every sampled malicious client submits the
-  /// update crafted once per round by `attack`.
+  /// update crafted once per round by `attack`. An attack whose rounded
+  /// attacker count is zero runs as a clean baseline (no crafting, zero
+  /// malicious selections) rather than throwing.
   SimulationResult run(attack::Attack* attack);
 
   /// Invoked after every round (e.g. to capture synthesis loss curves).
@@ -93,11 +144,17 @@ class Simulation {
   const SimulationConfig& config() const noexcept { return config_; }
   const data::Dataset& train_data() const noexcept { return train_; }
   const data::Dataset& test_data() const noexcept { return test_; }
+  /// Population size actually simulated (num_clients in legacy mode,
+  /// config.population in production mode).
+  std::int64_t population() const noexcept { return registry_->population(); }
   std::int64_t num_malicious() const noexcept { return num_malicious_; }
+  const ClientRegistry& registry() const noexcept { return *registry_; }
 
   /// The pooled real data of the malicious clients' shards — what the
   /// adversary would own if it used its clients' data (RealDataAttack,
-  /// LabelFlipAttack).
+  /// LabelFlipAttack). O(num_malicious · shard) — fine in the legacy
+  /// regime it serves; data-free attacks never call it, so production-
+  /// scale populations do not pay it.
   data::Dataset malicious_data() const;
 
  private:
@@ -105,7 +162,7 @@ class Simulation {
   models::ModelFactory factory_;
   data::Dataset train_;
   data::Dataset test_;
-  std::vector<Client> clients_;
+  std::optional<ClientRegistry> registry_;
   std::int64_t num_malicious_ = 0;
   std::unique_ptr<defense::Aggregator> aggregator_;
   std::function<void(const RoundRecord&)> round_callback_;

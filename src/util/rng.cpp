@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <numbers>
+#include <unordered_set>
 
 namespace zka::util {
 
@@ -125,16 +126,39 @@ std::vector<double> Rng::dirichlet(const std::vector<double>& alphas) noexcept {
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
-                                                         std::size_t k) noexcept {
+                                                         std::size_t k) {
   assert(k <= n);
-  std::vector<std::size_t> pool(n);
-  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t j = i + uniform_index(n - i);
-    std::swap(pool[i], pool[j]);
+  if (n <= kDenseSampleMax) {
+    // Partial Fisher-Yates over a materialized pool. Kept for small
+    // populations so historical seeds reproduce the exact same client
+    // selections (the committed reference benches depend on them).
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + uniform_index(n - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
   }
-  pool.resize(k);
-  return pool;
+  // Floyd's algorithm (hash-set variant): for j = n-k .. n-1 draw
+  // t ~ U[0, j]; take t unless already taken, else take j. Every k-subset
+  // is equally likely, and cost is O(k) regardless of n. The returned
+  // order is the insertion order, which is deterministic in the engine
+  // state (it is *not* a uniformly random permutation of the subset —
+  // callers that need one shuffle the result).
+  std::vector<std::size_t> sample;
+  sample.reserve(k);
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t =
+        static_cast<std::size_t>(uniform_index(static_cast<std::uint64_t>(j) + 1));
+    const std::size_t pick = chosen.contains(t) ? j : t;
+    chosen.insert(pick);
+    sample.push_back(pick);
+  }
+  return sample;
 }
 
 }  // namespace zka::util

@@ -50,9 +50,22 @@ class Rng {
   /// Dirichlet with per-component concentration parameters.
   std::vector<double> dirichlet(const std::vector<double>& alphas) noexcept;
 
-  /// k distinct indices drawn uniformly from [0, n) (partial Fisher-Yates).
+  /// Populations up to this size sample through the partial Fisher-Yates
+  /// path below; larger ones switch to Floyd's algorithm. The split keeps
+  /// the draw sequences of every existing small-n bench bit-identical
+  /// while making production-scale populations O(k).
+  static constexpr std::size_t kDenseSampleMax = 4096;
+
+  /// k distinct indices drawn uniformly from [0, n). For n <=
+  /// kDenseSampleMax this is a partial Fisher-Yates shuffle (O(n) memory,
+  /// seed-compatible with historical runs); above it, Floyd's hash-set
+  /// algorithm draws the same uniform subsets in O(k) time and memory —
+  /// at n = 10^6 the old path allocated and touched an 8 MB pool per
+  /// round. Both paths are deterministic in (state, n, k); they consume
+  /// different numbers of engine draws, so the two regimes are not
+  /// cross-compatible streams.
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
-                                                      std::size_t k) noexcept;
+                                                      std::size_t k);
 
   /// In-place Fisher-Yates shuffle.
   template <typename T>

@@ -4,10 +4,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "attack/random_weights.h"
 #include "data/synthetic.h"
+#include "defense/fedavg.h"
 #include "defense/fltrust.h"
 #include "fl/metrics.h"
 
@@ -154,12 +157,35 @@ TEST(Simulation, ConfigValidation) {
   EXPECT_THROW(Simulation{config}, std::invalid_argument);
 }
 
-TEST(Simulation, AttackWithoutMaliciousClientsRejected) {
+TEST(Simulation, ZeroAttackerRunIsCleanBaseline) {
+  // Regression: an attack whose rounded attacker count is zero used to
+  // throw, crashing every sub-1% fraction sweep at small populations. Such
+  // a run now degrades to a clean baseline, bitwise-equal to attack=null.
   SimulationConfig config = tiny_config();
-  config.malicious_fraction = 0.0;
+  config.malicious_fraction = 0.02;  // floor(0.02 * 20) == 0
   Simulation sim(config);
+  EXPECT_EQ(sim.num_malicious(), 0);
   attack::RandomWeightsAttack attack(0.5f, 12);
-  EXPECT_THROW(sim.run(&attack), std::invalid_argument);
+  const auto attacked = sim.run(&attack);
+  for (const auto& r : attacked.rounds) {
+    EXPECT_EQ(r.malicious_selected, 0);
+  }
+  Simulation clean(config);
+  const auto baseline = clean.run(nullptr);
+  EXPECT_EQ(attacked.final_model, baseline.final_model);
+}
+
+TEST(Simulation, AtLeastOneRoundingGuaranteesAnAttacker) {
+  SimulationConfig config = tiny_config();
+  config.malicious_fraction = 0.02;  // floors to zero attackers...
+  config.malicious_rounding = MaliciousRounding::kAtLeastOne;
+  Simulation sim(config);
+  EXPECT_EQ(sim.num_malicious(), 1);  // ...unless the knob promotes one
+
+  // The knob only breaks floor-to-zero ties; a zero fraction stays clean.
+  config.malicious_fraction = 0.0;
+  Simulation clean(config);
+  EXPECT_EQ(clean.num_malicious(), 0);
 }
 
 TEST(Simulation, EvalEveryReducesEvaluations) {
@@ -275,6 +301,90 @@ TEST(Simulation, IidPartitionWhenBetaNonPositive) {
   config.beta = 0.0;
   Simulation sim(config);
   EXPECT_GT(sim.run(nullptr).max_accuracy, 0.3);
+}
+
+// FedAvg wrapper that records the weight vector of every round, for
+// asserting the server-side weight-assembly semantics.
+class WeightCaptureFedAvg : public defense::FedAvg {
+ public:
+  explicit WeightCaptureFedAvg(std::vector<std::vector<std::int64_t>>* log)
+      : log_(log) {}
+  using defense::Aggregator::aggregate;
+  defense::AggregationResult aggregate(
+      std::span<const defense::UpdateView> updates,
+      std::span<const std::int64_t> weights) override {
+    log_->emplace_back(weights.begin(), weights.end());
+    return defense::FedAvg::aggregate(updates, weights);
+  }
+
+ private:
+  std::vector<std::vector<std::int64_t>>* log_;
+};
+
+TEST(Simulation, EmptyShardClientsReportZeroWeight) {
+  // Regression: clients with empty shards used to be silently assigned
+  // weight max(num_samples, 1) — a fabricated sample the client never had.
+  // With 10 training samples IID-split over 20 clients, half the shards are
+  // empty; their reported weight must be 0, never floored up to 1.
+  SimulationConfig config = tiny_config();
+  config.beta = 0.0;
+  config.train_size = 10;
+  config.rounds = 4;
+  std::vector<std::vector<std::int64_t>> rounds_weights;
+  config.custom_defense = [&rounds_weights] {
+    return std::make_unique<WeightCaptureFedAvg>(&rounds_weights);
+  };
+  Simulation sim(config);
+  sim.run(nullptr);
+  ASSERT_EQ(rounds_weights.size(), 4u);
+  std::int64_t zeros = 0;
+  for (const auto& weights : rounds_weights) {
+    ASSERT_EQ(weights.size(), 5u);
+    for (const std::int64_t w : weights) {
+      EXPECT_TRUE(w == 0 || w == 1) << w;
+      if (w == 0) ++zeros;
+    }
+  }
+  EXPECT_GT(zeros, 0);  // this seed samples empty-shard clients
+}
+
+TEST(Simulation, MaliciousWeightIsAttackerReported) {
+  // Sample counts are client-reported: the round loop must submit whatever
+  // Attack::reported_weight returns for each sybil, not a weight derived
+  // from the shards the adversary's clients happen to own.
+  class SentinelWeightAttack : public attack::RandomWeightsAttack {
+   public:
+    using RandomWeightsAttack::RandomWeightsAttack;
+    std::int64_t reported_weight(
+        const attack::AttackContext& ctx) const override {
+      EXPECT_GE(ctx.benign_median_weight, 0);
+      return 777000;  // implausible as a real shard size
+    }
+  };
+  SimulationConfig config = tiny_config();
+  config.malicious_fraction = 0.2;  // 4 of 20 clients
+  std::vector<std::vector<std::int64_t>> rounds_weights;
+  config.custom_defense = [&rounds_weights] {
+    return std::make_unique<WeightCaptureFedAvg>(&rounds_weights);
+  };
+  Simulation sim(config);
+  SentinelWeightAttack attack(0.5f, 12);
+  const auto result = sim.run(&attack);
+  ASSERT_EQ(rounds_weights.size(), result.rounds.size());
+  for (std::size_t r = 0; r < rounds_weights.size(); ++r) {
+    std::int64_t sentinels = 0;
+    for (const std::int64_t w : rounds_weights[r]) {
+      if (w == 777000) ++sentinels;
+    }
+    EXPECT_EQ(sentinels, result.rounds[r].malicious_selected);
+  }
+}
+
+TEST(Simulation, DefaultReportedWeightIsBenignMedian) {
+  attack::RandomWeightsAttack attack(0.5f, 12);
+  attack::AttackContext ctx;
+  ctx.benign_median_weight = 7;
+  EXPECT_EQ(attack.reported_weight(ctx), 7);
 }
 
 }  // namespace
