@@ -31,33 +31,59 @@ void for_each_sorted_coordinate(
   const std::size_t rows = std::bit_ceil(n);
   const std::size_t nblocks = (dim + kCoordBlock - 1) / kCoordBlock;
 
-  auto run_block = [&](std::size_t b) {
-    const std::size_t c0 = b * kCoordBlock;
-    const std::size_t c1 = std::min(dim, c0 + kCoordBlock);
-    const std::size_t width = c1 - c0;
-    // Transpose-free load: row r of the tile is just a contiguous slice
-    // of update r. Padding rows stay +inf and sort past the real values.
-    std::vector<float> tile(rows * width,
-                            std::numeric_limits<float>::infinity());
-    for (std::size_t r = 0; r < n; ++r) {
-      std::copy_n(updates[r].data() + c0, width, tile.data() + r * width);
-    }
-    tensor::sort_columns(tile.data(), rows, width);
-    // Gather each sorted column (stride = width) into a small contiguous
-    // buffer for the functor; the first n rows hold the real values.
-    std::vector<float> column(n);
-    for (std::size_t c = 0; c < width; ++c) {
-      for (std::size_t r = 0; r < n; ++r) column[r] = tile[r * width + c];
-      fn(c0 + c, std::span<const float>(column));
+  const bool parallel = tensor::kernel_parallelism_enabled() && nblocks > 1 &&
+                        n * dim >= (std::size_t{1} << 18) &&
+                        util::global_thread_pool().size() > 1;
+  const std::size_t nchunks =
+      parallel ? std::min(nblocks, util::global_thread_pool().size())
+               : std::size_t{1};
+
+  // Scratch is allocated once up front — one tile plus one gather buffer
+  // per chunk — instead of per block inside the parallel region, where
+  // repeated allocation contends on the allocator in the round hot loop.
+  // Peak footprint is unchanged: only ~pool-size tiles were ever live at
+  // once before.
+  std::vector<float> tiles(nchunks * rows * kCoordBlock);
+  std::vector<float> columns(nchunks * n);
+
+  // Each chunk owns a disjoint contiguous block range and walks it in
+  // ascending order, so every coordinate still sees exactly the same tile
+  // contents and comparator sequence as the one-allocation-per-block
+  // version — bitwise identical for any thread count.
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t per = nblocks / nchunks;
+    const std::size_t rem = nblocks % nchunks;
+    const std::size_t b0 = chunk * per + std::min(chunk, rem);
+    const std::size_t b1 = b0 + per + (chunk < rem ? 1 : 0);
+    float* const tile = tiles.data() + chunk * rows * kCoordBlock;
+    float* const column = columns.data() + chunk * n;
+    for (std::size_t b = b0; b < b1; ++b) {
+      const std::size_t c0 = b * kCoordBlock;
+      const std::size_t c1 = std::min(dim, c0 + kCoordBlock);
+      const std::size_t width = c1 - c0;
+      // Transpose-free load: row r of the tile is just a contiguous slice
+      // of update r. Padding rows (and any leftovers from this chunk's
+      // previous block) are refilled with +inf and sort past the real
+      // values.
+      std::fill_n(tile, rows * width,
+                  std::numeric_limits<float>::infinity());
+      for (std::size_t r = 0; r < n; ++r) {
+        std::copy_n(updates[r].data() + c0, width, tile + r * width);
+      }
+      tensor::sort_columns(tile, rows, width);
+      // Gather each sorted column (stride = width) into a small contiguous
+      // buffer for the functor; the first n rows hold the real values.
+      for (std::size_t c = 0; c < width; ++c) {
+        for (std::size_t r = 0; r < n; ++r) column[r] = tile[r * width + c];
+        fn(c0 + c, std::span<const float>(column, n));
+      }
     }
   };
 
-  if (tensor::kernel_parallelism_enabled() && nblocks > 1 &&
-      n * dim >= (std::size_t{1} << 18) &&
-      util::global_thread_pool().size() > 1) {
-    util::global_thread_pool().parallel_for(nblocks, run_block);
+  if (parallel) {
+    util::global_thread_pool().parallel_for(nchunks, run_chunk);
   } else {
-    for (std::size_t b = 0; b < nblocks; ++b) run_block(b);
+    run_chunk(0);
   }
 }
 

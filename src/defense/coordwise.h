@@ -19,7 +19,8 @@
 // The network's comparator sequence depends only on the (padded) client
 // count and block boundaries are a fixed function of `dim`, so the pass
 // is bitwise identical for any thread count. Blocks fan out over the
-// thread pool; each block writes a disjoint output range.
+// thread pool in contiguous per-chunk ranges, each chunk reusing one
+// preallocated tile; each block writes a disjoint output range.
 #pragma once
 
 #include <cstddef>

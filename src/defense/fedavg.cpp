@@ -86,8 +86,11 @@ AggregationResult FedAvg::finish_stream() {
   }
   streaming_ = false;
   stream_coeffs_.clear();
+  // clear() only: the capacity stays with the aggregator so the next
+  // round's begin_stream assign() reuses it instead of reallocating dim
+  // doubles inside the round hot loop. The accumulator lives exactly as
+  // long as the aggregator either way.
   stream_acc_.clear();
-  stream_acc_.shrink_to_fit();
   return result;
 }
 

@@ -14,8 +14,10 @@ namespace zka::fl {
 namespace {
 
 /// Median of a sample-count list (lower middle for even sizes); 1 when the
-/// list is empty. Used as the default attacker-reported FedAvg weight.
-std::int64_t median_weight(std::vector<std::int64_t> counts) {
+/// list is empty. Sorts `counts` in place — callers pass a scratch copy —
+/// so the round loop can reuse one buffer instead of allocating a by-value
+/// copy every round. Used as the default attacker-reported FedAvg weight.
+std::int64_t median_weight(std::vector<std::int64_t>& counts) {
   if (counts.empty()) return 1;
   std::sort(counts.begin(), counts.end());
   return counts[(counts.size() - 1) / 2];
@@ -99,6 +101,17 @@ Simulation::Simulation(SimulationConfig config)
             "Simulation: custom_defense returned null");
 }
 
+void Simulation::train_client_(std::size_t c, std::int64_t round,
+                               std::span<const float> global,
+                               defense::Update& out) const {
+  ZKA_PROF_SCOPE("client_train/one");
+  const Client client = registry_->client(static_cast<std::int64_t>(c));
+  const std::uint64_t seed = config_.seed * 0x9e3779b97f4a7c15ULL +
+                             static_cast<std::uint64_t>(round) * 1315423911ULL +
+                             static_cast<std::uint64_t>(client.id());
+  out = client.train(global, seed);
+}
+
 data::Dataset Simulation::malicious_data() const {
   std::vector<std::int64_t> indices;
   for (std::int64_t c = 0; c < num_malicious_; ++c) {
@@ -129,6 +142,35 @@ SimulationResult Simulation::run(attack::Attack* attack) {
            static_cast<std::int64_t>(c) < num_malicious_;
   };
 
+  // Round-loop working buffers, hoisted above the hot loop and reused via
+  // clear()/resize(): every vector here is bounded by clients_per_round,
+  // which is fixed for the run, so one reserve covers all rounds and the
+  // loop body itself allocates nothing. The per-client Update buffers are
+  // owned by train_client_ and the attack — the analyzer's hot-path
+  // boundaries, tracked against ROADMAP item 3's round arena.
+  const std::size_t round_k =
+      static_cast<std::size_t>(config_.clients_per_round);
+  std::vector<std::size_t> benign_ids;
+  std::vector<std::size_t> malicious_ids;
+  std::vector<std::int64_t> benign_weights;
+  std::vector<std::int64_t> median_scratch;
+  std::vector<std::int64_t> weights;
+  std::vector<std::size_t> wave_benign;
+  std::vector<defense::Update> wave_updates;
+  std::vector<defense::Update> benign_updates;
+  std::vector<defense::UpdateView> updates;
+  std::vector<bool> is_malicious;  // buffered path only (selection DPR)
+  benign_ids.reserve(round_k);
+  malicious_ids.reserve(round_k);
+  benign_weights.reserve(round_k);
+  median_scratch.reserve(round_k);
+  weights.reserve(round_k);
+  wave_benign.reserve(round_k);
+  wave_updates.reserve(round_k);
+  benign_updates.reserve(round_k);
+  updates.reserve(round_k);
+  is_malicious.reserve(round_k);
+
   for (std::int64_t round = 0; round < config_.rounds; ++round) {
     ZKA_PROF_SCOPE("round");
     aggregator_->begin_round(global, round);
@@ -139,8 +181,8 @@ SimulationResult Simulation::run(attack::Attack* attack) {
         static_cast<std::size_t>(population),
         static_cast<std::size_t>(config_.clients_per_round));
 
-    std::vector<std::size_t> benign_ids;
-    std::vector<std::size_t> malicious_ids;
+    benign_ids.clear();
+    malicious_ids.clear();
     for (const std::size_t c : sampled) {
       if (is_malicious_id(c)) {
         malicious_ids.push_back(c);
@@ -155,24 +197,24 @@ SimulationResult Simulation::run(attack::Attack* attack) {
     // materialization); malicious clients report whatever the attack
     // chooses (Attack::reported_weight, defaulting to the benign median)
     // — never a fabricated max(shard, 1).
-    std::vector<std::int64_t> benign_weights;
-    benign_weights.reserve(benign_ids.size());
+    benign_weights.clear();
     for (const std::size_t c : benign_ids) {
       benign_weights.push_back(
           registry_->num_samples(static_cast<std::int64_t>(c)));
     }
-    const std::int64_t benign_median = median_weight(benign_weights);
+    median_scratch.assign(benign_weights.begin(), benign_weights.end());
+    const std::int64_t benign_median = median_weight(median_scratch);
 
     defense::Update malicious_update;
     std::int64_t malicious_weight = 0;
     const auto craft =
-        [&](const std::vector<defense::Update>* benign_updates) {
+        [&](const std::vector<defense::Update>* round_benign) {
           ZKA_PROF_SCOPE("attack_craft");
           attack::AttackContext ctx;
           ctx.global_model = global;
           ctx.prev_global_model = prev_global;
           ctx.benign_updates =
-              attack->needs_benign_updates() ? benign_updates : nullptr;
+              attack->needs_benign_updates() ? round_benign : nullptr;
           ctx.round = round;
           ctx.num_selected = config_.clients_per_round;
           ctx.num_malicious_selected =
@@ -191,17 +233,6 @@ SimulationResult Simulation::run(attack::Attack* attack) {
                     static_cast<long long>(malicious_weight));
         };
 
-    const auto train_client = [&](std::size_t c, defense::Update& out) {
-      ZKA_PROF_SCOPE("client_train/one");
-      const Client client =
-          registry_->client(static_cast<std::int64_t>(c));
-      const std::uint64_t seed =
-          config_.seed * 0x9e3779b97f4a7c15ULL +
-          static_cast<std::uint64_t>(round) * 1315423911ULL +
-          static_cast<std::uint64_t>(client.id());
-      out = client.train(global, seed);
-    };
-
     // Streaming ingestion: with a fold-capable defense (and an attack that
     // does not demand the full benign update matrix) the round proceeds in
     // waves sized by the memory budget — train a wave, fold it, free it —
@@ -211,7 +242,7 @@ SimulationResult Simulation::run(attack::Attack* attack) {
         (attack == nullptr || !attack->needs_benign_updates());
 
     defense::AggregationResult agg;
-    std::vector<bool> is_malicious;  // buffered path only (selection DPR)
+    is_malicious.clear();
     std::size_t round_peak_bytes = 0;
 
     if (streaming) {
@@ -219,8 +250,7 @@ SimulationResult Simulation::run(attack::Attack* attack) {
       // benign updates (none exist yet — waves train after crafting).
       if (have_malicious) craft(nullptr);
 
-      std::vector<std::int64_t> weights;
-      weights.reserve(sampled.size());
+      weights.clear();
       std::size_t benign_cursor = 0;
       for (const std::size_t c : sampled) {
         weights.push_back(is_malicious_id(c)
@@ -240,15 +270,17 @@ SimulationResult Simulation::run(attack::Attack* attack) {
           std::size_t{1}, sampled.size());
       for (std::size_t start = 0; start < sampled.size(); start += wave) {
         const std::size_t end = std::min(start + wave, sampled.size());
-        std::vector<std::size_t> wave_benign;
+        wave_benign.clear();
         for (std::size_t i = start; i < end; ++i) {
           if (!is_malicious_id(sampled[i])) wave_benign.push_back(sampled[i]);
         }
-        std::vector<defense::Update> wave_updates(wave_benign.size());
+        // Slots beyond the previous wave's size are fresh; retained slots
+        // are overwritten by train_client_ before the fold reads them.
+        wave_updates.resize(wave_benign.size());
         {
           ZKA_PROF_SCOPE("client_train");
           const auto train_one = [&](std::size_t k) {
-            train_client(wave_benign[k], wave_updates[k]);
+            train_client_(wave_benign[k], round, global, wave_updates[k]);
           };
           if (config_.parallel_clients) {
             util::global_thread_pool().parallel_for(wave_benign.size(),
@@ -297,12 +329,12 @@ SimulationResult Simulation::run(attack::Attack* attack) {
           config_.memory_budget_bytes);
 
       // Benign local training (parallel across clients, deterministic
-      // seeds).
-      std::vector<defense::Update> benign_updates(benign_ids.size());
+      // seeds). Every slot in [0, benign_ids.size()) is overwritten.
+      benign_updates.resize(benign_ids.size());
       {
         ZKA_PROF_SCOPE("client_train");
         const auto train_one = [&](std::size_t k) {
-          train_client(benign_ids[k], benign_updates[k]);
+          train_client_(benign_ids[k], round, global, benign_updates[k]);
         };
         if (config_.parallel_clients) {
           util::global_thread_pool().parallel_for(benign_ids.size(),
@@ -318,10 +350,8 @@ SimulationResult Simulation::run(attack::Attack* attack) {
       // Assemble the round's submissions in sampling order as views: every
       // malicious client shares the one crafted buffer instead of deep
       // copies, and benign updates stay in their training slots.
-      std::vector<defense::UpdateView> updates;
-      std::vector<std::int64_t> weights;
-      updates.reserve(sampled.size());
-      weights.reserve(sampled.size());
+      updates.clear();
+      weights.clear();
       std::size_t benign_cursor = 0;
       for (const std::size_t c : sampled) {
         const bool mal = is_malicious_id(c);
@@ -350,7 +380,7 @@ SimulationResult Simulation::run(attack::Attack* attack) {
     result.peak_update_bytes =
         std::max(result.peak_update_bytes, round_peak_bytes);
     prev_global = std::move(global);
-    global = agg.model;
+    global = std::move(agg.model);
 
     RoundRecord record;
     record.round = round;

@@ -23,6 +23,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -158,6 +159,15 @@ class Simulation {
   data::Dataset malicious_data() const;
 
  private:
+  /// Trains one sampled benign client into `out` (a reused slot). The
+  /// seed is a deterministic mix of run seed, round, and client id, so the
+  /// result is independent of scheduling order. Named (rather than a
+  /// lambda in run()) because it is the analyzer's hot-path boundary: its
+  /// per-client model allocations are owned here, not by run()'s loop.
+  void train_client_(std::size_t c, std::int64_t round,
+                     std::span<const float> global,
+                     defense::Update& out) const;
+
   SimulationConfig config_;
   models::ModelFactory factory_;
   data::Dataset train_;

@@ -1,10 +1,31 @@
 #include "nn/batchnorm.h"
 
 #include <cmath>
+#include <span>
 
 #include "util/check.h"
 
 namespace zka::nn {
+namespace {
+
+/// Bounds-checked view of the NCHW plane (sample s, channel c): `spatial`
+/// contiguous floats starting at (s * channels + c) * spatial.
+std::span<const float> plane_of(const Tensor& t, std::int64_t s,
+                                std::int64_t channels, std::int64_t c,
+                                std::int64_t spatial) {
+  return t.data().subspan(
+      static_cast<std::size_t>((s * channels + c) * spatial),
+      static_cast<std::size_t>(spatial));
+}
+
+std::span<float> plane_of(Tensor& t, std::int64_t s, std::int64_t channels,
+                          std::int64_t c, std::int64_t spatial) {
+  return t.data().subspan(
+      static_cast<std::size_t>((s * channels + c) * spatial),
+      static_cast<std::size_t>(spatial));
+}
+
+}  // namespace
 
 BatchNorm2d::BatchNorm2d(std::int64_t channels, float epsilon, float momentum)
     : channels_(channels), epsilon_(epsilon), momentum_(momentum),
@@ -36,16 +57,16 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     double var = 0.0;
     if (training_) {
       for (std::int64_t s = 0; s < n; ++s) {
-        const float* plane = input.raw() + (s * channels_ + c) * spatial;
+        const auto in_plane = plane_of(input, s, channels_, c, spatial);
         for (std::int64_t i = 0; i < spatial; ++i) {
-          mean += static_cast<double>(plane[i]);
+          mean += static_cast<double>(in_plane[i]);
         }
       }
       mean /= static_cast<double>(m);
       for (std::int64_t s = 0; s < n; ++s) {
-        const float* plane = input.raw() + (s * channels_ + c) * spatial;
+        const auto in_plane = plane_of(input, s, channels_, c, spatial);
         for (std::int64_t i = 0; i < spatial; ++i) {
-          const double d = static_cast<double>(plane[i]) - mean;
+          const double d = static_cast<double>(in_plane[i]) - mean;
           var += d * d;
         }
       }
@@ -64,10 +85,9 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     const float g = gamma_.value[c];
     const float b = beta_.value[c];
     for (std::int64_t s = 0; s < n; ++s) {
-      const float* in_plane = input.raw() + (s * channels_ + c) * spatial;
-      float* xhat_plane =
-          cached_xhat_.raw() + (s * channels_ + c) * spatial;
-      float* out_plane = out.raw() + (s * channels_ + c) * spatial;
+      const auto in_plane = plane_of(input, s, channels_, c, spatial);
+      const auto xhat_plane = plane_of(cached_xhat_, s, channels_, c, spatial);
+      const auto out_plane = plane_of(out, s, channels_, c, spatial);
       for (std::int64_t i = 0; i < spatial; ++i) {
         const float xhat = static_cast<float>(
             (static_cast<double>(in_plane[i]) - mean) * inv_std);
@@ -93,8 +113,8 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
     double sum_dy = 0.0;
     double sum_dy_xhat = 0.0;
     for (std::int64_t s = 0; s < n; ++s) {
-      const float* dy = grad_output.raw() + (s * channels_ + c) * spatial;
-      const float* xhat = cached_xhat_.raw() + (s * channels_ + c) * spatial;
+      const auto dy = plane_of(grad_output, s, channels_, c, spatial);
+      const auto xhat = plane_of(cached_xhat_, s, channels_, c, spatial);
       for (std::int64_t i = 0; i < spatial; ++i) {
         sum_dy += static_cast<double>(dy[i]);
         sum_dy_xhat +=
@@ -110,10 +130,9 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
       const double mean_dy = sum_dy / static_cast<double>(m);
       const double mean_dy_xhat = sum_dy_xhat / static_cast<double>(m);
       for (std::int64_t s = 0; s < n; ++s) {
-        const float* dy = grad_output.raw() + (s * channels_ + c) * spatial;
-        const float* xhat =
-            cached_xhat_.raw() + (s * channels_ + c) * spatial;
-        float* dx = grad_input.raw() + (s * channels_ + c) * spatial;
+        const auto dy = plane_of(grad_output, s, channels_, c, spatial);
+        const auto xhat = plane_of(cached_xhat_, s, channels_, c, spatial);
+        const auto dx = plane_of(grad_input, s, channels_, c, spatial);
         for (std::int64_t i = 0; i < spatial; ++i) {
           dx[i] = static_cast<float>(
               g * inv_std *
@@ -124,8 +143,8 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
     } else {
       // Eval mode: statistics are constants.
       for (std::int64_t s = 0; s < n; ++s) {
-        const float* dy = grad_output.raw() + (s * channels_ + c) * spatial;
-        float* dx = grad_input.raw() + (s * channels_ + c) * spatial;
+        const auto dy = plane_of(grad_output, s, channels_, c, spatial);
+        const auto dx = plane_of(grad_input, s, channels_, c, spatial);
         for (std::int64_t i = 0; i < spatial; ++i) {
           dx[i] = static_cast<float>(g * inv_std * static_cast<double>(dy[i]));
         }

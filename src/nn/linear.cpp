@@ -1,7 +1,7 @@
 #include "nn/linear.h"
 
+#include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <stdexcept>
 
 #include "tensor/ops.h"
@@ -33,9 +33,12 @@ Tensor Linear::forward(const Tensor& input) {
   // Prefill each output row with the bias and let the GEMM accumulate onto
   // it (beta = 1) — saves a second pass over the output.
   Tensor out({n, out_features_});
+  const auto bias = bias_.value.data();
   for (std::int64_t i = 0; i < n; ++i) {
-    std::memcpy(out.raw() + i * out_features_, bias_.value.raw(),
-                static_cast<std::size_t>(out_features_) * sizeof(float));
+    const auto row =
+        out.data().subspan(static_cast<std::size_t>(i * out_features_),
+                           static_cast<std::size_t>(out_features_));
+    std::copy(bias.begin(), bias.end(), row.begin());
   }
   tensor::gemm_a_bt(n, out_features_, in_features_, 1.0f, input.raw(),
                     weight_.value.raw(), 1.0f, out.raw());
@@ -52,7 +55,9 @@ Tensor Linear::backward(const Tensor& grad_output) {
                     cached_input_.raw(), 1.0f, weight_.grad.raw());
   // db += column sums of dY.
   for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = grad_output.raw() + i * out_features_;
+    const auto row = grad_output.data().subspan(
+        static_cast<std::size_t>(i * out_features_),
+        static_cast<std::size_t>(out_features_));
     for (std::int64_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
   }
   // dX = dY @ W.

@@ -14,9 +14,11 @@ Tensor softmax_rows(const Tensor& logits) {
   const std::int64_t l = logits.dim(1);
   Tensor probs(logits.shape());
   for (std::int64_t i = 0; i < n; ++i) {
-    const float* in = logits.raw() + i * l;
-    float* out = probs.raw() + i * l;
-    const float hi = *std::max_element(in, in + l);
+    const auto in = logits.data().subspan(static_cast<std::size_t>(i * l),
+                                          static_cast<std::size_t>(l));
+    const auto out = probs.data().subspan(static_cast<std::size_t>(i * l),
+                                          static_cast<std::size_t>(l));
+    const float hi = *std::max_element(in.begin(), in.end());
     double sum = 0.0;
     for (std::int64_t j = 0; j < l; ++j) {
       out[j] = std::exp(in[j] - hi);

@@ -30,7 +30,9 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   for (std::int64_t s = 0; s < n; ++s) {
     for (std::int64_t ch = 0; ch < c; ++ch) {
       const std::int64_t plane_off = (s * c + ch) * h * w;
-      const float* plane = input.raw() + plane_off;
+      const auto plane = input.data().subspan(
+          static_cast<std::size_t>(plane_off),
+          static_cast<std::size_t>(h * w));
       for (std::int64_t y = 0; y < oh; ++y) {
         for (std::int64_t x = 0; x < ow; ++x, ++o) {
           float best = plane[(y * stride_) * w + (x * stride_)];

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare two zka_analyze --json payloads and fail on per-rule growth.
+
+Usage:
+  tools/analyze_diff.py PREVIOUS.json CURRENT.json [--missing-ok]
+
+CI runs the analyzer with --json on every push and uploads the payload as
+an artifact; this tool diffs the per-rule finding counts of the current
+run against the previous run's artifact. Any rule whose total `found`
+count (pre-baseline, so baselined debt is tracked too) or surviving
+`remaining` count grew is a regression and exits 1 -- static-analysis
+debt may only shrink, mirroring the shrink-only baseline contract.
+
+With --missing-ok (or when PREVIOUS.json does not exist) the comparison
+passes trivially: the first run on a branch has nothing to diff against.
+No third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"analyze_diff: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("per_rule"), dict):
+        fail(f"{path}: not a zka_analyze --json payload (missing per_rule)")
+    return doc
+
+
+def counts(doc: dict) -> dict:
+    out = {}
+    for rule, block in doc["per_rule"].items():
+        out[rule] = (int(block.get("found", 0)), int(block.get("remaining", 0)))
+    return out
+
+
+def compare(prev_path: str, cur_path: str) -> int:
+    prev, cur = counts(load(prev_path)), counts(load(cur_path))
+    regressions = []
+    for rule in sorted(set(prev) | set(cur), key=lambda r: (len(r), r)):
+        p_found, p_rem = prev.get(rule, (0, 0))
+        c_found, c_rem = cur.get(rule, (0, 0))
+        marker = ""
+        if c_found > p_found or c_rem > p_rem:
+            marker = "  REGRESSION"
+            regressions.append(
+                f"{rule}: found {p_found} -> {c_found}, "
+                f"remaining {p_rem} -> {c_rem}"
+            )
+        print(
+            f"  {rule}: found {p_found} -> {c_found}, "
+            f"remaining {p_rem} -> {c_rem}{marker}"
+        )
+
+    if regressions:
+        print(f"\nanalyze_diff: FAIL ({len(regressions)} rule(s) grew):")
+        for item in regressions:
+            print(f"  - {item}")
+        return 1
+    print(f"\nanalyze_diff: OK (no per-rule growth across {len(cur)} rule(s))")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", help="prior run's --json payload")
+    parser.add_argument("current", help="this run's --json payload")
+    parser.add_argument(
+        "--missing-ok",
+        action="store_true",
+        help="pass when the previous payload does not exist (first run)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.previous, "r", encoding="utf-8"):
+            pass
+    except OSError:
+        if args.missing_ok:
+            print(
+                f"analyze_diff: no previous payload at {args.previous}; "
+                f"nothing to compare"
+            )
+            return 0
+        fail(f"{args.previous}: not found (pass --missing-ok for first runs)")
+    return compare(args.previous, args.current)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,10 @@ numeric policy coherent -- the invariants that a compiler cannot check
 and that code review keeps re-litigating:
 
   R1 rng-source            All randomness flows through util/rng
-                           (std::rand, std::random_device and wall-clock
-                           seeding make runs irreproducible).
+                           (std::rand, std::random_device, raw std
+                           engines like std::mt19937, and wall-clock
+                           seeding make runs irreproducible or
+                           unsplittable).
   R2 threading-primitives  All parallelism flows through util/thread_pool
                            (raw std::thread / OpenMP would break the
                            fixed-block determinism guarantees and the
@@ -42,8 +44,8 @@ A line can opt out with a trailing or preceding comment:
 Escape hygiene is enforced too: an allow() naming an unknown rule is an
 error, and an allow() for an R-rule that no longer suppresses anything
 is an error (dead escapes must be deleted, not accumulate). Escapes for
-the AST rules A1-A5 are name-validated only here; their usage is checked
-by tools/zka_analyze, which owns those rules.
+the AST rules A1-A10 are name-validated only here; their usage is
+checked by tools/zka_analyze, which owns those rules.
 
 Runs from the repo root (CMake registers it as the `check_invariants`
 test); exits non-zero and prints `path:line: [rule] message` per hit.
@@ -67,7 +69,7 @@ ALLOW_RE = re.compile(r"zka-lint:\s*allow\(([A-Za-z0-9-]+)\)")
 
 # Rules owned by tools/zka_analyze (AST-level); escapes naming them are
 # validated here but their usage is checked by the analyzer itself.
-FOREIGN_RULES = {"A1", "A2", "A3", "A4", "A5"}
+FOREIGN_RULES = {"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"}
 
 
 def cxx_files(root: Path):
@@ -138,6 +140,7 @@ RULES = [
     Rule(
         "rng-source",
         r"std::rand\b|\brand\s*\(|\bsrand\s*\(|std::random_device"
+        r"|std::mt19937\b|std::default_random_engine\b|std::minstd_rand\b"
         r"|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)",
         "randomness must come from util/rng (seeded, splittable); "
         "std::rand / random_device / wall-clock seeds are irreproducible",
@@ -176,7 +179,7 @@ RULES = [
         "library code must not read clocks directly; use util/prof "
         "(ZKA_PROF_SCOPE / util::prof::now_ns), the single switchable "
         "timing source",
-        includes=(r"^src/",),
+        includes=(r"^src/", r"^bench/"),
         excludes=(r"^src/util/prof\.",),
     ),
     Rule(

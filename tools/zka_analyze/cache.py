@@ -1,0 +1,102 @@
+"""Persistent per-TU index cache for the two-phase analyzer.
+
+Phase 1 (libclang parse + A1-A5 + summary extraction) dominates the
+analyzer's runtime, so its result is cached per translation unit and
+keyed on content: a TU is re-analyzed only when its own bytes, the bytes
+of any repo-internal header it pulled in last time, the compile flags,
+or the analyzer implementation itself (the `salt`) change. Phase 2 is
+pure Python over the merged summaries and always re-runs — it is
+milliseconds and depends on the whole index.
+
+Entry format (JSON, one file per TU under the cache dir):
+
+    {"sig": "<sha256 over schema+salt+file+flags>",
+     "deps": {"/abs/path": "<sha256 of bytes>", ...},
+     "payload": {"findings": [...], "summaries": {...},
+                 "analyzed_paths": [...]}}
+
+The payload is exactly what the compute callback returned minus "deps"
+(re-recorded at validation time). Corrupt or stale entries are treated
+as misses, never errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+SCHEMA_VERSION = 1
+
+
+def file_sha256(path: str) -> str | None:
+    try:
+        with open(path, "rb") as fh:
+            return hashlib.sha256(fh.read()).hexdigest()
+    except OSError:
+        return None
+
+
+class TuCache:
+    def __init__(self, cache_dir: str, salt: str = ""):
+        self.cache_dir = cache_dir
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, file_path: str) -> str:
+        digest = hashlib.sha256(file_path.encode("utf-8")).hexdigest()[:24]
+        return os.path.join(self.cache_dir, f"{digest}.json")
+
+    def _signature(self, cmd) -> str:
+        blob = json.dumps(
+            [SCHEMA_VERSION, self.salt, cmd.file, cmd.directory, list(cmd.args)]
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def get_or_compute(self, cmd, compute):
+        """compute(cmd) must return a dict with a "deps" key listing every
+        absolute file path whose content the result depends on (the TU
+        itself plus transitively included repo headers). The stored payload
+        is returned verbatim on a hit."""
+        entry_path = self._entry_path(cmd.file)
+        sig = self._signature(cmd)
+        record = None
+        try:
+            with open(entry_path, encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            record = None
+        if (
+            record is not None
+            and record.get("sig") == sig
+            and record.get("deps")
+            and all(
+                file_sha256(path) == digest
+                for path, digest in record["deps"].items()
+            )
+        ):
+            self.hits += 1
+            return record["payload"]
+
+        self.misses += 1
+        payload = compute(cmd)
+        deps = {}
+        cacheable = True
+        for path in payload.get("deps", ()):
+            digest = file_sha256(path)
+            if digest is None:
+                cacheable = False
+                break
+            deps[path] = digest
+        if cacheable and deps:
+            stored = {k: v for k, v in payload.items() if k != "deps"}
+            try:
+                os.makedirs(self.cache_dir, exist_ok=True)
+                tmp = entry_path + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump({"sig": sig, "deps": deps, "payload": stored}, fh)
+                os.replace(tmp, entry_path)
+            except OSError:
+                pass  # cache is best-effort; analysis result is unaffected
+        return payload

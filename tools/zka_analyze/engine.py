@@ -182,8 +182,13 @@ class Scope:
         return rel
 
 
-def run_rules(cindex, tu, scope: Scope, rules) -> list[Finding]:
-    """Single pre-order walk; every in-scope cursor visits every rule."""
+def run_rules(cindex, tu, scope: Scope, rules, extractor=None) -> list[Finding]:
+    """Single pre-order walk; every in-scope cursor visits every rule.
+
+    `extractor`, when given, is a summary.SummaryExtractor: it sees every
+    in-scope cursor alongside the rules and distills the phase-1
+    per-function facts for the cross-TU rules (A6-A10) in the same pass.
+    """
     findings: list[Finding] = []
     func_kinds = {
         cindex.CursorKind.FUNCTION_DECL,
@@ -205,6 +210,8 @@ def run_rules(cindex, tu, scope: Scope, rules) -> list[Finding]:
                 hits = rule.check(node, rel, func_stack)
                 if hits:
                     findings.extend(hits)
+            if extractor is not None:
+                extractor.visit(node, rel, func_stack)
         for child in node.get_children():
             visit(child)
         if entered:

@@ -223,9 +223,12 @@ class MixedPrecisionRule:
 
 class ParallelRefMutationRule:
     """ThreadPool::parallel_for shares ONE closure across all workers (the
-    body is `const std::function&`), so any mutation of a variable
-    declared outside the lambda races unless it is atomic or a per-index
-    slot. Flags direct mutations of captured non-atomic scalars."""
+    body is `const std::function&`), so any mutation of state declared
+    outside the lambda races unless it is atomic or a per-index slot.
+    Flags direct mutations of captured non-atomic variables, of members
+    (through captured `this` or a captured object), and of pointees
+    through captured pointers. Subscripted stores stay exempt as the
+    sanctioned per-thread-slot pattern."""
 
     rule_id = "A2"
 
@@ -280,24 +283,69 @@ class ParallelRefMutationRule:
     def _classify_target(self, target, lam, rel, func_stack, mutation):
         cx = self.cx
         target = peel(cx, target)
-        if target.kind != cx.CursorKind.DECL_REF_EXPR:
-            # Subscripted stores (slots[i] = ...) are the sanctioned
-            # per-thread-slot pattern; member/pointer stores are out of
-            # scope for this heuristic.
+        if target.kind == cx.CursorKind.DECL_REF_EXPR:
+            decl = target.referenced
+            if decl is None or decl.kind != cx.CursorKind.VAR_DECL:
+                return None
+            if self._declared_inside(decl, lam):
+                return None
+            if type_spelling_contains(decl.type, "atomic"):
+                return None
+            return self._finding(decl.spelling, rel, func_stack, mutation)
+        if target.kind == cx.CursorKind.MEMBER_REF_EXPR:
+            # st.hits / this->count_ / implicit count_: the member lives on
+            # an object captured by the shared closure.
+            if type_spelling_contains(target.type, "atomic"):
+                return None
+            inner = list(target.get_children())
+            if not inner:  # implicit this
+                return self._finding(target.spelling, rel, func_stack, mutation)
+            base = peel(cx, inner[0])
+            if base.kind == cx.CursorKind.CXX_THIS_EXPR:
+                return self._finding(
+                    f"this->{target.spelling}", rel, func_stack, mutation
+                )
+            if base.kind == cx.CursorKind.DECL_REF_EXPR:
+                decl = base.referenced
+                if decl is None or self._declared_inside(decl, lam):
+                    return None
+                return self._finding(
+                    f"{decl.spelling}.{target.spelling}", rel, func_stack, mutation
+                )
             return None
-        decl = target.referenced
-        if decl is None or decl.kind != cx.CursorKind.VAR_DECL:
-            return None
-        if self._declared_inside(decl, lam):
-            return None
-        if type_spelling_contains(decl.type, "atomic"):
-            return None
+        if target.kind == cx.CursorKind.UNARY_OPERATOR:
+            # *p = ... through a captured pointer aliases shared storage.
+            tokens = [t.spelling for t in target.get_tokens()]
+            if not tokens or tokens[0] != "*":
+                return None
+            children = list(target.get_children())
+            if not children:
+                return None
+            base = peel(cx, children[0])
+            if base.kind != cx.CursorKind.DECL_REF_EXPR:
+                return None
+            decl = base.referenced
+            if decl is None or decl.kind not in (
+                cx.CursorKind.VAR_DECL,
+                cx.CursorKind.PARM_DECL,
+            ):
+                return None
+            if self._declared_inside(decl, lam):
+                return None
+            if type_spelling_contains(decl.type, "atomic"):
+                return None
+            return self._finding(f"*{decl.spelling}", rel, func_stack, mutation)
+        # Subscripted stores (slots[i] = ...) remain the sanctioned
+        # per-thread-slot pattern.
+        return None
+
+    def _finding(self, what, rel, func_stack, mutation):
         return Finding(
             path=rel,
             line=mutation.location.line,
             rule=self.rule_id,
             message=(
-                f"'{decl.spelling}' is declared outside this parallel_for "
+                f"'{what}' is declared outside this parallel_for "
                 f"lambda and mutated inside it; the closure is shared by "
                 f"every worker, so use std::atomic or a per-index slot"
             ),

@@ -1,0 +1,674 @@
+"""Phase 1 of the cross-TU analyzer: per-function fact extraction.
+
+While engine.run_rules walks a translation unit for the single-TU rules
+(A1-A5), a SummaryExtractor rides along as an extra visitor and distills
+every in-scope function definition into a small JSON-serializable
+summary: what it calls, where it allocates, which shared Rng objects it
+draws from, which spans escape their backing buffer, how it touches the
+streaming-aggregation protocol, and where it iterates unordered
+containers. Phase 2 (xtu.py, pure Python, no libclang) then reasons
+transitively over the merged summaries.
+
+The summaries are deliberately plain dicts so they can be cached to disk
+(cache.py) and unit-tested without clang.
+
+Modelling limits (documented in DESIGN.md): calls through std::function
+members/locals and function-pointer tables are opaque (no edge); lambdas
+are resolved when passed literally or through a local lambda variable at
+the call site, which covers every parallel_for site in the repo today.
+"""
+
+from __future__ import annotations
+
+from rules import peel
+
+# Rng members that advance generator state. split() is the sanctioned way
+# to hand randomness to concurrent work, so it is exempt by design.
+DRAW_METHODS = frozenset(
+    {
+        "operator()",
+        "uniform",
+        "uniform_index",
+        "normal",
+        "gamma",
+        "dirichlet",
+        "sample_without_replacement",
+        "shuffle",
+    }
+)
+
+# Member calls that may (re)allocate a standard container's storage.
+GROWTH_METHODS = frozenset(
+    {
+        "push_back",
+        "emplace_back",
+        "push_front",
+        "emplace_front",
+        "resize",
+        "insert",
+        "emplace",
+        "emplace_hint",
+        "append",
+        "assign",
+    }
+)
+
+ALLOC_CALLS = frozenset(
+    {"malloc", "calloc", "realloc", "aligned_alloc", "strdup", "make_unique", "make_shared"}
+)
+
+STREAM_METHODS = frozenset({"begin_stream", "stream_update", "finish_stream"})
+
+CONTAINER_MARKERS = (
+    "std::vector<",
+    "std::deque<",
+    "std::map<",
+    "std::unordered_map<",
+    "std::set<",
+    "std::unordered_set<",
+    "std::basic_string<",
+    "std::list<",
+)
+
+# Types whose storage dies with the owning scope; a span/pointer derived
+# from a local of one of these must not outlive the function (rule A8).
+OWNER_MARKERS = CONTAINER_MARKERS + ("std::array<", "zka::tensor::Tensor")
+
+UNORDERED_MARKERS = ("unordered_map<", "unordered_set<")
+
+ENTRY_NAMES = frozenset(
+    {"aggregate", "craft", "begin_stream", "stream_update", "finish_stream"}
+)
+ENTRY_BASES = frozenset({"Aggregator", "Attack"})
+
+
+def new_facts() -> dict:
+    """One function's (or one parallel body's) raw facts."""
+    return {
+        "calls": [],  # {usr, name, line, off, lambdas: [facts...]}
+        "allocs": [],  # {line, what, recv|None, off}
+        "reserves": [],  # {recv, off}
+        "rng_draws": [],  # {line, obj, kind: param|member|outer}
+        "ret_views": [],  # {line, what}
+        "view_stores": [],  # {line, what}
+        "stream_calls": [],  # {kind, line, off}
+        "unordered_iters": [],  # {line}
+        "parallel_bodies": [],  # {line, facts}
+        "parallel_params": [],  # USRs of own params whose callable runs in parallel
+        "loops": [],  # {start, end} source-offset extents of loop statements
+    }
+
+
+def qual_name(cursor) -> str:
+    parts = []
+    cur = cursor
+    while cur is not None and not cur.kind.is_translation_unit():
+        if cur.spelling:
+            parts.append(cur.spelling)
+        cur = cur.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _canonical(type_obj) -> str:
+    return type_obj.get_canonical().spelling
+
+
+def _contains(type_obj, markers) -> bool:
+    spelling = _canonical(type_obj)
+    return any(m in spelling for m in markers)
+
+
+class SummaryExtractor:
+    """One instance per TU; engine.run_rules calls visit() on every
+    in-scope cursor. Summaries accumulate in self.summaries keyed by the
+    function's USR."""
+
+    def __init__(self, cindex, scope):
+        self.cx = cindex
+        self.scope = scope
+        self.summaries: dict = {}
+
+    # -- engine hook -------------------------------------------------------
+
+    def visit(self, node, rel, func_stack):
+        if not func_stack:
+            return
+        fn = func_stack[-1]
+        facts = self._facts_for(fn, rel)
+        if facts is None:
+            return
+        cx = self.cx
+        kind = node.kind
+        if kind == cx.CursorKind.CXX_NEW_EXPR:
+            facts["allocs"].append(self._alloc(node, "new"))
+        elif kind == cx.CursorKind.CALL_EXPR:
+            self._on_call(node, fn, facts, collect_parallel=True)
+        elif kind == cx.CursorKind.VAR_DECL:
+            self._on_var_decl(node, facts)
+        elif kind == cx.CursorKind.CXX_FOR_RANGE_STMT:
+            self._on_loop(node, facts)
+            self._on_range_for(node, facts)
+        elif kind in (
+            cx.CursorKind.FOR_STMT,
+            cx.CursorKind.WHILE_STMT,
+            cx.CursorKind.DO_STMT,
+        ):
+            self._on_loop(node, facts)
+        elif kind == cx.CursorKind.RETURN_STMT:
+            self._on_return(node, fn, facts)
+
+    @staticmethod
+    def _on_loop(node, facts):
+        """Loop extents let phase 2 distinguish one-time setup allocations
+        from per-iteration ones inside a hot root (A6 flags only the
+        latter; the fix is precisely to hoist out of the loop)."""
+        facts["loops"].append(
+            {"start": node.extent.start.offset, "end": node.extent.end.offset}
+        )
+
+    # -- summary bookkeeping ----------------------------------------------
+
+    def _facts_for(self, fn, rel):
+        usr = fn.get_usr()
+        if not usr:
+            return None
+        record = self.summaries.get(usr)
+        if record is None:
+            fn_rel = self.scope.rel_path(fn) or rel
+            record = {
+                "usr": usr,
+                "name": qual_name(fn),
+                "path": fn_rel,
+                "line": fn.location.line,
+                "entry": self._entry_kind(fn),
+                "facts": new_facts(),
+            }
+            self.summaries[usr] = record
+        return record["facts"]
+
+    def _entry_kind(self, fn):
+        cx = self.cx
+        if fn.kind != cx.CursorKind.CXX_METHOD or fn.spelling not in ENTRY_NAMES:
+            return None
+        cls = fn.semantic_parent
+        if cls is None:
+            return None
+        if cls.spelling in ENTRY_BASES or self._derives(cls, set()):
+            return fn.spelling
+        return None
+
+    def _derives(self, cls, seen) -> bool:
+        cx = self.cx
+        cls = cls.get_definition() or cls
+        key = cls.get_usr()
+        if key in seen:
+            return False
+        seen.add(key)
+        for child in cls.get_children():
+            if child.kind != cx.CursorKind.CXX_BASE_SPECIFIER:
+                continue
+            base = child.type.get_declaration()
+            if base is None:
+                continue
+            if base.spelling in ENTRY_BASES:
+                return True
+            base_def = base.get_definition()
+            if base_def is not None and self._derives(base_def, seen):
+                return True
+        return False
+
+    # -- fact classification ----------------------------------------------
+
+    @staticmethod
+    def _alloc(node, what, recv=None):
+        return {
+            "line": node.location.line,
+            "off": node.location.offset,
+            "what": what,
+            "recv": recv,
+        }
+
+    def _on_call(self, node, fn, facts, collect_parallel):
+        cx = self.cx
+        callee = node.referenced
+        name = callee.spelling if callee is not None else ""
+
+        if name == "parallel_for" and collect_parallel:
+            self._on_parallel_site(node, fn, facts)
+
+        if name in STREAM_METHODS:
+            facts["stream_calls"].append(
+                {"kind": name, "line": node.location.line, "off": node.location.offset}
+            )
+
+        if name in ALLOC_CALLS:
+            facts["allocs"].append(self._alloc(node, name + "()"))
+        elif name in GROWTH_METHODS or name == "reserve":
+            recv_expr = self._member_receiver(node)
+            if recv_expr is not None and _contains(recv_expr.type, CONTAINER_MARKERS):
+                key = self._obj_key(recv_expr)
+                if name == "reserve":
+                    facts["reserves"].append({"recv": key, "off": node.location.offset})
+                else:
+                    facts["allocs"].append(self._alloc(node, name + "()", recv=key))
+        elif name == "operator=":
+            self._on_assign_call(node, facts)
+        elif name in ("begin", "cbegin"):
+            recv_expr = self._member_receiver(node)
+            if recv_expr is not None and _contains(recv_expr.type, UNORDERED_MARKERS):
+                facts["unordered_iters"].append({"line": node.location.line})
+
+        self._maybe_rng_draw(node, fn, facts, name, boundary=None)
+
+        # Cross-TU call edge, for callees defined in this repo only (std
+        # and system calls are leaves the dataflow never descends into).
+        if callee is not None and callee.kind in (
+            cx.CursorKind.FUNCTION_DECL,
+            cx.CursorKind.CXX_METHOD,
+            cx.CursorKind.CONSTRUCTOR,
+            cx.CursorKind.FUNCTION_TEMPLATE,
+        ):
+            if self.scope.rel_path(callee) is not None:
+                usr = callee.get_usr()
+                if usr:
+                    entry = {
+                        "usr": usr,
+                        "name": qual_name(callee),
+                        "line": node.location.line,
+                        "off": node.location.offset,
+                    }
+                    if collect_parallel:
+                        lambdas = self._lambda_args(node, fn)
+                        if lambdas:
+                            entry["lambdas"] = lambdas
+                    facts["calls"].append(entry)
+
+    def _on_parallel_site(self, node, fn, facts):
+        body = None
+        for arg in node.get_children():
+            lam = self._resolve_lambda(arg)
+            if lam is not None:
+                body = lam
+            param = self._resolve_param_ref(arg, fn)
+            if param is not None:
+                facts["parallel_params"].append(param)
+        if body is not None:
+            body_facts = new_facts()
+            self._walk_lambda(body, fn, body_facts)
+            facts["parallel_bodies"].append(
+                {"line": node.location.line, "facts": body_facts}
+            )
+
+    def _lambda_args(self, node, fn):
+        """Facts for lambda literals (or local lambda variables) handed to a
+        call — phase 2 roots these when the callee is a parallel wrapper."""
+        lambdas = []
+        for arg in node.get_children():
+            lam = self._resolve_lambda(arg)
+            if lam is not None:
+                body_facts = new_facts()
+                self._walk_lambda(lam, fn, body_facts)
+                lambdas.append(body_facts)
+        return lambdas
+
+    def _resolve_lambda(self, expr):
+        """LAMBDA_EXPR for a literal lambda argument, or for a DECL_REF to a
+        local variable initialized with one (`auto run = [&]...`)."""
+        cx = self.cx
+        expr = peel(cx, expr)
+        if expr.kind == cx.CursorKind.LAMBDA_EXPR:
+            return expr
+        if expr.kind == cx.CursorKind.DECL_REF_EXPR:
+            decl = expr.referenced
+            if decl is not None and decl.kind == cx.CursorKind.VAR_DECL:
+                if "(lambda at" in _canonical(decl.type):
+                    stack = list(decl.get_children())
+                    while stack:
+                        cur = stack.pop()
+                        if cur.kind == cx.CursorKind.LAMBDA_EXPR:
+                            return cur
+                        stack.extend(cur.get_children())
+        return None
+
+    def _resolve_param_ref(self, expr, fn):
+        cx = self.cx
+        expr = peel(cx, expr)
+        if expr.kind != cx.CursorKind.DECL_REF_EXPR:
+            return None
+        decl = expr.referenced
+        if decl is not None and decl.kind == cx.CursorKind.PARM_DECL:
+            if self._is_own_param(decl, fn):
+                return decl.get_usr()
+        return None
+
+    @staticmethod
+    def _is_own_param(decl, fn) -> bool:
+        decl_file = decl.location.file
+        fn_file = fn.extent.start.file
+        if decl_file is None or fn_file is None or decl_file.name != fn_file.name:
+            return False
+        off = decl.location.offset
+        return fn.extent.start.offset <= off <= fn.extent.end.offset
+
+    def _walk_lambda(self, lam, fn, facts):
+        """Collect facts inside a parallel body, classifying captured state
+        relative to the lambda boundary (not the enclosing function)."""
+        cx = self.cx
+
+        def walk(node):
+            kind = node.kind
+            if kind == cx.CursorKind.CXX_NEW_EXPR:
+                facts["allocs"].append(self._alloc(node, "new"))
+            elif kind == cx.CursorKind.CALL_EXPR:
+                self._on_lambda_call(node, lam, fn, facts)
+            elif kind == cx.CursorKind.VAR_DECL:
+                self._on_var_decl(node, facts)
+            elif kind == cx.CursorKind.CXX_FOR_RANGE_STMT:
+                self._on_range_for(node, facts)
+            for child in node.get_children():
+                walk(child)
+
+        for child in lam.get_children():
+            walk(child)
+
+    def _on_lambda_call(self, node, lam, fn, facts):
+        cx = self.cx
+        callee = node.referenced
+        name = callee.spelling if callee is not None else ""
+        if name in ALLOC_CALLS:
+            facts["allocs"].append(self._alloc(node, name + "()"))
+        elif name in GROWTH_METHODS or name == "reserve":
+            recv_expr = self._member_receiver(node)
+            if recv_expr is not None and _contains(recv_expr.type, CONTAINER_MARKERS):
+                key = self._obj_key(recv_expr)
+                if name == "reserve":
+                    facts["reserves"].append({"recv": key, "off": node.location.offset})
+                else:
+                    facts["allocs"].append(self._alloc(node, name + "()", recv=key))
+        elif name == "operator=":
+            self._on_assign_call(node, facts)
+
+        self._maybe_rng_draw(node, fn, facts, name, boundary=lam)
+
+        # Invoking a std::function parameter of the enclosing function from
+        # inside a parallel body marks that function as a parallel wrapper.
+        if name == "operator()" or callee is None:
+            children = list(node.get_children())
+            if children:
+                base = peel(cx, children[0])
+                param = self._resolve_param_ref(base, fn)
+                if param is not None:
+                    self.summaries[fn.get_usr()]["facts"]["parallel_params"].append(
+                        param
+                    )
+        if callee is not None and callee.kind in (
+            cx.CursorKind.FUNCTION_DECL,
+            cx.CursorKind.CXX_METHOD,
+            cx.CursorKind.CONSTRUCTOR,
+        ):
+            if self.scope.rel_path(callee) is not None:
+                usr = callee.get_usr()
+                if usr:
+                    facts["calls"].append(
+                        {
+                            "usr": usr,
+                            "name": qual_name(callee),
+                            "line": node.location.line,
+                            "off": node.location.offset,
+                        }
+                    )
+
+    # -- receivers, objects, Rng ------------------------------------------
+
+    def _member_receiver(self, call):
+        """The object expression of a member call (`v.push_back(x)` -> `v`),
+        or None for free-function calls."""
+        cx = self.cx
+        children = list(call.get_children())
+        if not children:
+            return None
+        head = children[0]
+        if head.kind == cx.CursorKind.MEMBER_REF_EXPR:
+            inner = list(head.get_children())
+            return peel(cx, inner[0]) if inner else head
+        return None
+
+    def _obj_key(self, expr):
+        """Stable identity for a receiver object, so reserve() sites can
+        suppress later growth on the same container."""
+        cx = self.cx
+        expr = peel(cx, expr)
+        if expr.kind == cx.CursorKind.DECL_REF_EXPR:
+            decl = expr.referenced
+            return decl.get_usr() if decl is not None else None
+        if expr.kind == cx.CursorKind.MEMBER_REF_EXPR:
+            inner = list(expr.get_children())
+            base = self._obj_key(inner[0]) if inner else "this"
+            return f"{base}.{expr.spelling}" if base else None
+        if expr.kind == cx.CursorKind.CXX_THIS_EXPR:
+            return "this"
+        return None
+
+    def _maybe_rng_draw(self, node, fn, facts, name, boundary):
+        """Record a state-advancing draw on an Rng that is shared relative
+        to `boundary` (the lambda for parallel bodies, else the function).
+        Draws on boundary-local Rngs and on split() results are safe."""
+        cx = self.cx
+        if name not in DRAW_METHODS:
+            return
+        children = list(node.get_children())
+        if not children:
+            return
+        head = children[0]
+        if head.kind == cx.CursorKind.MEMBER_REF_EXPR:
+            inner = list(head.get_children())
+            recv = peel(cx, inner[0]) if inner else None
+            implicit_this = not inner
+            if implicit_this:
+                callee = node.referenced
+                owner = callee.semantic_parent if callee is not None else None
+                if owner is None or owner.spelling != "Rng":
+                    return
+        else:
+            # operator() via CXXOperatorCallExpr: args follow the callee ref.
+            recv = peel(cx, children[1]) if name == "operator()" and len(children) > 1 else None
+            implicit_this = False
+            if recv is None:
+                return
+        if recv is not None and "zka::util::Rng" not in _canonical(recv.type):
+            return
+        if recv is None and not implicit_this:
+            return
+        kind, obj = self._classify_object(recv, fn, boundary, implicit_this)
+        if kind is None:
+            return
+        facts["rng_draws"].append(
+            {"line": node.location.line, "obj": obj, "kind": kind}
+        )
+
+    def _classify_object(self, recv, fn, boundary, implicit_this):
+        """(kind, spelling) where kind is param/member/outer for shared
+        state, or (None, None) when the object is boundary-local or derives
+        from Rng::split."""
+        cx = self.cx
+        if implicit_this or (recv is not None and recv.kind == cx.CursorKind.CXX_THIS_EXPR):
+            return "member", "this"
+        if recv is None:
+            return None, None
+        if recv.kind == cx.CursorKind.CALL_EXPR:
+            callee = recv.referenced
+            if callee is not None and callee.spelling == "split":
+                return None, None  # rng.split(salt)(...) — sanctioned
+            return None, None  # opaque temporary; assume fresh
+        if recv.kind == cx.CursorKind.MEMBER_REF_EXPR:
+            return "member", recv.spelling
+        if recv.kind == cx.CursorKind.DECL_REF_EXPR:
+            decl = recv.referenced
+            if decl is None:
+                return None, None
+            if boundary is not None and self._declared_inside(decl, boundary):
+                return None, None  # fresh per-task object
+            if decl.kind == cx.CursorKind.PARM_DECL:
+                return "param", decl.spelling
+            if decl.kind == cx.CursorKind.VAR_DECL:
+                if boundary is None and self._declared_inside(decl, fn):
+                    return None, None  # function-local, single-threaded here
+                return "outer", decl.spelling
+            if decl.kind == cx.CursorKind.FIELD_DECL:
+                return "member", decl.spelling
+        return None, None
+
+    @staticmethod
+    def _declared_inside(decl, scope_cursor) -> bool:
+        decl_file = decl.location.file
+        scope_file = scope_cursor.extent.start.file
+        if decl_file is None or scope_file is None or decl_file.name != scope_file.name:
+            return False
+        off = decl.location.offset
+        return (
+            scope_cursor.extent.start.offset <= off <= scope_cursor.extent.end.offset
+        )
+
+    # -- declarations, assignment, returns --------------------------------
+
+    def _on_var_decl(self, node, facts):
+        """Container constructions that allocate: sized/filled constructors
+        and copy-constructions. Default construction, move construction and
+        materializing a returned value are free."""
+        cx = self.cx
+        if not _contains(node.type, CONTAINER_MARKERS):
+            return
+        exprs = [c for c in node.get_children() if c.kind.is_expression()]
+        if not exprs:
+            return
+        init = peel(cx, exprs[-1])
+        if init.kind == cx.CursorKind.CALL_EXPR:
+            callee = init.referenced
+            if callee is not None and callee.kind == cx.CursorKind.CONSTRUCTOR:
+                is_move = getattr(callee, "is_move_constructor", lambda: False)()
+                is_copy = getattr(callee, "is_copy_constructor", lambda: False)()
+                if is_move:
+                    return
+                if is_copy:
+                    facts["allocs"].append(self._alloc(node, "copy-construct"))
+                    return
+                if list(init.get_arguments()):
+                    facts["allocs"].append(self._alloc(node, "sized-construct"))
+                return
+            if callee is not None and callee.spelling == "move":
+                return
+            # Plain call initializer: the result is materialized in place.
+            return
+        if init.kind in (cx.CursorKind.DECL_REF_EXPR, cx.CursorKind.MEMBER_REF_EXPR):
+            if _canonical(init.type) == _canonical(node.type):
+                facts["allocs"].append(self._alloc(node, "copy-construct"))
+            return
+        if init.kind == cx.CursorKind.INIT_LIST_EXPR:
+            if list(init.get_children()):
+                facts["allocs"].append(self._alloc(node, "list-construct"))
+
+    def _on_assign_call(self, node, facts):
+        """operator= on containers (copy-assign allocates) and on span
+        members (rule A8's view-retention footgun)."""
+        cx = self.cx
+        args = list(node.get_arguments())
+        if len(args) != 2:
+            children = list(node.get_children())
+            if len(children) < 2:
+                return
+            args = children[-2:]
+        lhs, rhs = peel(cx, args[0]), peel(cx, args[1])
+        if _contains(lhs.type, CONTAINER_MARKERS):
+            if rhs.kind == cx.CursorKind.CALL_EXPR:
+                return  # move-assign / assigning a produced value
+            if rhs.kind in (cx.CursorKind.DECL_REF_EXPR, cx.CursorKind.MEMBER_REF_EXPR):
+                if _canonical(rhs.type) == _canonical(lhs.type):
+                    facts["allocs"].append(
+                        self._alloc(node, "copy-assign", recv=self._obj_key(lhs))
+                    )
+            return
+        if "std::span<" in _canonical(lhs.type):
+            if lhs.kind == cx.CursorKind.MEMBER_REF_EXPR:
+                src = self._view_source(rhs)
+                if src is not None and src.kind in (
+                    cx.CursorKind.PARM_DECL,
+                    cx.CursorKind.VAR_DECL,
+                ):
+                    facts["view_stores"].append(
+                        {"line": node.location.line, "what": src.spelling}
+                    )
+
+    def _on_range_for(self, node, facts):
+        children = list(node.get_children())
+        for child in children[:-1]:
+            if self._mentions_unordered(child):
+                facts["unordered_iters"].append({"line": node.location.line})
+                return
+
+    def _mentions_unordered(self, node) -> bool:
+        if any(m in _canonical(node.type) for m in UNORDERED_MARKERS):
+            return True
+        return any(self._mentions_unordered(c) for c in node.get_children())
+
+    def _on_return(self, node, fn, facts):
+        cx = self.cx
+        result = fn.result_type.get_canonical()
+        is_view = "std::span<" in result.spelling or result.kind == cx.TypeKind.POINTER
+        if not is_view:
+            return
+        children = list(node.get_children())
+        if not children:
+            return
+        src = self._view_source(children[0])
+        if src is None or src.kind != cx.CursorKind.VAR_DECL:
+            return
+        if not self._declared_inside(src, fn):
+            return
+        storage = getattr(src, "storage_class", None)
+        if storage is not None and storage == cx.StorageClass.STATIC:
+            return
+        if _contains(src.type, OWNER_MARKERS):
+            facts["ret_views"].append(
+                {"line": node.location.line, "what": src.spelling}
+            )
+
+    _VIEW_HOPS = frozenset(
+        {"data", "raw", "subspan", "first", "last", "c_str", "begin", "front", "back", "get", "span"}
+    )
+
+    def _view_source(self, expr, depth=0):
+        """The declaration whose storage ultimately backs a span/pointer
+        expression, hopping through data()/raw()/subspan()/span(...) chains."""
+        cx = self.cx
+        if depth > 10:
+            return None
+        expr = peel(cx, expr)
+        if expr.kind == cx.CursorKind.DECL_REF_EXPR:
+            return expr.referenced
+        if expr.kind == cx.CursorKind.CALL_EXPR:
+            callee = expr.referenced
+            name = callee.spelling if callee is not None else ""
+            if callee is not None and callee.kind == cx.CursorKind.CONSTRUCTOR:
+                args = list(expr.get_arguments()) or list(expr.get_children())
+                return self._view_source(args[0], depth + 1) if args else None
+            if name in self._VIEW_HOPS:
+                children = list(expr.get_children())
+                if children:
+                    head = children[0]
+                    if head.kind == cx.CursorKind.MEMBER_REF_EXPR:
+                        inner = list(head.get_children())
+                        if inner:
+                            return self._view_source(inner[0], depth + 1)
+                        return None  # implicit this: member storage
+                    return self._view_source(head, depth + 1)
+            return None
+        if expr.kind in (
+            cx.CursorKind.UNARY_OPERATOR,
+            cx.CursorKind.ARRAY_SUBSCRIPT_EXPR,
+        ):
+            children = list(expr.get_children())
+            return self._view_source(children[0], depth + 1) if children else None
+        children = list(expr.get_children())
+        if len(children) == 1:
+            return self._view_source(children[0], depth + 1)
+        return None

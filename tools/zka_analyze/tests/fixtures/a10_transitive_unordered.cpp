@@ -1,0 +1,60 @@
+// zka-fixture-path: src/fixture/a10_transitive_unordered.cpp
+// A10 positive + negative: hash-ordered iteration feeding an aggregation
+// entry point through a callee. A5 only sees direct range-for loops;
+// iterator loops over unordered containers reach aggregate() unseen
+// without the transitive rule.
+#include "fixture_support.h"
+
+using zka::defense::AggregationResult;
+using zka::defense::Aggregator;
+using zka::defense::UpdateView;
+
+namespace {
+
+float sum_hashed(const std::unordered_map<int, float>& scores) {
+  float total = 0.0f;
+  for (auto it = scores.begin(); it != scores.end(); ++it) {  // expect: A10
+    total += it->second;
+  }
+  return total;
+}
+
+float sum_ordered(const std::vector<float>& scores) {
+  float total = 0.0f;
+  for (float s : scores) total += s;
+  return total;
+}
+
+}  // namespace
+
+class BadHashedScores : public Aggregator {
+ public:
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override {
+    zka::defense::validate_updates(updates, weights);
+    AggregationResult r;
+    r.model.push_back(sum_hashed(scores_));
+    return r;
+  }
+
+ private:
+  std::unordered_map<int, float> scores_;
+};
+
+class GoodOrderedScores : public Aggregator {
+ public:
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights) override {
+    zka::defense::validate_updates(updates, weights);
+    AggregationResult r;
+    r.model.push_back(sum_ordered(scores_));
+    return r;
+  }
+
+ private:
+  std::vector<float> scores_;
+};
+
+float free_function_sums_hashed(const std::unordered_map<int, float>& m) {
+  return sum_hashed(m);  // not an aggregation entry point: fine
+}

@@ -1,0 +1,53 @@
+// zka-fixture-path: src/fixture/a2_capture_paths.cpp
+// A2 capture-path positive + negative: mutation through captured object
+// members, captured `this`, and captured pointers. The original rule
+// only saw direct variable references; per-index subscript stores and
+// atomics stay sanctioned.
+#include "fixture_support.h"
+
+struct Stats {
+  int hits = 0;
+  std::vector<int> slots;
+};
+
+void bad_captured_member(zka::util::ThreadPool& pool, std::size_t n) {
+  Stats st;
+  st.slots.resize(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    st.hits += static_cast<int>(i);  // expect: A2
+    st.slots[i] = 1;                 // per-index slot: fine
+  });
+}
+
+void bad_captured_pointer(zka::util::ThreadPool& pool, int* shared) {
+  pool.parallel_for(8, [&](std::size_t) {
+    *shared += 1;  // expect: A2
+  });
+}
+
+class Accumulator {
+ public:
+  void bad_captured_this(zka::util::ThreadPool& pool, std::size_t n) {
+    pool.parallel_for(n, [&](std::size_t i) {
+      count_ += static_cast<int>(i);  // expect: A2
+    });
+  }
+
+  void good_atomic_member(zka::util::ThreadPool& pool, std::size_t n) {
+    pool.parallel_for(n, [&](std::size_t) {
+      ticks_.fetch_add(1);  // atomic member: fine
+    });
+  }
+
+ private:
+  int count_ = 0;
+  std::atomic<int> ticks_{0};
+};
+
+void good_local_struct(zka::util::ThreadPool& pool) {
+  pool.parallel_for(4, [&](std::size_t) {
+    Stats local;
+    local.hits += 1;  // lambda-local object: fine
+    (void)local;
+  });
+}

@@ -1,0 +1,46 @@
+// zka-fixture-path: src/fixture/a6_hot_alloc.cpp
+// zka-fixture-hot-root: run_rounds
+// A6 positive + negative: heap allocation reachable from a parallel body
+// (directly and through a callee) and per-iteration allocation inside a
+// configured hot loop, vs hoisted/reserved/caller-owned buffers.
+#include "fixture_support.h"
+
+namespace {
+
+void append_sample(std::vector<float>& out, float x) {
+  out.push_back(x);  // expect: A6
+}
+
+}  // namespace
+
+void bad_alloc_in_parallel_body(zka::util::ThreadPool& pool, std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t i) {
+    std::vector<float> tmp(i + 1, 0.0f);  // expect: A6
+    (void)tmp;
+  });
+}
+
+void bad_alloc_through_callee(zka::util::ThreadPool& pool,
+                              std::vector<std::vector<float>>& rows) {
+  pool.parallel_for(rows.size(), [&](std::size_t i) {
+    append_sample(rows[i], 1.0f);
+  });
+}
+
+float run_rounds(std::size_t rounds) {
+  float acc = 0.0f;
+  std::vector<float> hoisted;  // one-time setup: fine
+  hoisted.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<float> scratch(r + 1, 0.0f);  // expect: A6
+    hoisted.push_back(scratch[0]);  // dominated by the reserve above: fine
+    acc += hoisted[r];
+  }
+  return acc;
+}
+
+void good_preallocated(zka::util::ThreadPool& pool, std::vector<float>& out) {
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<float>(i);  // caller-owned slot: fine
+  });
+}

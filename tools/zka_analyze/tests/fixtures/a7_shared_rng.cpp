@@ -1,0 +1,44 @@
+// zka-fixture-path: src/fixture/a7_shared_rng.cpp
+// A7 positive + negative: a shared Rng drawn inside a parallel region
+// (directly and through a callee) vs per-task generators from Rng::split
+// or constructed inside the body.
+#include "fixture_support.h"
+
+namespace {
+
+float draw_from(zka::util::Rng& rng) {
+  return static_cast<float>(rng.uniform());  // expect: A7
+}
+
+}  // namespace
+
+void bad_shared_draw(zka::util::ThreadPool& pool, std::vector<float>& out) {
+  zka::util::Rng rng(42);
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<float>(rng.normal());  // expect: A7
+  });
+}
+
+void bad_draw_through_callee(zka::util::ThreadPool& pool,
+                             std::vector<float>& out) {
+  zka::util::Rng rng(7);
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = draw_from(rng);
+  });
+}
+
+void good_split_per_task(zka::util::ThreadPool& pool,
+                         std::vector<float>& out) {
+  zka::util::Rng rng(42);
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    zka::util::Rng task_rng = rng.split(i);
+    out[i] = static_cast<float>(task_rng.normal());  // split: fine
+  });
+}
+
+void good_local_rng(zka::util::ThreadPool& pool, std::vector<float>& out) {
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    zka::util::Rng task_rng(1234 + i);
+    out[i] = static_cast<float>(task_rng.uniform());  // body-local: fine
+  });
+}

@@ -21,6 +21,18 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& body);
 };
 
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  std::uint64_t operator()();
+  Rng split(std::uint64_t salt) const;
+  double uniform();
+  double uniform(double lo, double hi);
+  std::size_t uniform_index(std::size_t n);
+  double normal();
+  double normal(double mean, double stddev);
+};
+
 }  // namespace zka::util
 
 namespace zka::tensor {
@@ -50,6 +62,11 @@ class Aggregator {
   virtual AggregationResult aggregate(
       std::span<const UpdateView> updates,
       std::span<const std::int64_t> weights) = 0;
+  virtual bool supports_streaming() const noexcept;
+  virtual void begin_stream(std::size_t dim,
+                            std::span<const std::int64_t> weights);
+  virtual void stream_update(UpdateView update);
+  virtual AggregationResult finish_stream();
 };
 
 void validate_updates(std::span<const UpdateView> updates,

@@ -7,10 +7,16 @@ expectations:
     // zka-fixture-path: src/fixture/foo.cpp     virtual repo path (rules
                                                  scope on path prefixes)
     // zka-fixture-baseline: path|rule|fn|count  baseline entry to apply
+    // zka-fixture-hot-root: ns::fn [transitive] hotpaths.json hot_roots
+                                                 entry for A6
+    // zka-fixture-boundary: ns::fn              hotpaths.json boundaries
+                                                 entry (A6/A7 walk stops)
     some_code();  // expect: A3                  finding expected exactly
                                                  here, exactly this rule
 
-The driver parses every fixture with libclang, runs the full rule set,
+The driver parses every fixture with libclang, runs the full single-TU
+rule set (A1-A5) with the phase-1 summary extractor riding along, then
+runs the cross-TU dataflow rules (A6-A10) over the extracted summaries,
 applies inline-escape and declared-baseline suppression, and compares
 the surviving {(line, rule)} set against the expectations -- pytest
 style, one PASS/FAIL line per fixture.
@@ -37,6 +43,8 @@ REPO_ROOT = os.path.realpath(os.path.join(PKG, "..", ".."))
 EXPECT_RE = re.compile(r"//\s*expect:\s*([A-Za-z0-9,\s]+?)\s*$")
 VPATH_RE = re.compile(r"//\s*zka-fixture-path:\s*(\S+)")
 BASELINE_RE = re.compile(r"//\s*zka-fixture-baseline:\s*(\S+)")
+HOTROOT_RE = re.compile(r"//\s*zka-fixture-hot-root:\s*(\S+)(\s+transitive)?")
+BOUNDARY_RE = re.compile(r"//\s*zka-fixture-boundary:\s*(\S+)")
 
 
 def parse_fixture(path: str):
@@ -45,10 +53,21 @@ def parse_fixture(path: str):
     vpath = None
     expected = set()
     baseline_entries = []
+    hot_config = {"hot_roots": [], "boundaries": []}
     for lineno, line in enumerate(lines, start=1):
         m = VPATH_RE.search(line)
         if m:
             vpath = m.group(1)
+            continue
+        m = HOTROOT_RE.search(line)
+        if m:
+            hot_config["hot_roots"].append(
+                {"function": m.group(1), "transitive": bool(m.group(2))}
+            )
+            continue
+        m = BOUNDARY_RE.search(line)
+        if m:
+            hot_config["boundaries"].append({"function": m.group(1)})
             continue
         m = BASELINE_RE.search(line)
         if m:
@@ -68,12 +87,12 @@ def parse_fixture(path: str):
             for rule in re.split(r"[,\s]+", m.group(1)):
                 if rule:
                     expected.add((lineno, rule))
-    return lines, vpath, expected, baseline_entries
+    return lines, vpath, expected, baseline_entries, hot_config
 
 
 def run_fixture(cindex, rules_mod, index, path: str):
     """Returns a list of failure messages (empty = pass)."""
-    lines, vpath, expected, baseline_entries = parse_fixture(path)
+    lines, vpath, expected, baseline_entries, hot_config = parse_fixture(path)
     if vpath is None:
         return ["missing '// zka-fixture-path:' header"]
     args = ["-x", "c++", "-std=c++20", "-I", os.path.dirname(path)]
@@ -83,9 +102,15 @@ def run_fixture(cindex, rules_mod, index, path: str):
     except engine.AnalysisError as exc:
         return [f"fixture failed to parse: {exc}"]
     scope = engine.Scope(REPO_ROOT, path_map={path: vpath}, restrict_to=[path])
-    findings = engine.dedupe(
-        engine.run_rules(cindex, tu, scope, rules_mod.build_rules(cindex))
+    import summary as summary_mod
+    import xtu
+
+    extractor = summary_mod.SummaryExtractor(cindex, scope)
+    findings = engine.run_rules(
+        cindex, tu, scope, rules_mod.build_rules(cindex), extractor
     )
+    findings += xtu.run_xtu_rules(extractor.summaries, hot_config)
+    findings = engine.dedupe(findings)
 
     def provider(rel, _lines=lines, _vpath=vpath):
         return _lines if rel == _vpath else None

@@ -1,0 +1,507 @@
+#!/usr/bin/env python3
+"""Clang-free tests for the zka_analyze two-phase analyzer.
+
+Everything here runs without libclang, so -- unlike the fixture suite --
+this test NEVER skips. It covers the parts of the analyzer that must
+behave correctly even on machines where the AST phase cannot run:
+
+  * CLI environment handling: missing / malformed / empty compilation
+    databases exit 2 with a diagnostic, and a valid database with no
+    libclang exits 77 (the ctest SKIP_RETURN_CODE) -- in that order, so
+    database problems are reported even where clang is absent.
+  * The shrink-only baseline contract (stale entries, headroom).
+  * Inline-escape filtering and dead-escape detection.
+  * The per-TU content-hash cache: hit/miss accounting, dependency and
+    salt invalidation, corrupt-entry recovery, and a measured re-run
+    speedup with a simulated parse cost.
+  * The phase-2 dataflow rules A6-A10 over synthetic summaries.
+  * tools/analyze_diff.py growth detection.
+
+Exit codes: 0 all pass, 1 any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import traceback
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+PKG = os.path.dirname(HERE)
+REPO = os.path.dirname(os.path.dirname(PKG))
+sys.path.insert(0, PKG)
+
+import engine
+import summary
+import xtu
+from cache import TuCache
+
+CLI = os.path.join(PKG, "zka_analyze.py")
+ANALYZE_DIFF = os.path.join(REPO, "tools", "analyze_diff.py")
+
+# Forces clang_loader to find nothing, making exit codes deterministic
+# on machines that do have libclang.
+NO_CLANG_ENV = dict(os.environ, ZKA_LIBCLANG="/nonexistent")
+
+
+def run_cli(*args, env=NO_CLANG_ENV):
+    return subprocess.run(
+        [sys.executable, CLI, *args], capture_output=True, text=True, env=env
+    )
+
+
+# ---------------------------------------------------------------------------
+# Synthetic-summary helpers for the phase-2 tests
+
+
+def mk_summary(name, path="src/x/y.cpp", entry=None, **facts_over):
+    facts = summary.new_facts()
+    for key, value in facts_over.items():
+        facts[key] = value
+    return {
+        "usr": f"c:@{name}",
+        "name": name,
+        "path": path,
+        "line": 1,
+        "entry": entry,
+        "facts": facts,
+    }
+
+
+def index_of(*summaries):
+    return {s["usr"]: s for s in summaries}
+
+
+def mk_call(name, line=2, off=20, lambdas=None):
+    entry = {"usr": f"c:@{name}", "name": name, "line": line, "off": off}
+    if lambdas is not None:
+        entry["lambdas"] = lambdas
+    return entry
+
+
+def mk_alloc(line=10, off=100, what="push_back()", recv=None):
+    return {"line": line, "off": off, "what": what, "recv": recv}
+
+
+def findings_for(summaries, config=None, only=None):
+    return xtu.run_xtu_rules(summaries, config, only=only)
+
+
+# ---------------------------------------------------------------------------
+# CLI environment tests
+
+
+def test_cli_missing_compile_commands():
+    r = run_cli("--compile-commands", "/nonexistent/compile_commands.json")
+    assert r.returncode == engine.EXIT_ENV, r
+    assert "not found" in r.stderr, r.stderr
+
+
+def test_cli_malformed_compile_commands():
+    with tempfile.TemporaryDirectory() as tmp:
+        cc = os.path.join(tmp, "compile_commands.json")
+        with open(cc, "w", encoding="utf-8") as fh:
+            fh.write("{this is not json")
+        r = run_cli("--compile-commands", cc)
+    assert r.returncode == engine.EXIT_ENV, r
+    assert "bad compilation database" in r.stderr, r.stderr
+
+
+def test_cli_mistyped_compile_commands():
+    with tempfile.TemporaryDirectory() as tmp:
+        cc = os.path.join(tmp, "compile_commands.json")
+        with open(cc, "w", encoding="utf-8") as fh:
+            json.dump(["not", "objects"], fh)
+        r = run_cli("--compile-commands", cc)
+    assert r.returncode == engine.EXIT_ENV, r
+    assert "bad compilation database" in r.stderr, r.stderr
+
+
+def test_cli_no_analyzable_tus():
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "outside.cpp")
+        open(src, "w", encoding="utf-8").close()
+        cc = os.path.join(tmp, "compile_commands.json")
+        with open(cc, "w", encoding="utf-8") as fh:
+            json.dump(
+                [{"directory": tmp, "file": src, "command": f"c++ -c {src}"}], fh
+            )
+        r = run_cli("--compile-commands", cc)
+    assert r.returncode == engine.EXIT_ENV, r
+    assert "no analyzable translation units" in r.stderr, r.stderr
+
+
+def test_cli_skips_without_libclang():
+    # A perfectly good database must still reach the libclang probe and
+    # exit 77 (ctest SKIP_RETURN_CODE), never 2.
+    tu = os.path.join(REPO, "src", "fl", "simulation.cpp")
+    assert os.path.exists(tu), tu
+    with tempfile.TemporaryDirectory() as tmp:
+        cc = os.path.join(tmp, "compile_commands.json")
+        with open(cc, "w", encoding="utf-8") as fh:
+            json.dump(
+                [
+                    {
+                        "directory": REPO,
+                        "file": tu,
+                        "command": f"c++ -std=c++20 -c {tu}",
+                    }
+                ],
+                fh,
+            )
+        r = run_cli("--compile-commands", cc)
+    assert r.returncode == engine.EXIT_SKIP, r
+    assert "libclang unavailable" in r.stderr, r.stderr
+
+
+# ---------------------------------------------------------------------------
+# Baseline contract
+
+
+def test_baseline_stale_entry_detected():
+    entries = [
+        engine.BaselineEntry("src/a.cpp", "A3", "*", 2, lineno=1),
+        engine.BaselineEntry("src/b.cpp", "A3", "*", 1, lineno=2),
+    ]
+    finding = engine.Finding(path="src/a.cpp", line=4, rule="A3", message="m")
+    remaining, stale = engine.apply_baseline([finding], entries)
+    assert remaining == []
+    # The b.cpp entry absorbed nothing: the finding it grandfathered is
+    # gone, so strict mode must force the baseline to shrink.
+    assert stale == [entries[1]], stale
+
+
+def test_baseline_headroom_is_a_ceiling():
+    entries = [engine.BaselineEntry("src/a.cpp", "A3", "*", 1, lineno=1)]
+    findings = [
+        engine.Finding(path="src/a.cpp", line=n, rule="A3", message="m")
+        for n in (4, 5)
+    ]
+    remaining, stale = engine.apply_baseline(findings, entries)
+    assert len(remaining) == 1 and remaining[0].line == 5, remaining
+    assert stale == []
+
+
+def test_inline_escape_and_dead_escape():
+    lines = [
+        "int x;  // zka-lint: allow(A6) -- justified",
+        "int y;",
+        "// zka-lint: allow(A7) -- dead",
+    ]
+
+    def provider(path):
+        return lines if path == "src/a.cpp" else None
+
+    findings = [engine.Finding(path="src/a.cpp", line=1, rule="A6", message="m")]
+    kept, used = engine.filter_allows(findings, provider)
+    assert kept == [] and used == {("src/a.cpp", 0)}
+    unused = engine.find_unused_allows(
+        ["src/a.cpp"], provider, used, {"A6", "A7"}
+    )
+    assert unused == ["src/a.cpp:3: unused escape allow(A7)"], unused
+
+
+# ---------------------------------------------------------------------------
+# TU cache
+
+
+def _cache_cmd(path):
+    return engine.CompileCommand(file=path, directory=".", args=["-std=c++20"])
+
+
+def test_cache_hit_miss_and_invalidation():
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "a.cpp")
+        hdr = os.path.join(tmp, "a.h")
+        for p in (src, hdr):
+            with open(p, "w", encoding="utf-8") as fh:
+                fh.write("// v1\n")
+        calls = []
+
+        def compute(cmd):
+            calls.append(cmd.file)
+            return {"findings": [], "summaries": {}, "deps": [src, hdr]}
+
+        cache_dir = os.path.join(tmp, "cache")
+        cache = TuCache(cache_dir, salt="s1")
+        cmd = _cache_cmd(src)
+        cache.get_or_compute(cmd, compute)
+        cache.get_or_compute(cmd, compute)
+        assert (cache.hits, cache.misses) == (1, 1), (cache.hits, cache.misses)
+        assert len(calls) == 1
+
+        # Touching a transitive dependency invalidates the entry.
+        with open(hdr, "w", encoding="utf-8") as fh:
+            fh.write("// v2\n")
+        cache.get_or_compute(cmd, compute)
+        assert len(calls) == 2
+
+        # A different analyzer salt invalidates everything.
+        cache2 = TuCache(cache_dir, salt="s2")
+        cache2.get_or_compute(cmd, compute)
+        assert len(calls) == 3 and cache2.misses == 1
+
+        # Corrupt entries are treated as misses, never errors.
+        for name in os.listdir(cache_dir):
+            with open(os.path.join(cache_dir, name), "w", encoding="utf-8") as fh:
+                fh.write("garbage")
+        cache3 = TuCache(cache_dir, salt="s2")
+        cache3.get_or_compute(cmd, compute)
+        assert len(calls) == 4 and cache3.misses == 1
+
+
+def test_cache_rerun_speedup():
+    # Simulate the dominant phase-1 parse cost and demand a real speedup
+    # on an unchanged tree (the acceptance criterion for the index cache).
+    parse_cost_s = 0.02
+    n_tus = 5
+    with tempfile.TemporaryDirectory() as tmp:
+        files = []
+        for i in range(n_tus):
+            path = os.path.join(tmp, f"tu{i}.cpp")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(f"// tu {i}\n")
+            files.append(path)
+
+        def compute(cmd):
+            time.sleep(parse_cost_s)
+            return {"findings": [], "summaries": {}, "deps": [cmd.file]}
+
+        cache = TuCache(os.path.join(tmp, "cache"), salt="s")
+        t0 = time.monotonic()
+        for path in files:
+            cache.get_or_compute(_cache_cmd(path), compute)
+        cold = time.monotonic() - t0
+        t1 = time.monotonic()
+        for path in files:
+            cache.get_or_compute(_cache_cmd(path), compute)
+        warm = time.monotonic() - t1
+    assert cache.hits == n_tus and cache.misses == n_tus
+    assert warm < cold, (warm, cold)
+    print(
+        f"    cache re-run speedup: cold {cold * 1000:.0f}ms -> "
+        f"warm {warm * 1000:.0f}ms ({cold / max(warm, 1e-9):.1f}x)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase-2 dataflow rules on synthetic summaries
+
+
+def test_a6_alloc_in_parallel_body():
+    body = summary.new_facts()
+    body["allocs"].append(mk_alloc(line=12))
+    root = mk_summary("caller", parallel_bodies=[{"line": 5, "facts": body}])
+    found = findings_for(index_of(root), only=["A6"])
+    assert [(f.rule, f.line) for f in found] == [("A6", 12)], found
+
+
+def test_a6_alloc_through_call_chain_and_boundary():
+    body = summary.new_facts()
+    body["calls"].append(mk_call("helper"))
+    root = mk_summary("caller", parallel_bodies=[{"line": 5, "facts": body}])
+    helper = mk_summary("helper", allocs=[mk_alloc(line=30)])
+    found = findings_for(index_of(root, helper), only=["A6"])
+    assert [(f.rule, f.line) for f in found] == [("A6", 30)], found
+    assert "caller -> helper" in found[0].message, found[0].message
+    # A configured boundary stops the walk.
+    config = {"boundaries": [{"function": "helper"}]}
+    assert findings_for(index_of(root, helper), config, only=["A6"]) == []
+
+
+def test_a6_wrapper_lambda_roots():
+    # A lambda handed to a function that runs its callable parameter in
+    # parallel (for_each_row style) is a parallel root.
+    lam = summary.new_facts()
+    lam["allocs"].append(mk_alloc(line=40))
+    wrapper = mk_summary("for_each_row", parallel_params=["c:@p"])
+    caller = mk_summary("pairwise", calls=[mk_call("for_each_row", lambdas=[lam])])
+    found = findings_for(index_of(wrapper, caller), only=["A6"])
+    assert [(f.rule, f.line) for f in found] == [("A6", 40)], found
+
+
+def test_a6_reserve_dominates_growth():
+    body = summary.new_facts()
+    body["reserves"].append({"recv": "c:@v", "off": 50})
+    body["allocs"].append(mk_alloc(line=12, off=90, recv="c:@v"))
+    body["allocs"].append(mk_alloc(line=3, off=10, recv="c:@v", what="early"))
+    root = mk_summary("caller", parallel_bodies=[{"line": 5, "facts": body}])
+    found = findings_for(index_of(root), only=["A6"])
+    # Only the growth *before* the reserve survives.
+    assert [(f.line, f.rule) for f in found] == [(3, "A6")], found
+
+
+def test_a6_hot_root_flags_only_loop_allocs():
+    run = mk_summary(
+        "zka::fl::Simulation::run",
+        allocs=[
+            mk_alloc(line=3, off=30, what="setup"),
+            mk_alloc(line=12, off=150, what="per-round"),
+        ],
+        loops=[{"start": 100, "end": 300}],
+    )
+    config = {"hot_roots": [{"function": "zka::fl::Simulation::run"}]}
+    found = findings_for(index_of(run), config, only=["A6"])
+    assert [(f.line, f.rule) for f in found] == [(12, "A6")], found
+
+
+def test_a6_transitive_hot_root_follows_loop_calls_only():
+    run = mk_summary(
+        "run",
+        calls=[mk_call("pre", off=30), mk_call("per_round", off=150)],
+        loops=[{"start": 100, "end": 300}],
+    )
+    pre = mk_summary("pre", allocs=[mk_alloc(line=7)])
+    per_round = mk_summary("per_round", allocs=[mk_alloc(line=9)])
+    config = {"hot_roots": [{"function": "run", "transitive": True}]}
+    found = findings_for(index_of(run, pre, per_round), config, only=["A6"])
+    assert [(f.line, f.rule) for f in found] == [(9, "A6")], found
+
+
+def test_a7_shared_draw_and_rng_self_exemption():
+    body = summary.new_facts()
+    body["rng_draws"].append({"line": 8, "obj": "rng", "kind": "outer"})
+    body["calls"].append(mk_call("zka::util::Rng::normal"))
+    root = mk_summary("caller", parallel_bodies=[{"line": 5, "facts": body}])
+    rng_impl = mk_summary(
+        "zka::util::Rng::normal",
+        rng_draws=[{"line": 99, "obj": "this", "kind": "member"}],
+    )
+    found = findings_for(index_of(root, rng_impl), only=["A7"])
+    # The body's own shared draw fires; Rng's internal self-draw does not.
+    assert [(f.rule, f.line) for f in found] == [("A7", 8)], found
+
+
+def test_a8_ret_view_and_view_store():
+    s = mk_summary(
+        "leaky",
+        ret_views=[{"line": 4, "what": "buf"}],
+        view_stores=[{"line": 9, "what": "update"}],
+    )
+    found = findings_for(index_of(s), only=["A8"])
+    assert sorted((f.rule, f.line) for f in found) == [("A8", 4), ("A8", 9)]
+
+
+def test_a9_unguarded_stream_and_propagation():
+    unguarded = mk_summary(
+        "drive_bad",
+        stream_calls=[{"kind": "stream_update", "line": 3, "off": 30}],
+    )
+    found = findings_for(index_of(unguarded), only=["A9"])
+    assert [(f.rule, f.line) for f in found] == [("A9", 3)], found
+
+    # Through a callee: reported at the zero-caller entry, not interior.
+    interior = mk_summary(
+        "push_one",
+        stream_calls=[{"kind": "stream_update", "line": 3, "off": 30}],
+    )
+    outer = mk_summary("drive_outer", calls=[mk_call("push_one", line=7, off=70)])
+    found = findings_for(index_of(interior, outer), only=["A9"])
+    assert [(f.function, f.line) for f in found] == [("drive_outer", 7)], found
+
+
+def test_a9_guarded_stream_is_clean():
+    guarded = mk_summary(
+        "drive_good",
+        stream_calls=[
+            {"kind": "begin_stream", "line": 2, "off": 10},
+            {"kind": "stream_update", "line": 3, "off": 30},
+            {"kind": "finish_stream", "line": 4, "off": 50},
+        ],
+    )
+    assert findings_for(index_of(guarded), only=["A9"]) == []
+
+
+def test_a9_finish_stream_unordered_fold():
+    finish = mk_summary(
+        "Mean::finish_stream", entry="finish_stream", calls=[mk_call("fold")]
+    )
+    fold = mk_summary("fold", unordered_iters=[{"line": 7}])
+    found = findings_for(index_of(finish, fold), only=["A9"])
+    assert [(f.rule, f.line) for f in found] == [("A9", 7)], found
+    assert "hash-ordered" in found[0].message
+
+
+def test_a10_entry_reach_only():
+    agg = mk_summary("Mean::aggregate", entry="aggregate", calls=[mk_call("fold")])
+    fold = mk_summary("fold", unordered_iters=[{"line": 7}])
+    found = findings_for(index_of(agg, fold), only=["A10"])
+    assert [(f.rule, f.line) for f in found] == [("A10", 7)], found
+    # The same shape without an entry point is silent.
+    plain = mk_summary("helper_caller", calls=[mk_call("fold")])
+    assert findings_for(index_of(plain, fold), only=["A10"]) == []
+
+
+# ---------------------------------------------------------------------------
+# analyze_diff
+
+
+def _diff_payload(per_rule):
+    return {"findings": [], "per_rule": per_rule}
+
+
+def test_analyze_diff_growth_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        prev = os.path.join(tmp, "prev.json")
+        cur = os.path.join(tmp, "cur.json")
+        with open(prev, "w", encoding="utf-8") as fh:
+            json.dump(_diff_payload({"A6": {"found": 1, "remaining": 0}}), fh)
+        with open(cur, "w", encoding="utf-8") as fh:
+            json.dump(_diff_payload({"A6": {"found": 2, "remaining": 0}}), fh)
+        grow = subprocess.run(
+            [sys.executable, ANALYZE_DIFF, prev, cur],
+            capture_output=True,
+            text=True,
+        )
+        assert grow.returncode == 1, grow
+        assert "REGRESSION" in grow.stdout, grow.stdout
+        shrink = subprocess.run(
+            [sys.executable, ANALYZE_DIFF, cur, prev],
+            capture_output=True,
+            text=True,
+        )
+        assert shrink.returncode == 0, shrink
+        first_run = subprocess.run(
+            [
+                sys.executable,
+                ANALYZE_DIFF,
+                os.path.join(tmp, "absent.json"),
+                cur,
+                "--missing-ok",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert first_run.returncode == 0, first_run
+
+
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    tests = [
+        (name, fn)
+        for name, fn in sorted(globals().items())
+        if name.startswith("test_") and callable(fn)
+    ]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+        except Exception:  # noqa: BLE001 -- report and keep going
+            failed += 1
+            print(f"FAIL {name}")
+            traceback.print_exc()
+        else:
+            print(f"PASS {name}")
+    print(f"test_pure: {len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,413 @@
+"""Phase 2 of the cross-TU analyzer: call-graph dataflow rules A6-A10.
+
+Consumes the merged per-function summaries produced by summary.py (plain
+dicts — this module never touches libclang, so every rule here is
+unit-testable on any machine) and reasons transitively over the
+USR-keyed call graph:
+
+  A6  heap allocation reachable from a parallel_for body or a configured
+      hot root (the round loop), through any depth of calls
+  A7  a shared (non-split) Rng drawn inside a parallel region
+  A8  span/raw-pointer escape beyond its backing buffer's lifetime
+  A9  stream_update/finish_stream reachable without a dominating
+      begin_stream; hash-ordered accumulation inside finish_stream
+  A10 unordered-container iteration feeding an aggregate/craft entry
+      point through callees (A5 covers the direct case)
+
+Roots and sanctioned call-boundaries for A6/A7 live in hotpaths.json;
+boundaries name functions whose internals are accepted allocation zones
+until ROADMAP item 3's arena allocator lands.
+"""
+
+from __future__ import annotations
+
+from engine import Finding
+
+XTU_RULE_IDS = ("A6", "A7", "A8", "A9", "A10")
+
+XTU_RULE_SUMMARIES = {
+    "A6": "hot-path-alloc: heap allocation reachable from a parallel region or hot loop",
+    "A7": "shared-rng-draw: non-split Rng drawn inside a parallel region",
+    "A8": "span-escape: view outlives the buffer that backs it",
+    "A9": "stream-protocol: stream call without dominating begin_stream / unordered fold",
+    "A10": "transitive-unordered: hash-ordered iteration feeding aggregation",
+}
+
+# Rng's own methods legitimately mutate their own state; drawing *through*
+# them is judged at the caller's receiver, not here.
+_RNG_SELF_PREFIX = "zka::util::Rng::"
+
+_MAX_DEPTH = 32
+
+
+def live_allocs(facts):
+    """Allocation facts minus container growth dominated by an earlier
+    reserve() on the same object — the sanctioned hoist-and-reserve
+    pattern."""
+    reserved = facts.get("reserves", ())
+    out = []
+    for alloc in facts.get("allocs", ()):
+        recv = alloc.get("recv")
+        if recv is not None and any(
+            r["recv"] == recv and r["off"] < alloc["off"] for r in reserved if r["recv"]
+        ):
+            continue
+        out.append(alloc)
+    return out
+
+
+def _in_loop(facts, off) -> bool:
+    return any(l["start"] <= off <= l["end"] for l in facts.get("loops", ()))
+
+
+class _Index:
+    def __init__(self, summaries, config):
+        self.by_usr = summaries
+        self.by_name: dict = {}
+        for usr, s in summaries.items():
+            self.by_name.setdefault(s["name"], []).append(usr)
+        config = config or {}
+        self.boundaries = {}
+        for b in config.get("boundaries", ()):
+            for usr in self.by_name.get(b["function"], ()):
+                self.boundaries[usr] = b.get("note", "")
+        self.hot_roots = config.get("hot_roots", ())
+
+    def resolve(self, name):
+        return self.by_name.get(name, ())
+
+
+def _walk(index, facts, label, boundaries=True):
+    """Yield (summary, chain) for every in-index function reachable from
+    `facts` through call edges, breadth-first, visiting each function
+    once. `label` seeds the chain description."""
+    seen = set()
+    queue = [(c["usr"], f"{label} -> {c['name']}") for c in facts.get("calls", ())]
+    depth = 0
+    while queue and depth < _MAX_DEPTH:
+        depth += 1
+        next_queue = []
+        for usr, chain in queue:
+            if usr in seen:
+                continue
+            seen.add(usr)
+            if boundaries and usr in index.boundaries:
+                continue
+            summary = index.by_usr.get(usr)
+            if summary is None:
+                continue
+            yield summary, chain
+            for c in summary["facts"].get("calls", ()):
+                if c["usr"] not in seen:
+                    next_queue.append((c["usr"], f"{chain} -> {c['name']}"))
+        queue = next_queue
+
+
+def _parallel_roots(index):
+    """(label, facts, path, fn_name) for every parallel execution root:
+    parallel_for bodies, plus lambdas handed to parallel wrappers
+    (functions that run a callable parameter inside a parallel region)."""
+    wrappers = {
+        usr
+        for usr, s in index.by_usr.items()
+        if s["facts"].get("parallel_params")
+    }
+    roots = []
+    for s in index.by_usr.values():
+        for pb in s["facts"].get("parallel_bodies", ()):
+            roots.append(
+                (
+                    f"parallel_for body in {s['name']}",
+                    pb["facts"],
+                    s["path"],
+                    s["name"],
+                )
+            )
+        for call in s["facts"].get("calls", ()):
+            if call["usr"] in wrappers and call.get("lambdas"):
+                for lam_facts in call["lambdas"]:
+                    roots.append(
+                        (
+                            f"callback to parallel wrapper {call['name']} "
+                            f"from {s['name']}",
+                            lam_facts,
+                            s["path"],
+                            s["name"],
+                        )
+                    )
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# A6: heap allocation on parallel / hot paths
+
+
+def _check_a6(index, findings):
+    reported = set()
+
+    def report(summary_path, fn_name, alloc, chain):
+        key = (summary_path, alloc["line"], alloc["what"])
+        if key in reported:
+            return
+        reported.add(key)
+        findings.append(
+            Finding(
+                path=summary_path,
+                line=alloc["line"],
+                rule="A6",
+                message=(
+                    f"heap allocation ({alloc['what']}) on a hot path: {chain}; "
+                    f"hoist or reserve the buffer outside the loop (arena "
+                    f"allocator: ROADMAP item 3)"
+                ),
+                function=fn_name,
+            )
+        )
+
+    for label, facts, path, fn_name in _parallel_roots(index):
+        for alloc in live_allocs(facts):
+            report(path, fn_name, alloc, label)
+        for summary, chain in _walk(index, facts, label):
+            for alloc in live_allocs(summary["facts"]):
+                report(summary["path"], summary["name"], alloc, chain)
+
+    for root in index.hot_roots:
+        for usr in index.resolve(root["function"]):
+            summary = index.by_usr.get(usr)
+            if summary is None:
+                continue
+            facts = summary["facts"]
+            label = f"hot loop {summary['name']}"
+            # One-time setup allocations before/after the loop are the
+            # sanctioned hoist target; only per-iteration ones are hot.
+            for alloc in live_allocs(facts):
+                if _in_loop(facts, alloc["off"]):
+                    report(summary["path"], summary["name"], alloc, label)
+            if root.get("transitive"):
+                loop_facts = dict(facts)
+                loop_facts["calls"] = [
+                    c for c in facts.get("calls", ()) if _in_loop(facts, c["off"])
+                ]
+                for reached, chain in _walk(index, loop_facts, label):
+                    for alloc in live_allocs(reached["facts"]):
+                        report(reached["path"], reached["name"], alloc, chain)
+
+
+# ---------------------------------------------------------------------------
+# A7: shared Rng draws inside parallel regions
+
+
+def _check_a7(index, findings):
+    reported = set()
+
+    def report(path, fn_name, draw, chain):
+        key = (path, draw["line"])
+        if key in reported:
+            return
+        reported.add(key)
+        findings.append(
+            Finding(
+                path=path,
+                line=draw["line"],
+                rule="A7",
+                message=(
+                    f"Rng '{draw['obj']}' ({draw['kind']}) drawn inside a "
+                    f"parallel region without Rng::split ({chain}); draw "
+                    f"order becomes thread-count-dependent — split a "
+                    f"per-task generator instead"
+                ),
+                function=fn_name,
+            )
+        )
+
+    for label, facts, path, fn_name in _parallel_roots(index):
+        for draw in facts.get("rng_draws", ()):
+            report(path, fn_name, draw, label)
+        for summary, chain in _walk(index, facts, label):
+            if summary["name"].startswith(_RNG_SELF_PREFIX):
+                continue
+            for draw in summary["facts"].get("rng_draws", ()):
+                report(summary["path"], summary["name"], draw, chain)
+
+
+# ---------------------------------------------------------------------------
+# A8: views escaping their backing buffer
+
+
+def _check_a8(index, findings):
+    for summary in index.by_usr.values():
+        facts = summary["facts"]
+        for rv in facts.get("ret_views", ()):
+            findings.append(
+                Finding(
+                    path=summary["path"],
+                    line=rv["line"],
+                    rule="A8",
+                    message=(
+                        f"returns a span/pointer into function-local buffer "
+                        f"'{rv['what']}', which dies with the call — return "
+                        f"an owning container or take caller storage"
+                    ),
+                    function=summary["name"],
+                )
+            )
+        for vs in facts.get("view_stores", ()):
+            findings.append(
+                Finding(
+                    path=summary["path"],
+                    line=vs["line"],
+                    rule="A8",
+                    message=(
+                        f"stores a view of caller-owned '{vs['what']}' into "
+                        f"member state; the Aggregator API requires views to "
+                        f"be dead once the call returns — copy instead"
+                    ),
+                    function=summary["name"],
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# A9: streaming-protocol misuse
+
+
+def _first_begin(facts):
+    offs = [s["off"] for s in facts.get("stream_calls", ()) if s["kind"] == "begin_stream"]
+    return min(offs) if offs else None
+
+
+def _check_a9(index, findings):
+    # A function "needs a begin" when, in source order, it issues (or calls
+    # something that issues) stream_update/finish_stream before any
+    # begin_stream of its own. Propagate up the call graph to a fixpoint,
+    # then report only at functions nobody in the index calls — interior
+    # functions are the responsibility of their (guarded or flagged)
+    # callers. Implementations of the hooks themselves don't *call* the
+    # hooks, so they never enter the set.
+    needs = {}
+    for usr, s in index.by_usr.items():
+        first = _first_begin(s["facts"])
+        for sc in s["facts"].get("stream_calls", ()):
+            if sc["kind"] == "begin_stream":
+                continue
+            if first is None or sc["off"] < first:
+                needs[usr] = (sc["line"], f"{sc['kind']} in {s['name']}")
+                break
+
+    changed = True
+    while changed:
+        changed = False
+        for usr, s in index.by_usr.items():
+            if usr in needs:
+                continue
+            first = _first_begin(s["facts"])
+            for call in s["facts"].get("calls", ()):
+                if call["usr"] not in needs or call["usr"] == usr:
+                    continue
+                if first is None or call["off"] < first:
+                    _, why = needs[call["usr"]]
+                    needs[usr] = (call["line"], f"call to {call['name']} ({why})")
+                    changed = True
+                    break
+
+    called = set()
+    for s in index.by_usr.values():
+        for call in s["facts"].get("calls", ()):
+            called.add(call["usr"])
+    for usr, (line, why) in sorted(needs.items()):
+        if usr in called:
+            continue
+        s = index.by_usr[usr]
+        if s["entry"] in ("stream_update", "finish_stream"):
+            continue  # the hook implementation, not a protocol client
+        findings.append(
+            Finding(
+                path=s["path"],
+                line=line,
+                rule="A9",
+                message=(
+                    f"{why} is reachable with no dominating begin_stream on "
+                    f"this path; the streaming contract is begin_stream -> "
+                    f"stream_update* -> finish_stream"
+                ),
+                function=s["name"],
+            )
+        )
+
+    # Order-dependence: a finish_stream implementation folding through
+    # hash-ordered iteration cannot be bitwise-equal to the batch path.
+    for usr, s in index.by_usr.items():
+        if s["entry"] != "finish_stream":
+            continue
+        for reached, chain in _walk(index, s["facts"], s["name"], boundaries=False):
+            for it in reached["facts"].get("unordered_iters", ()):
+                findings.append(
+                    Finding(
+                        path=reached["path"],
+                        line=it["line"],
+                        rule="A9",
+                        message=(
+                            f"finish_stream folds through hash-ordered "
+                            f"iteration ({chain}); streaming must accumulate "
+                            f"in submission order to stay bitwise-equal to "
+                            f"aggregate()"
+                        ),
+                        function=reached["name"],
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# A10: transitive unordered iteration feeding aggregation
+
+
+def _check_a10(index, findings):
+    reported = set()
+    for usr, s in index.by_usr.items():
+        if s["entry"] not in ("aggregate", "craft"):
+            continue
+        for reached, chain in _walk(index, s["facts"], s["name"], boundaries=False):
+            for it in reached["facts"].get("unordered_iters", ()):
+                key = (reached["path"], it["line"])
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(
+                    Finding(
+                        path=reached["path"],
+                        line=it["line"],
+                        rule="A10",
+                        message=(
+                            f"unordered-container iteration feeds "
+                            f"{s['name']} ({chain}); hash order varies "
+                            f"across platforms and poisons the aggregate — "
+                            f"iterate sorted keys or an ordered container"
+                        ),
+                        function=reached["name"],
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+
+
+_CHECKS = {
+    "A6": _check_a6,
+    "A7": _check_a7,
+    "A8": _check_a8,
+    "A9": _check_a9,
+    "A10": _check_a10,
+}
+
+
+def run_xtu_rules(summaries, config=None, only=None):
+    """All A6-A10 findings over the merged summary index. `config` is the
+    parsed hotpaths.json ({"hot_roots": [...], "boundaries": [...]});
+    `only`, when set, restricts to that subset of rule ids."""
+    index = _Index(summaries, config)
+    findings: list = []
+    for rule_id, check in _CHECKS.items():
+        if only and rule_id not in only:
+            continue
+        check(index, findings)
+    return findings

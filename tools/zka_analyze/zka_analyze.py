@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
 """AST-level policy analyzer for the ZKA codebase.
 
-Drives libclang over the CMake-exported compile_commands.json and
-enforces the five semantic policy rules (A1-A5; see rules.py and
-DESIGN.md "Static analysis"). The regex half of the policy suite lives
-in tools/check_invariants.py.
+Two phases over the CMake-exported compile_commands.json:
+
+  phase 1 (libclang, cached per TU): parse each translation unit, run
+          the single-TU semantic rules (A1-A5; rules.py) and extract the
+          per-function summary facts (summary.py). Results are cached
+          under --cache-dir keyed on file content hashes, so an
+          unchanged tree re-analyzes nothing.
+  phase 2 (pure Python): merge the summaries into a USR-keyed call
+          graph and run the cross-TU dataflow rules (A6-A10; xtu.py)
+          configured by hotpaths.json.
+
+The regex half of the policy suite lives in tools/check_invariants.py.
 
 Usage:
     python3 tools/zka_analyze/zka_analyze.py \
         --compile-commands build/compile_commands.json \
         [--baseline tools/zka_analyze/baseline.txt] \
-        [--strict-baseline] [--json findings.json] [--only A1 A3] [-v]
+        [--strict-baseline] [--json findings.json] [--only A1 A6] \
+        [--cache-dir DIR | --no-cache] [--stats] [-v]
 
 Exit codes:
     0   clean (all findings suppressed by escapes or baseline)
@@ -28,15 +37,18 @@ import argparse
 import json
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import engine
+from cache import TuCache, file_sha256
 from clang_loader import load_cindex, resource_dir_args
 
 REPO_ROOT = os.path.realpath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
 )
+PKG_DIR = os.path.dirname(os.path.abspath(__file__))
 
 # Only translation units under these roots are analyzed (their headers
 # come along transitively).
@@ -52,8 +64,13 @@ def parse_args(argv):
     )
     parser.add_argument(
         "--baseline",
-        default=os.path.join(REPO_ROOT, "tools", "zka_analyze", "baseline.txt"),
+        default=os.path.join(PKG_DIR, "baseline.txt"),
         help="grandfathered-findings file; pass an empty string to disable",
+    )
+    parser.add_argument(
+        "--hotpaths",
+        default=os.path.join(PKG_DIR, "hotpaths.json"),
+        help="A6/A7 hot-root and boundary configuration",
     )
     parser.add_argument(
         "--strict-baseline",
@@ -64,13 +81,29 @@ def parse_args(argv):
     parser.add_argument(
         "--json",
         metavar="PATH",
-        help="also write findings and baseline state as JSON",
+        help="also write findings, per-rule counts and baseline state as JSON",
     )
     parser.add_argument(
         "--only",
         nargs="+",
         metavar="RULE",
-        help="restrict to a subset of rules, e.g. --only A1 A3",
+        help="restrict to a subset of rules, e.g. --only A1 A6",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="per-TU index cache directory (default: "
+        "<compile-commands dir>/zka_analyze_cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-analyze every TU, bypassing the index cache",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print TU, cache and per-phase timing statistics",
     )
     parser.add_argument(
         "-v", "--verbose", action="store_true", help="log each TU as it is parsed"
@@ -94,8 +127,83 @@ def make_line_provider(repo_root):
     return provider
 
 
+def select_commands(commands):
+    """The repo-internal TUs the analyzer owns, with their repo paths."""
+    selected = []
+    for cmd in commands:
+        if not cmd.file.startswith(REPO_ROOT + os.sep):
+            continue
+        rel = os.path.relpath(cmd.file, REPO_ROOT).replace(os.sep, "/")
+        if not rel.startswith(TU_ROOTS) or rel.startswith(engine.DEFAULT_EXCLUDES):
+            continue
+        selected.append((cmd, rel))
+    return selected
+
+
+def analyzer_salt() -> str:
+    """Content hash of the analyzer implementation: any rule or extractor
+    change invalidates every cache entry."""
+    parts = []
+    for name in ("engine.py", "rules.py", "summary.py", "xtu.py"):
+        parts.append(file_sha256(os.path.join(PKG_DIR, name)) or "")
+    return ":".join(parts)
+
+
+def tu_dependencies(tu, main_file: str) -> list:
+    """The TU plus every repo-internal file it included — the content set
+    the cache entry is keyed on."""
+    deps = {os.path.realpath(main_file)}
+    try:
+        for inc in tu.get_includes():
+            name = getattr(inc.include, "name", None)
+            if not name:
+                continue
+            real = os.path.realpath(name)
+            if real.startswith(REPO_ROOT + os.sep) and "/build/" not in real:
+                deps.add(real)
+    except Exception:  # noqa: BLE001 -- missing includes only weaken caching
+        pass
+    return sorted(deps)
+
+
+def load_hotpaths(path: str):
+    if not path or not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
+
+    # Database problems are environment errors regardless of libclang, so
+    # they are diagnosed first (and are testable on machines without it).
+    if not os.path.exists(args.compile_commands):
+        print(
+            f"zka_analyze: {args.compile_commands} not found; configure the "
+            f"build first (cmake --preset release)",
+            file=sys.stderr,
+        )
+        return engine.EXIT_ENV
+    try:
+        commands = engine.load_compile_commands(args.compile_commands)
+    except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
+        print(f"zka_analyze: bad compilation database: {exc}", file=sys.stderr)
+        return engine.EXIT_ENV
+    selected = select_commands(commands)
+    if not selected:
+        print(
+            "zka_analyze: compilation database contained no analyzable "
+            "translation units",
+            file=sys.stderr,
+        )
+        return engine.EXIT_ENV
+
+    try:
+        hot_config = load_hotpaths(args.hotpaths)
+    except (OSError, ValueError) as exc:
+        print(f"zka_analyze: bad hotpaths config: {exc}", file=sys.stderr)
+        return engine.EXIT_ENV
 
     cindex = load_cindex()
     if cindex is None:
@@ -106,21 +214,11 @@ def main(argv=None) -> int:
         )
         return engine.EXIT_SKIP
 
-    import rules as rules_mod  # after the loader check: imports clang helpers
+    import rules as rules_mod
+    import summary as summary_mod
+    import xtu
 
-    if not os.path.exists(args.compile_commands):
-        print(
-            f"zka_analyze: {args.compile_commands} not found; configure the "
-            f"build first (cmake --preset release)",
-            file=sys.stderr,
-        )
-        return engine.EXIT_ENV
-
-    try:
-        commands = engine.load_compile_commands(args.compile_commands)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"zka_analyze: bad compilation database: {exc}", file=sys.stderr)
-        return engine.EXIT_ENV
+    all_rule_ids = tuple(rules_mod.ALL_RULE_IDS) + tuple(xtu.XTU_RULE_IDS)
 
     scope = engine.Scope(REPO_ROOT)
     rule_set = rules_mod.build_rules(cindex, only=args.only)
@@ -130,43 +228,65 @@ def main(argv=None) -> int:
     # tight for a full TU walk.
     sys.setrecursionlimit(100000)
 
+    tu_cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.path.join(
+            os.path.dirname(os.path.abspath(args.compile_commands)),
+            "zka_analyze_cache",
+        )
+        tu_cache = TuCache(cache_dir, salt=analyzer_salt())
+
+    def compute(cmd):
+        tu = engine.parse_tu(
+            cindex, index, cmd.file, cmd.args + extra_args, cmd.directory
+        )
+        extractor = summary_mod.SummaryExtractor(cindex, scope)
+        tu_findings = engine.run_rules(cindex, tu, scope, rule_set, extractor)
+        rel = os.path.relpath(cmd.file, REPO_ROOT).replace(os.sep, "/")
+        return {
+            "findings": [f.__dict__ for f in tu_findings],
+            "summaries": extractor.summaries,
+            "analyzed_paths": sorted({rel} | {f.path for f in tu_findings}),
+            "deps": tu_dependencies(tu, cmd.file),
+        }
+
+    phase1_start = time.monotonic()
     all_findings = []
     analyzed_paths = set()
-    parsed = 0
-    for cmd in commands:
-        if not cmd.file.startswith(REPO_ROOT + os.sep):
-            continue
-        rel = os.path.relpath(cmd.file, REPO_ROOT).replace(os.sep, "/")
-        if not rel.startswith(TU_ROOTS) or rel.startswith(engine.DEFAULT_EXCLUDES):
-            continue
+    summaries: dict = {}
+    for cmd, rel in selected:
         if args.verbose:
-            print(f"zka_analyze: parsing {rel}", file=sys.stderr)
+            print(f"zka_analyze: analyzing {rel}", file=sys.stderr)
         try:
-            tu = engine.parse_tu(
-                cindex, index, cmd.file, cmd.args + extra_args, cmd.directory
+            payload = (
+                tu_cache.get_or_compute(cmd, compute)
+                if tu_cache is not None
+                else compute(cmd)
             )
         except engine.AnalysisError as exc:
             print(f"zka_analyze: {exc}", file=sys.stderr)
             return engine.EXIT_ENV
-        parsed += 1
-        analyzed_paths.add(rel)
-        for f in engine.run_rules(cindex, tu, scope, rule_set):
-            analyzed_paths.add(f.path)
-            all_findings.append(f)
+        for d in payload["findings"]:
+            all_findings.append(engine.Finding(**d))
+        analyzed_paths.update(payload["analyzed_paths"])
+        for usr, s in payload["summaries"].items():
+            # Header-inline functions appear in several TUs; first wins.
+            summaries.setdefault(usr, s)
+    phase1_s = time.monotonic() - phase1_start
 
-    if parsed == 0:
-        print(
-            "zka_analyze: compilation database contained no analyzable "
-            "translation units",
-            file=sys.stderr,
-        )
-        return engine.EXIT_ENV
+    phase2_start = time.monotonic()
+    xtu_findings = xtu.run_xtu_rules(summaries, hot_config, only=args.only)
+    for f in xtu_findings:
+        analyzed_paths.add(f.path)
+        all_findings.append(f)
+    phase2_s = time.monotonic() - phase2_start
 
     findings = engine.dedupe(all_findings)
+    raw_count = len(findings)
     provider = make_line_provider(REPO_ROOT)
     findings, used_escapes = engine.filter_allows(findings, provider)
     unused = engine.find_unused_allows(
-        analyzed_paths, provider, used_escapes, set(rules_mod.ALL_RULE_IDS)
+        analyzed_paths, provider, used_escapes, set(all_rule_ids)
     )
 
     baseline_entries = []
@@ -177,6 +297,17 @@ def main(argv=None) -> int:
             print(f"zka_analyze: {exc}", file=sys.stderr)
             return engine.EXIT_ENV
     remaining, stale = engine.apply_baseline(findings, baseline_entries)
+
+    per_rule = {}
+    for rule_id in all_rule_ids:
+        found = [f for f in findings if f.rule == rule_id]
+        left = [f for f in remaining if f.rule == rule_id]
+        if found or (args.only and rule_id in args.only) or not args.only:
+            per_rule[rule_id] = {
+                "found": len(found),
+                "baselined": len(found) - len(left),
+                "remaining": len(left),
+            }
 
     if args.json:
         payload = {
@@ -190,10 +321,18 @@ def main(argv=None) -> int:
                 }
                 for f in remaining
             ],
+            "per_rule": per_rule,
             "baselined": len(findings) - len(remaining),
             "stale_baseline": [e.render() for e in stale],
             "unused_escapes": unused,
-            "translation_units": parsed,
+            "translation_units": len(selected),
+            "functions_indexed": len(summaries),
+            "cache": {
+                "hits": tu_cache.hits if tu_cache else 0,
+                "misses": tu_cache.misses if tu_cache else len(selected),
+                "enabled": tu_cache is not None,
+            },
+            "phase_seconds": {"parse_and_extract": phase1_s, "dataflow": phase2_s},
         }
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
@@ -212,17 +351,30 @@ def main(argv=None) -> int:
             f"delete it -- the baseline only shrinks"
         )
 
+    if args.stats:
+        hits = tu_cache.hits if tu_cache else 0
+        misses = tu_cache.misses if tu_cache else len(selected)
+        print(
+            f"zka_analyze: stats: {len(selected)} TUs "
+            f"({hits} cached, {misses} analyzed), "
+            f"{len(summaries)} functions indexed, "
+            f"{raw_count} raw finding(s); "
+            f"phase1 {phase1_s:.2f}s, phase2 {phase2_s:.3f}s",
+            file=sys.stderr,
+        )
+
     if remaining:
         print(
             f"zka_analyze: {len(remaining)} finding(s) "
-            f"({len(findings) - len(remaining)} baselined, {parsed} TUs)",
+            f"({len(findings) - len(remaining)} baselined, "
+            f"{len(selected)} TUs)",
             file=sys.stderr,
         )
         return engine.EXIT_FINDINGS
     if args.strict_baseline and (stale or unused):
         return engine.EXIT_FINDINGS
     print(
-        f"zka_analyze: OK ({parsed} TUs, {len(findings) - len(remaining)} "
+        f"zka_analyze: OK ({len(selected)} TUs, {len(findings) - len(remaining)} "
         f"baselined finding(s))"
     )
     return engine.EXIT_CLEAN
