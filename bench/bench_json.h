@@ -101,7 +101,10 @@ class BenchJson {
       out += "\"mean\":" + number(util::mean(view));
       out += ",\"min\":" + number(sorted.empty() ? 0.0 : sorted.front());
       out += ",\"max\":" + number(sorted.empty() ? 0.0 : sorted.back());
-      out += ",\"p50\":" + number(util::median(sorted));
+      // Metric-only entries have no samples; util::median's empty-range
+      // contract (DCHECK, UB in release) must not be reached.
+      out += ",\"p50\":" +
+             number(sorted.empty() ? 0.0 : util::median(sorted));
       out += ",\"stddev\":" + number(util::stddev(view));
       out += '}';
       if (!e.metrics.empty()) {

@@ -35,7 +35,10 @@ int main(int argc, char** argv) {
 
   const models::Task task = models::Task::kFashion;
   const double fractions[] = {0.001, 0.005, 0.01};  // 0.1% .. 1% sybils
-  const char* defenses[] = {"fedavg", "mkrum"};
+  // mkrum-sketch = mkrum with a JL sketch (defense/sketch.h): the
+  // one-shot ranking streams, so it runs under the same memory budget
+  // as FedAvg — the exact mkrum rows keep the unbounded buffered path.
+  const char* defenses[] = {"fedavg", "mkrum", "mkrum-sketch"};
 
   util::Table table({"Population", "Defense", "frac (%)", "acc (%)",
                      "ASR (%)", "DPR (%)", "peak upd (KiB)"});
@@ -45,7 +48,9 @@ int main(int argc, char** argv) {
        population *= 10) {
     for (const char* defense : defenses) {
       for (const double fraction : fractions) {
-        fl::SimulationConfig config = bench::make_config(task, scale, defense);
+        const bool sketched = std::string(defense) == "mkrum-sketch";
+        fl::SimulationConfig config = bench::make_config(
+            task, scale, sketched ? "mkrum" : defense);
         config.population = population;
         config.clients_per_round = std::min(cpr, population);
         config.samples_per_client = 32;
@@ -53,9 +58,11 @@ int main(int argc, char** argv) {
         // Sub-1% of a small population floors to zero attackers; report
         // that point as a clean baseline instead of skipping or crashing.
         config.malicious_rounding = fl::MaliciousRounding::kFloor;
-        // mKrum needs the round's full update matrix (pairwise distances),
-        // so the budget only constrains the streaming-capable FedAvg runs.
-        const bool streams = std::string(defense) == "fedavg";
+        // Exact mKrum needs the round's full update matrix (pairwise
+        // distances), so the budget constrains the streaming-capable runs
+        // only: FedAvg, and mkrum through the sketched selection path.
+        config.sketch_dim = sketched ? 256 : 0;
+        const bool streams = sketched || std::string(defense) == "fedavg";
         config.memory_budget_bytes = streams ? budget_bytes : 0;
         config.eval_every = config.rounds;  // evaluate the final round only
 

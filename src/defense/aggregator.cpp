@@ -27,6 +27,12 @@ void Aggregator::stream_update(UpdateView update) {
   ZKA_CHECK(false, "%s does not support streaming ingestion", name().c_str());
 }
 
+void Aggregator::stream_replay(std::size_t index, UpdateView update) {
+  (void)index;
+  (void)update;
+  ZKA_CHECK(false, "%s never requests streaming replays", name().c_str());
+}
+
 AggregationResult Aggregator::finish_stream() {
   ZKA_CHECK(false, "%s does not support streaming ingestion", name().c_str());
   return {};

@@ -78,15 +78,43 @@ class Aggregator {
   //
   // and may free each update buffer as soon as its stream_update returns,
   // bounding server memory by the training-wave size instead of n.
-  // Contract: streaming MUST produce a bitwise-identical model to
-  // aggregate() given the same updates in the same order (FedAvg
-  // guarantees this by folding with the exact per-coordinate accumulation
-  // order of tensor::weighted_sum). Pairwise-distance and coordinate-wise
-  // rules inherently need all n updates and keep the default (false);
-  // for them the server's floor is n = clients_per_round buffers.
+  //
+  // Between the last stream_update and finish_stream, the server asks
+  // stream_replay_request() for the (possibly empty) index set the rule
+  // wants to see again at full dimension — the bounded second pass behind
+  // the sketched selection rules (defense/sketch.h): ranking happens on
+  // O(k) sketches, and only the O(f + band) updates near the decision
+  // boundary are replayed for the exact re-check and the final mean.
+  // Client training is a pure function of (global model, seed), so the
+  // server re-derives a replayed update bit-for-bit instead of storing it.
+  //
+  //   begin_stream(dim, weights);
+  //   stream_update(u_0); ... stream_update(u_{n-1});   // submission order
+  //   for i in stream_replay_request():                 // ascending
+  //     stream_replay(i, u_i);                          // same bits as pass 1
+  //   finish_stream();
+  //
+  // Contract: streaming produces a bitwise-identical model to aggregate()
+  // given the same updates in the same order whenever streaming_exact() is
+  // true — FedAvg folds with the exact per-coordinate accumulation order
+  // of tensor::weighted_sum, and the sketched Krum family computes the
+  // buffered path through the very same plan/replay sums. Rules that
+  // stream through a documented approximation (hierarchical tree
+  // median/trimmed-mean under a memory budget, statistic.h) return false
+  // from streaming_exact() and remain bitwise deterministic for a fixed
+  // arrival order and budget — just not equal to their batch rule unless
+  // the budget admits a single wave. Rules that truly need all n updates
+  // keep supports_streaming() false; for them the server's floor is
+  // n = clients_per_round buffers.
 
   /// True when this rule implements the streaming hooks.
   virtual bool supports_streaming() const noexcept { return false; }
+
+  /// True when finish_stream() is guaranteed bitwise-identical to
+  /// aggregate() on the same updates in the same order. Approximate
+  /// streaming rules (tree median/trmean) override to false and document
+  /// their agreement bounds.
+  virtual bool streaming_exact() const noexcept { return true; }
 
   /// Starts a streaming round: `dim` coordinates per update, one weight
   /// per forthcoming stream_update call, in call order. Throws unless the
@@ -98,8 +126,20 @@ class Aggregator {
   /// valid for the duration of the call.
   virtual void stream_update(UpdateView update);
 
+  /// After the last stream_update: the ascending index set (into the
+  /// streamed order) this rule needs replayed at full dimension before
+  /// finish_stream(). Default: none. The span stays valid until
+  /// finish_stream() returns.
+  virtual std::span<const std::size_t> stream_replay_request() { return {}; }
+
+  /// Replays update `index` (must be the next unserved entry of
+  /// stream_replay_request(), ascending) with exactly the bits it had in
+  /// the first pass. Throws for rules that never request replays.
+  virtual void stream_replay(std::size_t index, UpdateView update);
+
   /// Finishes the round and returns the aggregate, exactly as aggregate()
-  /// would have. Requires one stream_update per begin_stream weight.
+  /// would have when streaming_exact(). Requires one stream_update per
+  /// begin_stream weight, plus every requested replay.
   virtual AggregationResult finish_stream();
 };
 
@@ -112,10 +152,33 @@ std::vector<UpdateView> as_views(const std::vector<Update>& updates);
 void validate_updates(std::span<const UpdateView> updates,
                       std::span<const std::int64_t> weights);
 
+/// Knobs shared by the named constructor below; defaults reproduce the
+/// legacy make_aggregator(name, f) behaviour exactly.
+struct AggregatorOptions {
+  /// The defense's assumed attacker bound f.
+  std::size_t num_byzantine = 2;
+  /// JL sketch dimension k for the distance-based rules (krum, mkrum,
+  /// bulyan): rank on O(k) sketches, re-check the selection boundary
+  /// exactly at full dimension (defense/sketch.h). 0 = exact path.
+  std::size_t sketch_dim = 0;
+  /// Seed of the sketch sign pattern.
+  std::uint64_t sketch_seed = 0x5ce7c41ULL;
+  /// Per-side width of the exact re-check band around the selection cut.
+  std::size_t recheck_band = 16;
+  /// Server memory budget forwarded to budget-aware streaming rules
+  /// (median/trmean size their tree-aggregation wave from it). 0 = keep
+  /// the batch path.
+  std::size_t memory_budget_bytes = 0;
+};
+
 /// Named construction for benches/CLIs: fedavg, median, trmean, mkrum,
 /// bulyan, foolsgold, normclip. `num_byzantine` is the defense's assumed
 /// attacker bound f.
 std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
                                             std::size_t num_byzantine);
+
+/// Full-options overload; the legacy signature forwards here.
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
+                                            const AggregatorOptions& options);
 
 }  // namespace zka::defense

@@ -23,7 +23,7 @@ AggregationResult Bulyan::aggregate(std::span<const UpdateView> updates,
   // Keep beta = theta - 2f values per coordinate, at least one.
   const std::size_t keep = theta > 2 * f_ ? theta - 2 * f_ : 1;
 
-  MultiKrum krum(f_, theta, /*iterative=*/true);
+  MultiKrum krum(f_, theta, /*iterative=*/true, sketch_);
   AggregationResult result;
   result.selected = krum.select(updates);
 

@@ -1,15 +1,22 @@
 // Bulyan (El Mhamdi et al., ICML 2018): Multi-Krum selection of
 // theta = n - 2f updates followed by a coordinate-wise trimmed aggregation
 // that keeps the theta - 2f values closest to the per-coordinate median.
+//
+// The sketch options flow into the internal iterative Multi-Krum: big
+// rounds rank on JL sketches and re-check the selection boundary exactly
+// at full dimension (defense/sketch.h); the coordinate-wise trim always
+// runs on the full-dimension selected set.
 #pragma once
 
 #include "defense/aggregator.h"
+#include "defense/sketch.h"
 
 namespace zka::defense {
 
 class Bulyan : public Aggregator {
  public:
-  explicit Bulyan(std::size_t num_byzantine) : f_(num_byzantine) {}
+  explicit Bulyan(std::size_t num_byzantine, SketchOptions sketch = {})
+      : f_(num_byzantine), sketch_(sketch) {}
 
   using Aggregator::aggregate;
   AggregationResult aggregate(std::span<const UpdateView> updates,
@@ -19,6 +26,7 @@ class Bulyan : public Aggregator {
 
  private:
   std::size_t f_;
+  SketchOptions sketch_;
 };
 
 }  // namespace zka::defense

@@ -29,7 +29,25 @@ AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
                  static_cast<double>(options_.num_byzantine))));
 
   std::vector<bool> accepted(n, true);
-  for (int iter = 0; iter < options_.iterations; ++iter) {
+  std::size_t accepted_count = n;
+  // Sorted scores of the most recent iteration, over that iteration's
+  // candidate set — what the empty-selection fallback draws its argmin
+  // from.
+  std::vector<std::pair<double, std::size_t>> scores;
+  for (int iter = 0; iter < options_.iterations && accepted_count > 0;
+       ++iter) {
+    // Every statistic below runs over the *currently accepted* set only:
+    // scoring all n rows would let an already-rejected extreme outlier
+    // keep dominating the spectral direction and re-absorb the iteration's
+    // entire filter budget, so later iterations would never see a fresh
+    // candidate to discard.
+    std::vector<std::size_t> active;
+    active.reserve(accepted_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (accepted[i]) active.push_back(i);
+    }
+    const std::size_t na = active.size();
+
     // Random coordinate block.
     const std::size_t b = std::min(options_.subsample_dim, dim);
     std::vector<std::size_t> coords(b);
@@ -40,22 +58,23 @@ AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
       coords.assign(picked.begin(), picked.end());
     }
 
-    // Centered submatrix A [n, b].
+    // Centered submatrix A [na, b].
     std::vector<double> mean(b, 0.0);
-    for (const UpdateView u : updates) {
+    for (const std::size_t i : active) {
       for (std::size_t j = 0; j < b; ++j) {
-        mean[j] += static_cast<double>(u[coords[j]]);
+        mean[j] += static_cast<double>(updates[i][coords[j]]);
       }
     }
-    for (auto& m : mean) m /= static_cast<double>(n);
-    std::vector<double> a(n * b);
-    for (std::size_t i = 0; i < n; ++i) {
+    for (auto& m : mean) m /= static_cast<double>(na);
+    std::vector<double> a(na * b);
+    for (std::size_t r = 0; r < na; ++r) {
       for (std::size_t j = 0; j < b; ++j) {
-        a[i * b + j] = static_cast<double>(updates[i][coords[j]]) - mean[j];
+        a[r * b + j] =
+            static_cast<double>(updates[active[r]][coords[j]]) - mean[j];
       }
     }
-    const auto row = [&](std::size_t i) {
-      return std::span<const double>(a.data() + i * b, b);
+    const auto row = [&](std::size_t r) {
+      return std::span<const double>(a.data() + r * b, b);
     };
 
     // Power iteration for the top right singular vector v in R^b.
@@ -63,15 +82,15 @@ AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
     for (std::size_t j = 0; j < b; ++j) {
       v[j] = std::sin(0.37 * static_cast<double>(j + 1)) + 0.011;
     }
-    std::vector<double> av(n);
+    std::vector<double> av(na);
     std::vector<double> vnext(b);
     for (int it = 0; it < options_.power_iterations; ++it) {
-      for (std::size_t i = 0; i < n; ++i) av[i] = tensor::dot(row(i), v);
-      // v <- A^T (A v), accumulated row by row (same i-ascending order the
+      for (std::size_t r = 0; r < na; ++r) av[r] = tensor::dot(row(r), v);
+      // v <- A^T (A v), accumulated row by row (same r-ascending order the
       // scalar column loop used).
       std::fill(vnext.begin(), vnext.end(), 0.0);
-      for (std::size_t i = 0; i < n; ++i) {
-        tensor::axpy(av[i], row(i), vnext);
+      for (std::size_t r = 0; r < na; ++r) {
+        tensor::axpy(av[r], row(r), vnext);
       }
       const double norm = std::sqrt(tensor::dot(
           std::span<const double>(vnext), std::span<const double>(vnext)));
@@ -81,16 +100,19 @@ AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
     }
 
     // Outlier scores: squared projection on v.
-    std::vector<std::pair<double, std::size_t>> scores(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double acc = tensor::dot(row(i), v);
-      scores[i] = {acc * acc, i};
+    scores.assign(na, {});
+    for (std::size_t r = 0; r < na; ++r) {
+      const double acc = tensor::dot(row(r), v);
+      scores[r] = {acc * acc, active[r]};
     }
     std::sort(scores.begin(), scores.end());
-    // Discard the `discard` highest-scoring updates this iteration.
-    for (std::size_t k = n - discard; k < n; ++k) {
+    // Discard the `discard` highest-scoring survivors this iteration (all
+    // of them on tiny rounds — the fallback below recovers).
+    const std::size_t kill = std::min(discard, na);
+    for (std::size_t k = na - kill; k < na; ++k) {
       accepted[scores[k].second] = false;
     }
+    accepted_count -= kill;
   }
 
   AggregationResult result;
@@ -99,9 +121,15 @@ AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
   }
   if (result.selected.empty()) {
     // Everything filtered (tiny rounds): fall back to the single
-    // lowest-score update to keep the server making progress.
-    result.selected.push_back(0);
+    // lowest-score update of the last scored candidate set to keep the
+    // server making progress.
+    ZKA_CHECK(!scores.empty(), "DnC: empty selection with no scored iteration");
+    result.selected.push_back(scores.front().second);
   }
+  // Deliberately unweighted: like mKrum and Bulyan, DnC treats its
+  // accepted set as a vetted committee and averages it uniformly —
+  // sample-count weighting would let one heavy (or weight-inflating)
+  // client dominate the very mean the spectral filter just defended.
   result.model = mean_of(updates, result.selected);
   return result;
 }

@@ -3,10 +3,14 @@
 // extension defense.
 //
 // Each filtering iteration subsamples a random block of coordinates,
-// centers the updates there, finds the dominant right singular direction
-// by power iteration, scores every update by its squared projection onto
-// it, and discards the c*f highest-scoring updates. The final accepted
-// set is the intersection across iterations; their mean is the aggregate.
+// centers the *currently accepted* updates there, finds the dominant
+// right singular direction by power iteration, scores each survivor by
+// its squared projection onto it, and discards the c*f highest-scoring
+// ones — so every iteration's filter budget lands on fresh candidates
+// instead of re-discarding the same extreme outlier. The final accepted
+// set is their unweighted mean (a vetted committee, like mKrum/Bulyan);
+// if tiny rounds filter everything, the single lowest-score update of
+// the last iteration is selected as a fallback.
 #pragma once
 
 #include "defense/aggregator.h"

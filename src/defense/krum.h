@@ -4,9 +4,19 @@
 // n - f - 2 nearest neighbors; low score means "centrally located".
 // Multi-Krum iteratively selects the lowest-scoring update m times
 // (rescoring after each removal) and averages the selection.
+//
+// With SketchOptions::sketch_dim set, rounds big enough to care rank on
+// JL sketches and re-check the selection boundary exactly at full
+// dimension (defense/sketch.h); the one-shot variant then also streams —
+// O(n·k) sketch state plus one O(d) running sum instead of n·d buffers —
+// using the replay protocol in aggregator.h for the exact second pass.
+// Buffered and streaming paths produce bitwise-identical results.
 #pragma once
 
+#include <optional>
+
 #include "defense/aggregator.h"
+#include "defense/sketch.h"
 
 namespace zka::defense {
 
@@ -21,8 +31,11 @@ class MultiKrum : public Aggregator {
   /// selection with large m, a mutual-distance-zero pair wins the tail
   /// slots once most benign updates are already excluded.
   MultiKrum(std::size_t num_byzantine, std::size_t num_selected = 0,
-            bool iterative = false)
-      : f_(num_byzantine), m_(num_selected), iterative_(iterative) {}
+            bool iterative = false, SketchOptions sketch = {})
+      : f_(num_byzantine),
+        m_(num_selected),
+        iterative_(iterative),
+        sketch_(sketch) {}
 
   using Aggregator::aggregate;
   AggregationResult aggregate(std::span<const UpdateView> updates,
@@ -35,10 +48,51 @@ class MultiKrum : public Aggregator {
   std::vector<std::size_t> select(std::span<const UpdateView> updates) const;
   std::vector<std::size_t> select(const std::vector<Update>& updates) const;
 
+  // Streaming (one-shot sketched variant only): sketches fold per
+  // stream_update, the ranking happens at stream_replay_request() time,
+  // and the requested O(f + band) updates return once more for the exact
+  // re-check + final mean. Rounds where sketching does not apply (small
+  // n, low dim) silently buffer internally and run the exact rule, so
+  // finish_stream() always equals aggregate().
+  bool supports_streaming() const noexcept override {
+    return sketch_.sketch_dim > 0 && !iterative_;
+  }
+  void begin_stream(std::size_t dim,
+                    std::span<const std::int64_t> weights) override;
+  void stream_update(UpdateView update) override;
+  std::span<const std::size_t> stream_replay_request() override;
+  void stream_replay(std::size_t index, UpdateView update) override;
+  AggregationResult finish_stream() override;
+
  private:
+  std::size_t selection_size(std::size_t n) const {
+    const std::size_t m = m_ == 0 ? (n > f_ ? n - f_ : 1) : m_;
+    return std::min(m, n);
+  }
+  AggregationResult aggregate_sketched(std::span<const UpdateView> updates);
+  void reset_stream();
+
   std::size_t f_;
   std::size_t m_;
   bool iterative_;
+  SketchOptions sketch_;
+
+  // Streaming state (empty between rounds).
+  bool streaming_ = false;
+  bool stream_buffered_ = false;  ///< degenerate round: exact rule on a buffer
+  std::size_t stream_dim_ = 0;
+  std::size_t stream_n_ = 0;
+  std::size_t stream_next_ = 0;
+  std::vector<std::int64_t> stream_weights_;
+  std::optional<tensor::JlSketch> stream_sketch_;
+  std::vector<float> stream_rows_;      ///< n × k sketches
+  std::vector<double> stream_sum_;      ///< index-ascending Σ of all updates
+  std::vector<double> stream_scratch_;  ///< k doubles for project()
+  std::vector<Update> stream_buffer_;   ///< degenerate mode only
+  bool stream_planned_ = false;
+  SketchedSelectionPlan stream_plan_;
+  std::vector<float> stream_replayed_;  ///< replay.size() × dim
+  std::size_t stream_replay_next_ = 0;
 };
 
 }  // namespace zka::defense

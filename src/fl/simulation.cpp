@@ -93,10 +93,13 @@ Simulation::Simulation(SimulationConfig config)
       config_.malicious_fraction > 0.0 && num_malicious_ == 0) {
     num_malicious_ = 1;
   }
+  defense::AggregatorOptions agg_options;
+  agg_options.num_byzantine = config_.defense_f;
+  agg_options.sketch_dim = config_.sketch_dim;
+  agg_options.memory_budget_bytes = config_.memory_budget_bytes;
   aggregator_ = config_.custom_defense
                     ? config_.custom_defense()
-                    : defense::make_aggregator(config_.defense,
-                                               config_.defense_f);
+                    : defense::make_aggregator(config_.defense, agg_options);
   ZKA_CHECK(aggregator_ != nullptr,
             "Simulation: custom_defense returned null");
 }
@@ -159,7 +162,7 @@ SimulationResult Simulation::run(attack::Attack* attack) {
   std::vector<defense::Update> wave_updates;
   std::vector<defense::Update> benign_updates;
   std::vector<defense::UpdateView> updates;
-  std::vector<bool> is_malicious;  // buffered path only (selection DPR)
+  std::vector<bool> is_malicious;  // sampling-order flags (selection DPR)
   benign_ids.reserve(round_k);
   malicious_ids.reserve(round_k);
   benign_weights.reserve(round_k);
@@ -253,8 +256,9 @@ SimulationResult Simulation::run(attack::Attack* attack) {
       weights.clear();
       std::size_t benign_cursor = 0;
       for (const std::size_t c : sampled) {
-        weights.push_back(is_malicious_id(c)
-                              ? malicious_weight
+        const bool mal = is_malicious_id(c);
+        is_malicious.push_back(mal);
+        weights.push_back(mal ? malicious_weight
                               : benign_weights[benign_cursor++]);
       }
       aggregator_->begin_stream(global.size(), weights);
@@ -309,6 +313,52 @@ SimulationResult Simulation::run(attack::Attack* attack) {
                      static_cast<long long>(round), wave_cursor,
                      wave_updates.size());
         }
+      }
+      // Replay pass: a sketched defense asks for a bounded index set back
+      // at full dimension (the exact re-check of its selection boundary).
+      // Training is a pure function of (global model, seed) — the global
+      // has not advanced yet — so re-training a benign client reproduces
+      // its first-pass update bit-for-bit, and sybils re-submit the one
+      // crafted buffer. Replays train in waves under the same budget.
+      const auto replay = aggregator_->stream_replay_request();
+      for (std::size_t start = 0; start < replay.size();) {
+        wave_benign.clear();
+        std::size_t end = start;
+        while (end < replay.size() && wave_benign.size() < wave) {
+          const std::size_t c = sampled[replay[end]];
+          if (!is_malicious_id(c)) wave_benign.push_back(c);
+          ++end;
+        }
+        wave_updates.resize(wave_benign.size());
+        {
+          ZKA_PROF_SCOPE("client_train");
+          const auto train_one = [&](std::size_t k) {
+            train_client_(wave_benign[k], round, global, wave_updates[k]);
+          };
+          if (config_.parallel_clients) {
+            util::global_thread_pool().parallel_for(wave_benign.size(),
+                                                    train_one);
+          } else {
+            for (std::size_t k = 0; k < wave_benign.size(); ++k) {
+              train_one(k);
+            }
+          }
+        }
+        round_peak_bytes = std::max(
+            round_peak_bytes,
+            (wave_updates.size() + (have_malicious ? 1 : 0)) * update_bytes);
+        {
+          ZKA_PROF_SCOPE("aggregate");
+          std::size_t wave_cursor = 0;
+          for (std::size_t i = start; i < end; ++i) {
+            const std::size_t idx = replay[i];
+            aggregator_->stream_replay(
+                idx, is_malicious_id(sampled[idx])
+                         ? defense::UpdateView(malicious_update)
+                         : defense::UpdateView(wave_updates[wave_cursor++]));
+          }
+        }
+        start = end;
       }
       {
         ZKA_PROF_SCOPE("aggregate");

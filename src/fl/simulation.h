@@ -64,6 +64,12 @@ struct SimulationConfig {
   std::string defense = "fedavg";
   /// The server's assumed Byzantine bound f (also TRmean's trim count).
   std::size_t defense_f = 2;
+  /// JL sketch dimension for the distance-based defenses (krum, mkrum,
+  /// bulyan): rank on O(sketch_dim) projections, re-check the selection
+  /// boundary exactly at full dimension (defense/sketch.h). Enables the
+  /// O(n)-memory streaming server path for one-shot Krum rules; 0 keeps
+  /// the exact rules. Ignored by defenses without a sketched path.
+  std::size_t sketch_dim = 0;
   /// When set, overrides `defense`: the factory is invoked once at
   /// construction to build the aggregator (e.g. an FlTrust instance that
   /// needs a root dataset, or a user-defined rule).
@@ -82,11 +88,16 @@ struct SimulationConfig {
   /// Per-device shard size in production mode (clamped to train_size).
   std::int64_t samples_per_client = 32;
   /// Server memory budget for update ingestion, in bytes. 0 = unbounded.
-  /// With a streaming defense (FedAvg) the round trains in waves of
+  /// With a streaming defense (FedAvg; sketched mkrum/krum via sketch_dim;
+  /// median/trmean through tree aggregation) the round trains in waves of
   /// floor(budget / update_bytes) clients (minimum 1) and folds each wave
   /// before training the next, so at most one wave of updates is live.
-  /// Non-streaming defenses need all clients_per_round updates at once;
-  /// configuring a budget below that throws at run() time.
+  /// Defenses that request a streaming replay (the sketched rules' exact
+  /// re-check) get the requested clients re-trained in waves under the
+  /// same budget — training is a pure function of (global, seed), so the
+  /// replayed bits match the first pass. Non-streaming defenses need all
+  /// clients_per_round updates at once; configuring a budget below that
+  /// throws at run() time.
   std::size_t memory_budget_bytes = 0;
   /// Materialize every lazy shard up front (testing / memory-comparison
   /// knob; production mode only). Must be bitwise-equivalent to the lazy

@@ -139,6 +139,15 @@ void axpy(double alpha, std::span<const double> x,
   backend().kernels->axpy_dd(alpha, x.data(), y.data(), x.size());
 }
 
+void fmadd(std::span<const float> x, std::span<const float> s,
+           std::span<double> y) noexcept {
+  ZKA_DCHECK(x.size() == s.size() && x.size() == y.size(),
+             "fmadd: %zu / %zu / %zu", x.size(), s.size(), y.size());
+  ZKA_PROF_COUNT("reduce/fmadd/calls", 1);
+  ZKA_PROF_COUNT("reduce/fmadd/elems", x.size());
+  backend().kernels->fmadd_ffd(x.data(), s.data(), y.data(), x.size());
+}
+
 void weighted_sum(std::span<const std::span<const float>> rows,
                   std::span<const double> coeffs, std::span<double> out) {
   ZKA_CHECK(rows.size() == coeffs.size(),

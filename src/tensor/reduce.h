@@ -65,6 +65,12 @@ void axpy(double alpha, std::span<const float> x,
 void axpy(double alpha, std::span<const double> x,
           std::span<double> y) noexcept;
 
+/// y[i] += x[i] * s[i], elementwise (one accumulator per output element,
+/// association-free). The inner fold of the JL sign-sketch (see sketch.h),
+/// where `s` is a ±1 pattern. Spans must have equal size.
+void fmadd(std::span<const float> x, std::span<const float> s,
+           std::span<double> y) noexcept;
+
 /// out[i] = sum_k coeffs[k] * rows[k][i], accumulated k-ascending per
 /// coordinate in double. Parallelized over fixed coordinate blocks (the
 /// k-order inside a block never changes), so the result is bitwise

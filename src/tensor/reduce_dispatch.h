@@ -35,6 +35,7 @@ struct ReduceKernels {
   double (*sqdist_dd)(const double* a, const double* b, std::size_t n);
   void (*axpy_fd)(double alpha, const float* x, double* y, std::size_t n);
   void (*axpy_dd)(double alpha, const double* x, double* y, std::size_t n);
+  void (*fmadd_ffd)(const float* x, const float* s, double* y, std::size_t n);
   void (*cmpx_rows)(float* a, float* b, std::size_t n);
 };
 

@@ -143,6 +143,17 @@ void axpy_dd(double alpha, const double* x, double* y, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
+// Elementwise y[i] += x[i] * s[i] — the inner fold of the JL sign-sketch
+// (s is a ±1 pattern, but the kernel is a general elementwise FMA). Like
+// the axpy family it carries one accumulator per output element, so the
+// result is association-free; tiers differ only in vector width and FMA
+// contraction.
+void fmadd_ffd(const float* x, const float* s, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += static_cast<double>(x[i]) * static_cast<double>(s[i]);
+  }
+}
+
 // Sorting-network comparator over two tile rows: a[i] <- min, b[i] <- max,
 // elementwise. Branch-free and association-free, so tiers differ only in
 // vector width. This is the one kernel written with explicit intrinsics:
@@ -196,9 +207,9 @@ void cmpx_rows(float* a, float* b, std::size_t n) {
 }  // namespace
 
 const ReduceKernels kernels = {
-    &dot_ff,    &dot_dd,    &sqnorm_f, &sqdist_ff,
-    &sqdist_fd, &sqdist_dd, &axpy_fd,  &axpy_dd,
-    &cmpx_rows,
+    &dot_ff,    &dot_dd,    &sqnorm_f,  &sqdist_ff,
+    &sqdist_fd, &sqdist_dd, &axpy_fd,   &axpy_dd,
+    &fmadd_ffd, &cmpx_rows,
 };
 
 }  // namespace ZKA_REDUCE_NS

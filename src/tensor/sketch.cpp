@@ -1,0 +1,60 @@
+#include "tensor/sketch.h"
+
+#include "tensor/reduce.h"
+#include "util/check.h"
+#include "util/prof.h"
+#include "util/rng.h"
+
+namespace zka::tensor {
+
+JlSketch::JlSketch(std::size_t dim, std::size_t sketch_dim,
+                   std::uint64_t seed)
+    : dim_(dim), k_(sketch_dim), seed_(seed) {
+  ZKA_CHECK(sketch_dim > 0 && sketch_dim <= dim,
+            "JlSketch: sketch_dim %zu outside [1, dim=%zu]", sketch_dim, dim);
+  signs_.resize(dim_);
+  const std::size_t nblocks = (dim_ + k_ - 1) / k_;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    // Independent per-block SplitMix64 stream: signs for block b depend
+    // only on (seed, b), never on how many blocks preceded it — the
+    // deterministic per-block seeding the streaming path relies on.
+    std::uint64_t state = seed_ ^ (0x9e3779b97f4a7c15ULL * (b + 1));
+    const std::size_t len = std::min(k_, dim_ - b * k_);
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < len; ++j) {
+      if (j % 64 == 0) bits = util::splitmix64(state);
+      signs_[b * k_ + j] = (bits >> (j % 64)) & 1 ? 1.0f : -1.0f;
+    }
+  }
+}
+
+void JlSketch::project(std::span<const float> x, std::span<double> scratch,
+                       std::span<float> out) const {
+  ZKA_DCHECK(x.size() == dim_, "JlSketch::project: input %zu, dim %zu",
+             x.size(), dim_);
+  ZKA_DCHECK(out.size() == k_, "JlSketch::project: output %zu, k %zu",
+             out.size(), k_);
+  ZKA_DCHECK(scratch.size() == k_, "JlSketch::project: scratch %zu, k %zu",
+             scratch.size(), k_);
+  ZKA_PROF_COUNT("reduce/sketch/calls", 1);
+  ZKA_PROF_COUNT("reduce/sketch/elems", dim_);
+  for (auto& a : scratch) a = 0.0;
+  const std::size_t nblocks = (dim_ + k_ - 1) / k_;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t off = b * k_;
+    const std::size_t len = std::min(k_, dim_ - off);
+    fmadd(x.subspan(off, len),
+          std::span<const float>(signs_.data() + off, len),
+          scratch.subspan(0, len));
+  }
+  for (std::size_t j = 0; j < k_; ++j) {
+    out[j] = static_cast<float>(scratch[j]);
+  }
+}
+
+void JlSketch::project(std::span<const float> x, std::span<float> out) const {
+  std::vector<double> scratch(k_);
+  project(x, scratch, out);
+}
+
+}  // namespace zka::tensor

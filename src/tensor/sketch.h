@@ -1,0 +1,69 @@
+// Seeded Johnson–Lindenstrauss sign sketch: the O(d) random projection
+// that turns the robust-aggregation server path from O(n²·d) into
+// O(n·d + n²·k) (see defense/sketch.h for the selection layer on top).
+//
+// The projection is a signed modular fold (a fixed-bucket count sketch):
+//
+//   out[j] = Σ_b σ(seed, b)[j] · x[b·k + j],   b = 0 .. ⌈d/k⌉ − 1
+//
+// i.e. the update is viewed as ⌈d/k⌉ contiguous blocks of k coordinates,
+// each block is multiplied elementwise by a ±1 pattern derived
+// deterministically from (seed, block index) via SplitMix64, and the
+// signed blocks are summed. Each input coordinate lands in exactly one
+// output bucket with a uniform random sign, so E‖Px‖² = ‖x‖² and squared
+// distances are preserved in expectation with relative error O(1/√k) —
+// the JL guarantee the defense layer's selection-agreement tests and
+// bench quantify. Unlike a dense Gaussian projection (O(d·k) per update)
+// the fold is O(d), which is what makes sketching *cheaper* than one
+// exact pairwise row, not just cheaper than all of them.
+//
+// Determinism contract:
+//   * the sign pattern is a pure function of (seed, dim, sketch_dim) —
+//     block b's signs come from an independent SplitMix64 stream seeded
+//     by mix(seed, b), so any block (hence any streamed update) can be
+//     projected without global state;
+//   * project() accumulates block-ascending into per-coordinate double
+//     accumulators (association-free elementwise FMA, tensor::fmadd) and
+//     never forks, so results are bitwise identical for any thread count;
+//     callers parallelize over updates (disjoint output rows);
+//   * like every kernel family, ISA tiers may differ by FMA contraction;
+//     the tier is fixed per machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace zka::tensor {
+
+class JlSketch {
+ public:
+  /// Builds the ±1 pattern table for projecting `dim`-coordinate vectors
+  /// to `sketch_dim` coordinates. Requires 0 < sketch_dim <= dim. The
+  /// table holds `dim` floats (the size of one update) and is shared by
+  /// every projection, so per-round cost is one table build + n O(d)
+  /// folds.
+  JlSketch(std::size_t dim, std::size_t sketch_dim, std::uint64_t seed);
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t sketch_dim() const noexcept { return k_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// out = P·x. `x` must have dim() elements, `out` sketch_dim().
+  /// `scratch` must have sketch_dim() doubles (reused across calls so the
+  /// hot loop allocates nothing). Single-threaded; bitwise deterministic.
+  void project(std::span<const float> x, std::span<double> scratch,
+               std::span<float> out) const;
+
+  /// Convenience overload that owns its scratch (tests, one-off callers).
+  void project(std::span<const float> x, std::span<float> out) const;
+
+ private:
+  std::size_t dim_;
+  std::size_t k_;
+  std::uint64_t seed_;
+  std::vector<float> signs_;  // dim_ entries of ±1, block-major
+};
+
+}  // namespace zka::tensor

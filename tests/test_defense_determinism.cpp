@@ -84,5 +84,73 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param);
     });
 
+// The sketched fast path (JL projection kernel, blocked Gram scorer,
+// exact band re-check) must hold the same invariance: the block grids it
+// parallelizes over are pure functions of (n, k), never of the worker
+// count. kDim = 25000 >> 2 * sketch_dim, so the sketch path is active.
+TEST(SketchedDeterminism, SketchedMkrumParallelMatchesSerialBitwise) {
+  const std::vector<Update> updates = round_updates(2025);
+  const std::vector<std::int64_t> weights(kNumClients, 3);
+  AggregatorOptions options;
+  options.num_byzantine = 2;
+  options.sketch_dim = 256;
+
+  tensor::set_kernel_parallelism(true);
+  const AggregationResult parallel =
+      make_aggregator("mkrum", options)->aggregate(updates, weights);
+  tensor::set_kernel_parallelism(false);
+  const AggregationResult serial =
+      make_aggregator("mkrum", options)->aggregate(updates, weights);
+  tensor::set_kernel_parallelism(true);
+
+  EXPECT_EQ(parallel.selected, serial.selected);
+  ASSERT_EQ(parallel.model.size(), serial.model.size());
+  for (std::size_t i = 0; i < parallel.model.size(); ++i) {
+    ASSERT_EQ(parallel.model[i], serial.model[i])
+        << "sketched mkrum diverges at coordinate " << i;
+  }
+}
+
+// Tree aggregation (approximate streaming median/trmean) promises
+// bitwise determinism for a fixed arrival order and budget — including
+// across worker counts, since its per-node reducers run on fixed
+// coordinate blocks.
+class TreeStreamDeterminismTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TreeStreamDeterminismTest, StreamingParallelMatchesSerialBitwise) {
+  const std::vector<Update> updates = round_updates(2026);
+  const std::vector<std::int64_t> weights(kNumClients, 3);
+  AggregatorOptions options;
+  options.num_byzantine = 2;
+  // A wave of 5 forces a multi-level tree (12 arrivals, 3+ nodes).
+  options.memory_budget_bytes = 5 * kDim * sizeof(float);
+
+  const auto stream_round = [&] {
+    auto agg = make_aggregator(GetParam(), options);
+    agg->begin_stream(kDim, weights);
+    for (const auto& u : updates) agg->stream_update(u);
+    return agg->finish_stream();
+  };
+
+  tensor::set_kernel_parallelism(true);
+  const AggregationResult parallel = stream_round();
+  tensor::set_kernel_parallelism(false);
+  const AggregationResult serial = stream_round();
+  tensor::set_kernel_parallelism(true);
+
+  ASSERT_EQ(parallel.model.size(), serial.model.size());
+  for (std::size_t i = 0; i < parallel.model.size(); ++i) {
+    ASSERT_EQ(parallel.model[i], serial.model[i])
+        << GetParam() << " tree streaming diverges at coordinate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeRules, TreeStreamDeterminismTest,
+                         ::testing::Values("median", "trmean"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
 }  // namespace
 }  // namespace zka::defense

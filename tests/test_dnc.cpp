@@ -101,6 +101,77 @@ TEST(DncRule, FactoryConstructs) {
   EXPECT_EQ(agg->name(), "DnC");
 }
 
+// Regression: iterations must score and discard over the *currently
+// accepted* set. Scoring all n rows every iteration lets one extreme
+// outlier absorb every iteration's filter budget — it is re-discarded
+// again and again while a milder outlier sails through.
+TEST(DncRule, FilterBudgetTargetsSurvivorsNotRejectedRows) {
+  DncOptions options;
+  options.num_byzantine = 1;   // discard 1 per iteration
+  options.filter_fraction = 1.0;
+  options.iterations = 3;
+  Dnc dnc(options);
+
+  // 8 benign at the origin, a mild outlier (index 8) and an extreme one
+  // (index 9). The extreme row dominates the spectral direction of the
+  // full set in every iteration; only survivor-set scoring ever gets the
+  // filter budget onto the mild outlier.
+  auto updates = cluster_plus_outliers(8, 1, 32, 2.0f, 11);
+  Update extreme(32);
+  util::Rng rng(12);
+  for (auto& x : extreme) {
+    x = 100.0f + static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  updates.push_back(std::move(extreme));
+
+  const auto result = dnc.aggregate(updates, unit_weights(10));
+  // Iteration 1 discards the extreme row, iteration 2 the mild outlier,
+  // iteration 3 one benign row: 7 survivors, neither outlier among them.
+  EXPECT_EQ(result.selected.size(), 7u);
+  for (const auto idx : result.selected) {
+    EXPECT_LT(idx, 8u) << "outlier " << idx << " absorbed no filter budget";
+  }
+}
+
+// Regression: when tiny rounds filter everything, the fallback promises
+// the single lowest-score update of the last iteration — not
+// unconditionally index 0, which here is the extreme outlier itself.
+TEST(DncRule, EmptySelectionFallsBackToLowestScoreUpdate) {
+  DncOptions options;
+  options.num_byzantine = 3;   // discard 3 of n=4 per iteration
+  options.filter_fraction = 1.0;
+  options.iterations = 6;
+  options.subsample_dim = 16;  // coords vary per iteration
+  Dnc dnc(options);
+
+  util::Rng rng(13);
+  std::vector<Update> updates;
+  Update outlier(256);
+  for (auto& x : outlier) {
+    x = 50.0f + static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  updates.push_back(std::move(outlier));  // index 0
+  for (std::size_t i = 0; i < 3; ++i) {
+    Update u(256);
+    for (auto& x : u) x = static_cast<float>(rng.normal(0.0, 0.1));
+    updates.push_back(std::move(u));
+  }
+
+  // Iteration 1 discards the outlier plus two benign rows; iteration 2
+  // empties the survivor set, so the fallback must return the last scored
+  // candidate set's lowest-score update — a benign index, never
+  // unconditionally index 0, which is the extreme outlier itself. (The
+  // unfixed rule re-scores all four rows with fresh coordinate subsets
+  // each iteration; the benign argmin drifts with the subset, the kill
+  // sets' union empties the selection, and a blind `push_back(0)` hands
+  // the round to the outlier.)
+  const auto result = dnc.aggregate(updates, unit_weights(4));
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_NE(result.selected.front(), 0u)
+      << "fallback handed the round to the extreme outlier";
+  for (const float v : result.model) EXPECT_LT(std::abs(v), 1.0f);
+}
+
 }  // namespace
 }  // namespace zka::defense
 
