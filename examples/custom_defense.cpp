@@ -28,8 +28,7 @@ class GeoTrim : public defense::Aggregator {
  public:
   explicit GeoTrim(std::size_t trim) : trim_(trim) {}
 
-  using defense::Aggregator::aggregate;
-  defense::AggregationResult aggregate(
+  defense::AggregationResult do_aggregate(
       std::span<const defense::UpdateView> updates,
       std::span<const std::int64_t> weights) override {
     defense::validate_updates(updates, weights);

@@ -1,0 +1,23 @@
+#include "attack/nan_injection.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace zka::attack {
+
+Update NaNInjectionAttack::craft(const AttackContext& ctx) {
+  validate_context(*this, ctx);
+  ZKA_CHECK(stride_ > 0, "NaNInjection: stride must be positive");
+  const std::size_t dim = ctx.global_model.size();
+  Update crafted(ctx.global_model.begin(), ctx.global_model.end());
+  bool flip = false;
+  for (std::size_t i = 0; i < dim; i += stride_) {
+    crafted[i] = flip ? std::numeric_limits<float>::infinity()
+                      : std::numeric_limits<float>::quiet_NaN();
+    flip = !flip;
+  }
+  return crafted;
+}
+
+}  // namespace zka::attack

@@ -1,12 +1,21 @@
 #include "defense/aggregator.h"
 
-#include <cmath>
-
 #include "util/check.h"
 
 namespace zka::defense {
 
-// zka-lint: allow(A4) -- pure delegation; the virtual overload validates
+AggregationResult Aggregator::aggregate(
+    std::span<const UpdateView> updates,
+    std::span<const std::int64_t> weights) {
+  ZKA_CHECK(weights.empty() || weights.size() == updates.size(),
+            "aggregate: %zu weights for %zu updates", weights.size(),
+            updates.size());
+  return do_aggregate(ingress_.admit_updates(updates),
+                      ingress_.admit_weights(weights));
+}
+
+// zka-lint: allow(A4) -- pure delegation; the span overload sanitizes and
+// the do_aggregate hook validates
 AggregationResult Aggregator::aggregate(
     const std::vector<Update>& updates,
     const std::vector<std::int64_t>& weights) {
@@ -17,17 +26,32 @@ AggregationResult Aggregator::aggregate(
 
 void Aggregator::begin_stream(std::size_t dim,
                               std::span<const std::int64_t> weights) {
+  do_begin_stream(dim, ingress_.admit_weights(weights));
+}
+
+void Aggregator::stream_update(UpdateView update) {
+  do_stream_update(ingress_.admit_update(update));
+}
+
+void Aggregator::stream_replay(std::size_t index, UpdateView update) {
+  // Same admission as pass 1: sanitization is deterministic, so the rule
+  // sees bit-identical rows across the two passes.
+  do_stream_replay(index, ingress_.admit_update(update));
+}
+
+void Aggregator::do_begin_stream(std::size_t dim,
+                                 std::span<const std::int64_t> weights) {
   (void)dim;
   (void)weights;
   ZKA_CHECK(false, "%s does not support streaming ingestion", name().c_str());
 }
 
-void Aggregator::stream_update(UpdateView update) {
+void Aggregator::do_stream_update(UpdateView update) {
   (void)update;
   ZKA_CHECK(false, "%s does not support streaming ingestion", name().c_str());
 }
 
-void Aggregator::stream_replay(std::size_t index, UpdateView update) {
+void Aggregator::do_stream_replay(std::size_t index, UpdateView update) {
   (void)index;
   (void)update;
   ZKA_CHECK(false, "%s never requests streaming replays", name().c_str());
@@ -58,14 +82,11 @@ void validate_updates(std::span<const UpdateView> updates,
     ZKA_CHECK(u.size() == dim,
               "aggregate: update %zu has %zu coordinates, expected %zu", k,
               u.size(), dim);
-    // Failure injection guard: a single NaN/Inf coordinate would silently
-    // poison mean-based rules and corrupt Krum distances, so refuse it at
-    // the server boundary (a real deployment would drop the client).
-    for (const float value : u) {
-      ZKA_CHECK(std::isfinite(value),
-                "aggregate: non-finite value in update %zu", k);
-    }
   }
+  // No per-value finiteness loop here: NaN/Inf hygiene is the ingress
+  // layer's job (defense/sanitize.h), enforced by the Aggregator entry
+  // points before any rule runs. Keeping it out of the shape contract is
+  // what lets sanitize-off runs reproduce the undefended server.
   for (const std::int64_t w : weights) {
     ZKA_CHECK(w >= 0, "aggregate: negative weight %lld",
               static_cast<long long>(w));

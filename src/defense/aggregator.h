@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "defense/sanitize.h"
+
 namespace zka::defense {
 
 using Update = std::vector<float>;
@@ -38,18 +40,33 @@ class Aggregator {
  public:
   virtual ~Aggregator() = default;
 
+  // The client-facing entry points (aggregate and the streaming quartet
+  // below) are non-virtual template methods: they run the ingress
+  // sanitize layer (defense/sanitize.h — finite-check every update row,
+  // clamp outlier reported weights) and then dispatch to the protected
+  // do_* hooks the rules override. Rules therefore consume sanitized
+  // input by construction; set_sanitize({.enabled = false}) restores the
+  // paper-faithful undefended server bitwise.
+
   /// Aggregates the round's updates; weights[i] is the sample count of
   /// client i (used by weighted FedAvg; robust rules may ignore it).
   /// Requires at least one update; all updates must have equal size.
-  virtual AggregationResult aggregate(
-      std::span<const UpdateView> updates,
-      std::span<const std::int64_t> weights) = 0;
+  AggregationResult aggregate(std::span<const UpdateView> updates,
+                              std::span<const std::int64_t> weights);
 
   /// Convenience overload for owning vectors: builds the view list and
-  /// forwards to the span version. Derived classes re-expose it with
-  /// `using Aggregator::aggregate;`.
+  /// forwards to the span version.
   AggregationResult aggregate(const std::vector<Update>& updates,
                               const std::vector<std::int64_t>& weights);
+
+  /// Replaces the ingress sanitize configuration (takes effect from the
+  /// next entry-point call; never mid-stream).
+  void set_sanitize(const sanitize::Options& options) {
+    ingress_ = sanitize::Ingress(options);
+  }
+
+  /// The ingress layer, for tests and telemetry (zeroed/clamped counts).
+  const sanitize::Ingress& ingress() const noexcept { return ingress_; }
 
   /// Called by the server before collecting a round's updates, with the
   /// global model it just broadcast. Most rules ignore it; defenses that
@@ -119,12 +136,11 @@ class Aggregator {
   /// Starts a streaming round: `dim` coordinates per update, one weight
   /// per forthcoming stream_update call, in call order. Throws unless the
   /// rule supports streaming.
-  virtual void begin_stream(std::size_t dim,
-                            std::span<const std::int64_t> weights);
+  void begin_stream(std::size_t dim, std::span<const std::int64_t> weights);
 
   /// Folds the next update (submission order). The view need only stay
   /// valid for the duration of the call.
-  virtual void stream_update(UpdateView update);
+  void stream_update(UpdateView update);
 
   /// After the last stream_update: the ascending index set (into the
   /// streamed order) this rule needs replayed at full dimension before
@@ -134,21 +150,40 @@ class Aggregator {
 
   /// Replays update `index` (must be the next unserved entry of
   /// stream_replay_request(), ascending) with exactly the bits it had in
-  /// the first pass. Throws for rules that never request replays.
-  virtual void stream_replay(std::size_t index, UpdateView update);
+  /// the first pass — sanitization is deterministic, so re-admitting the
+  /// original bytes reproduces the pass-1 row exactly. Throws for rules
+  /// that never request replays.
+  void stream_replay(std::size_t index, UpdateView update);
 
   /// Finishes the round and returns the aggregate, exactly as aggregate()
   /// would have when streaming_exact(). Requires one stream_update per
   /// begin_stream weight, plus every requested replay.
   virtual AggregationResult finish_stream();
+
+ protected:
+  // Per-rule implementations, called with sanitized input. Overrides must
+  // still establish their own contract (validate_updates / ZKA_CHECK):
+  // sanitization normalizes values, it does not prove shapes.
+  virtual AggregationResult do_aggregate(
+      std::span<const UpdateView> updates,
+      std::span<const std::int64_t> weights) = 0;
+  virtual void do_begin_stream(std::size_t dim,
+                               std::span<const std::int64_t> weights);
+  virtual void do_stream_update(UpdateView update);
+  virtual void do_stream_replay(std::size_t index, UpdateView update);
+
+ private:
+  sanitize::Ingress ingress_;
 };
 
 /// View list over a vector of owning updates (no copies).
 std::vector<UpdateView> as_views(const std::vector<Update>& updates);
 
-/// Throws std::invalid_argument unless updates is non-empty and rectangular,
-/// every value is finite, and weights (when non-empty) match in count and
-/// are non-negative.
+/// Throws std::invalid_argument unless updates is non-empty and rectangular
+/// and weights (when non-empty) match in count and are non-negative.
+/// Value-level hygiene (finiteness) is the ingress layer's job
+/// (defense/sanitize.h), not a shape contract — switching sanitization off
+/// must reproduce the undefended server, not crash it.
 void validate_updates(std::span<const UpdateView> updates,
                       std::span<const std::int64_t> weights);
 
@@ -169,6 +204,12 @@ struct AggregatorOptions {
   /// (median/trmean size their tree-aggregation wave from it). 0 = keep
   /// the batch path.
   std::size_t memory_budget_bytes = 0;
+  /// Ingress sanitization (defense/sanitize.h): zero non-finite update
+  /// coordinates and clamp outlier reported weights before any rule sees
+  /// them. Off = bitwise pass-through (the paper-faithful hostile server).
+  bool sanitize = true;
+  /// Reported-weight cap as a multiple of the round's median weight.
+  double sanitize_weight_cap_ratio = 8.0;
 };
 
 /// Named construction for benches/CLIs: fedavg, median, trmean, mkrum,

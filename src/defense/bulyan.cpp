@@ -10,7 +10,7 @@
 
 namespace zka::defense {
 
-AggregationResult Bulyan::aggregate(std::span<const UpdateView> updates,
+AggregationResult Bulyan::do_aggregate(std::span<const UpdateView> updates,
                                     std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/bulyan");
   validate_updates(updates, weights);

@@ -18,8 +18,7 @@ class Bulyan : public Aggregator {
   explicit Bulyan(std::size_t num_byzantine, SketchOptions sketch = {})
       : f_(num_byzantine), sketch_(sketch) {}
 
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return true; }
   std::string name() const override { return "Bulyan"; }

@@ -16,8 +16,7 @@ class CenteredClipping : public Aggregator {
   /// distance between the updates and the current center.
   explicit CenteredClipping(double tau = 0.0) : tau_(tau) {}
 
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "CenteredClip"; }

@@ -11,7 +11,7 @@
 
 namespace zka::defense {
 
-AggregationResult Dnc::aggregate(std::span<const UpdateView> updates,
+AggregationResult Dnc::do_aggregate(std::span<const UpdateView> updates,
                                  std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/dnc");
   validate_updates(updates, weights);

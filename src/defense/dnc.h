@@ -31,8 +31,7 @@ class Dnc : public Aggregator {
   explicit Dnc(DncOptions options, std::uint64_t seed = 0xd4c)
       : options_(options), rng_(seed) {}
 
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return true; }
   std::string name() const override { return "DnC"; }

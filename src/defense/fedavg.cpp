@@ -1,6 +1,5 @@
 #include "defense/fedavg.h"
 
-#include <cmath>
 
 #include "tensor/reduce.h"
 #include "util/check.h"
@@ -24,7 +23,7 @@ std::vector<double> fedavg_coefficients(
   return coeffs;
 }
 
-AggregationResult FedAvg::aggregate(std::span<const UpdateView> updates,
+AggregationResult FedAvg::do_aggregate(std::span<const UpdateView> updates,
                                     std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/fedavg");
   validate_updates(updates, weights);
@@ -40,7 +39,7 @@ AggregationResult FedAvg::aggregate(std::span<const UpdateView> updates,
   return result;
 }
 
-void FedAvg::begin_stream(std::size_t dim,
+void FedAvg::do_begin_stream(std::size_t dim,
                           std::span<const std::int64_t> weights) {
   ZKA_CHECK(!streaming_, "FedAvg: begin_stream during an open stream");
   ZKA_CHECK(dim > 0, "FedAvg: empty update dimension");
@@ -55,7 +54,7 @@ void FedAvg::begin_stream(std::size_t dim,
   streaming_ = true;
 }
 
-void FedAvg::stream_update(UpdateView update) {
+void FedAvg::do_stream_update(UpdateView update) {
   ZKA_PROF_SCOPE("aggregate/fedavg_stream");
   ZKA_CHECK(streaming_, "FedAvg: stream_update without begin_stream");
   ZKA_CHECK(stream_next_ < stream_coeffs_.size(),
@@ -64,11 +63,8 @@ void FedAvg::stream_update(UpdateView update) {
   ZKA_CHECK(update.size() == stream_acc_.size(),
             "FedAvg: streamed update has %zu coordinates, expected %zu",
             update.size(), stream_acc_.size());
-  for (const float value : update) {
-    ZKA_CHECK(std::isfinite(value),
-              "FedAvg: non-finite value in streamed update %zu",
-              stream_next_);
-  }
+  // Finiteness is the ingress layer's job (defense/sanitize.h), applied by
+  // Aggregator::stream_update before this hook runs.
   tensor::axpy(stream_coeffs_[stream_next_], update,
                std::span<double>(stream_acc_));
   ++stream_next_;

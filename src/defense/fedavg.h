@@ -8,8 +8,7 @@ namespace zka::defense {
 
 class FedAvg : public Aggregator {
  public:
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "FedAvg"; }
@@ -20,9 +19,9 @@ class FedAvg : public Aggregator {
   /// axpy per update in submission order), so it is bitwise identical to
   /// aggregate() while holding O(dim) server state instead of O(n·dim).
   bool supports_streaming() const noexcept override { return true; }
-  void begin_stream(std::size_t dim,
+  void do_begin_stream(std::size_t dim,
                     std::span<const std::int64_t> weights) override;
-  void stream_update(UpdateView update) override;
+  void do_stream_update(UpdateView update) override;
   AggregationResult finish_stream() override;
 
  private:

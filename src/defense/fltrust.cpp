@@ -44,7 +44,7 @@ void FlTrust::begin_round(std::span<const float> global_model,
   server_update_ = nn::get_flat_params(*model);
 }
 
-AggregationResult FlTrust::aggregate(std::span<const UpdateView> updates,
+AggregationResult FlTrust::do_aggregate(std::span<const UpdateView> updates,
                                      std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/fltrust");
   validate_updates(updates, weights);

@@ -29,8 +29,7 @@ class FlTrust : public Aggregator {
 
   void begin_round(std::span<const float> global_model,
                    std::int64_t round) override;
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return true; }
   std::string name() const override { return "FLTrust"; }

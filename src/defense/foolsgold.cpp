@@ -10,7 +10,7 @@
 
 namespace zka::defense {
 
-AggregationResult FoolsGold::aggregate(std::span<const UpdateView> updates,
+AggregationResult FoolsGold::do_aggregate(std::span<const UpdateView> updates,
                                        std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/foolsgold");
   validate_updates(updates, weights);

@@ -18,8 +18,7 @@ class FoolsGold : public Aggregator {
   explicit FoolsGold(double select_threshold = 0.1)
       : select_threshold_(select_threshold) {}
 
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return true; }
   std::string name() const override { return "FoolsGold"; }

@@ -9,7 +9,7 @@
 
 namespace zka::defense {
 
-AggregationResult GeometricMedian::aggregate(
+AggregationResult GeometricMedian::do_aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/geomedian");

@@ -15,8 +15,7 @@ class GeometricMedian : public Aggregator {
       : max_iterations_(max_iterations), tolerance_(tolerance),
         smoothing_(smoothing) {}
 
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "GeoMedian"; }

@@ -107,7 +107,7 @@ AggregationResult MultiKrum::aggregate_sketched(
       plan, sum_all, [&](std::size_t i) { return updates[i]; }, dim);
 }
 
-AggregationResult MultiKrum::aggregate(std::span<const UpdateView> updates,
+AggregationResult MultiKrum::do_aggregate(std::span<const UpdateView> updates,
                                        std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/mkrum");
   validate_updates(updates, weights);
@@ -123,7 +123,7 @@ AggregationResult MultiKrum::aggregate(std::span<const UpdateView> updates,
   return result;
 }
 
-void MultiKrum::begin_stream(std::size_t dim,
+void MultiKrum::do_begin_stream(std::size_t dim,
                              std::span<const std::int64_t> weights) {
   ZKA_CHECK(supports_streaming(), "%s: streaming needs sketch_dim > 0",
             name().c_str());
@@ -157,7 +157,7 @@ void MultiKrum::begin_stream(std::size_t dim,
   stream_sum_.assign(dim, 0.0);
 }
 
-void MultiKrum::stream_update(UpdateView update) {
+void MultiKrum::do_stream_update(UpdateView update) {
   ZKA_PROF_SCOPE("aggregate/mkrum_stream");
   ZKA_CHECK(streaming_, "%s: stream_update without begin_stream",
             name().c_str());
@@ -202,7 +202,7 @@ std::span<const std::size_t> MultiKrum::stream_replay_request() {
   return stream_plan_.replay;
 }
 
-void MultiKrum::stream_replay(std::size_t index, UpdateView update) {
+void MultiKrum::do_stream_replay(std::size_t index, UpdateView update) {
   ZKA_CHECK(streaming_ && stream_planned_,
             "%s: stream_replay before stream_replay_request", name().c_str());
   ZKA_CHECK(stream_replay_next_ < stream_plan_.replay.size(),

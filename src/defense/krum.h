@@ -37,8 +37,7 @@ class MultiKrum : public Aggregator {
         iterative_(iterative),
         sketch_(sketch) {}
 
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return true; }
   std::string name() const override { return m_ == 1 ? "Krum" : "mKrum"; }
@@ -57,11 +56,11 @@ class MultiKrum : public Aggregator {
   bool supports_streaming() const noexcept override {
     return sketch_.sketch_dim > 0 && !iterative_;
   }
-  void begin_stream(std::size_t dim,
+  void do_begin_stream(std::size_t dim,
                     std::span<const std::int64_t> weights) override;
-  void stream_update(UpdateView update) override;
+  void do_stream_update(UpdateView update) override;
   std::span<const std::size_t> stream_replay_request() override;
-  void stream_replay(std::size_t index, UpdateView update) override;
+  void do_stream_replay(std::size_t index, UpdateView update) override;
   AggregationResult finish_stream() override;
 
  private:

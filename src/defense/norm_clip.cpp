@@ -10,7 +10,7 @@
 
 namespace zka::defense {
 
-AggregationResult NormClipping::aggregate(
+AggregationResult NormClipping::do_aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/normclip");

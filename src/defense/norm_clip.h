@@ -9,8 +9,7 @@ namespace zka::defense {
 
 class NormClipping : public Aggregator {
  public:
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "NormClip"; }

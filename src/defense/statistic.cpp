@@ -132,7 +132,7 @@ Update CoordTreeStream::finish(const Reduce& reduce) {
   return carry;
 }
 
-AggregationResult Median::aggregate(std::span<const UpdateView> updates,
+AggregationResult Median::do_aggregate(std::span<const UpdateView> updates,
                                     std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/median");
   validate_updates(updates, weights);
@@ -141,14 +141,14 @@ AggregationResult Median::aggregate(std::span<const UpdateView> updates,
   return result;
 }
 
-void Median::begin_stream(std::size_t dim,
+void Median::do_begin_stream(std::size_t dim,
                           std::span<const std::int64_t> weights) {
   ZKA_CHECK(supports_streaming(), "Median: streaming needs a memory budget");
   check_begin_stream(dim, weights, "Median");
   tree_.begin(dim, weights.size(), coord_tree_wave(budget_, dim, weights.size()));
 }
 
-void Median::stream_update(UpdateView update) {
+void Median::do_stream_update(UpdateView update) {
   ZKA_PROF_SCOPE("aggregate/median_stream");
   check_stream_update(tree_, update, "Median");
   tree_.add(Update(update.begin(), update.end()), median_of);
@@ -160,7 +160,7 @@ AggregationResult Median::finish_stream() {
   return result;
 }
 
-AggregationResult TrimmedMean::aggregate(
+AggregationResult TrimmedMean::do_aggregate(
     std::span<const UpdateView> updates,
     std::span<const std::int64_t> weights) {
   ZKA_PROF_SCOPE("aggregate/trmean");
@@ -174,7 +174,7 @@ AggregationResult TrimmedMean::aggregate(
   return result;
 }
 
-void TrimmedMean::begin_stream(std::size_t dim,
+void TrimmedMean::do_begin_stream(std::size_t dim,
                                std::span<const std::int64_t> weights) {
   ZKA_CHECK(supports_streaming(),
             "TrimmedMean: streaming needs a memory budget");
@@ -186,7 +186,7 @@ void TrimmedMean::begin_stream(std::size_t dim,
   tree_.begin(dim, n, coord_tree_wave(budget_, dim, n));
 }
 
-void TrimmedMean::stream_update(UpdateView update) {
+void TrimmedMean::do_stream_update(UpdateView update) {
   ZKA_PROF_SCOPE("aggregate/trmean_stream");
   check_stream_update(tree_, update, "TrimmedMean");
   tree_.add(Update(update.begin(), update.end()),

@@ -62,17 +62,16 @@ class Median : public Aggregator {
   explicit Median(std::size_t memory_budget_bytes = 0)
       : budget_(memory_budget_bytes) {}
 
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "Median"; }
 
   bool supports_streaming() const noexcept override { return budget_ > 0; }
   bool streaming_exact() const noexcept override { return false; }
-  void begin_stream(std::size_t dim,
+  void do_begin_stream(std::size_t dim,
                     std::span<const std::int64_t> weights) override;
-  void stream_update(UpdateView update) override;
+  void do_stream_update(UpdateView update) override;
   AggregationResult finish_stream() override;
 
  private:
@@ -91,8 +90,7 @@ class TrimmedMean : public Aggregator {
   explicit TrimmedMean(std::size_t trim, std::size_t memory_budget_bytes = 0)
       : trim_(trim), budget_(memory_budget_bytes) {}
 
-  using Aggregator::aggregate;
-  AggregationResult aggregate(std::span<const UpdateView> updates,
+  AggregationResult do_aggregate(std::span<const UpdateView> updates,
                               std::span<const std::int64_t> weights) override;
   bool selects_clients() const noexcept override { return false; }
   std::string name() const override { return "TRmean"; }
@@ -101,9 +99,9 @@ class TrimmedMean : public Aggregator {
 
   bool supports_streaming() const noexcept override { return budget_ > 0; }
   bool streaming_exact() const noexcept override { return false; }
-  void begin_stream(std::size_t dim,
+  void do_begin_stream(std::size_t dim,
                     std::span<const std::int64_t> weights) override;
-  void stream_update(UpdateView update) override;
+  void do_stream_update(UpdateView update) override;
   AggregationResult finish_stream() override;
 
  private:

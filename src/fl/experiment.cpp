@@ -9,6 +9,7 @@
 
 #include "attack/fang.h"
 #include "attack/free_rider.h"
+#include "attack/nan_injection.h"
 #include "attack/label_flip.h"
 #include "attack/lie.h"
 #include "attack/minmax.h"
@@ -38,6 +39,7 @@ const char* attack_kind_name(AttackKind kind) noexcept {
     case AttackKind::kLabelFlip: return "LabelFlip";
     case AttackKind::kMinSum: return "Min-Sum";
     case AttackKind::kFreeRider: return "FreeRider";
+    case AttackKind::kNaNInjection: return "NaNInjection";
     case AttackKind::kZkaRAdaptive: return "ZKA-R-adaptive";
     case AttackKind::kZkaGAdaptive: return "ZKA-G-adaptive";
     case AttackKind::kFangKrum: return "Fang-Krum";
@@ -59,6 +61,7 @@ AttackKind parse_attack_kind(const std::string& name) {
   if (name == "label-flip") return AttackKind::kLabelFlip;
   if (name == "minsum") return AttackKind::kMinSum;
   if (name == "free-rider") return AttackKind::kFreeRider;
+  if (name == "nan-injection") return AttackKind::kNaNInjection;
   if (name == "zka-r-adaptive") return AttackKind::kZkaRAdaptive;
   if (name == "zka-g-adaptive") return AttackKind::kZkaGAdaptive;
   if (name == "fang-krum") return AttackKind::kFangKrum;
@@ -110,6 +113,8 @@ std::unique_ptr<attack::Attack> make_attack(AttackKind kind,
       return std::make_unique<attack::MinSumAttack>();
     case AttackKind::kFreeRider:
       return std::make_unique<attack::FreeRiderAttack>(0.5, seed);
+    case AttackKind::kNaNInjection:
+      return std::make_unique<attack::NaNInjectionAttack>();
     case AttackKind::kZkaRAdaptive:
       return std::make_unique<core::AdaptiveZkaAttack>(
           task, core::ZkaVariant::kReverse, zka, core::AdaptiveOptions{},

@@ -304,17 +304,20 @@ TEST(Simulation, IidPartitionWhenBetaNonPositive) {
 }
 
 // FedAvg wrapper that records the weight vector of every round, for
-// asserting the server-side weight-assembly semantics.
+// asserting the server-side weight-assembly semantics. Ingress
+// sanitization is disabled so the capture sees the round loop's raw
+// client-reported weights, not the clamped ones.
 class WeightCaptureFedAvg : public defense::FedAvg {
  public:
   explicit WeightCaptureFedAvg(std::vector<std::vector<std::int64_t>>* log)
-      : log_(log) {}
-  using defense::Aggregator::aggregate;
-  defense::AggregationResult aggregate(
+      : log_(log) {
+    set_sanitize({.enabled = false});
+  }
+  defense::AggregationResult do_aggregate(
       std::span<const defense::UpdateView> updates,
       std::span<const std::int64_t> weights) override {
     log_->emplace_back(weights.begin(), weights.end());
-    return defense::FedAvg::aggregate(updates, weights);
+    return defense::FedAvg::do_aggregate(updates, weights);
   }
 
  private:

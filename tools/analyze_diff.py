@@ -11,6 +11,12 @@ count (pre-baseline, so baselined debt is tracked too) or surviving
 `remaining` count grew is a regression and exits 1 -- static-analysis
 debt may only shrink, mirroring the shrink-only baseline contract.
 
+A rule present in the current payload but absent from the previous one is
+NOT treated as growth from zero: either it was declared with --seed-rule
+(a new rule landing in this change, seeded at its current counts) or the
+diff fails explicitly -- a silently-appearing rule is a misconfigured
+gate, not a phantom regression.
+
 With --missing-ok (or when PREVIOUS.json does not exist) the comparison
 passes trivially: the first run on a branch has nothing to diff against.
 No third-party dependencies.
@@ -44,12 +50,27 @@ def counts(doc: dict) -> dict:
     return out
 
 
-def compare(prev_path: str, cur_path: str) -> int:
+def compare(prev_path: str, cur_path: str, seed_rules=()) -> int:
     prev, cur = counts(load(prev_path)), counts(load(cur_path))
     regressions = []
     for rule in sorted(set(prev) | set(cur), key=lambda r: (len(r), r)):
-        p_found, p_rem = prev.get(rule, (0, 0))
         c_found, c_rem = cur.get(rule, (0, 0))
+        if rule not in prev:
+            if rule in seed_rules:
+                # A rule introduced by this change: its current counts are
+                # the seed baseline, not growth from zero.
+                print(
+                    f"  {rule}: found {c_found}, remaining {c_rem}  "
+                    f"SEEDED (new rule)"
+                )
+                continue
+            regressions.append(
+                f"{rule}: absent from previous payload; pass "
+                f"--seed-rule {rule} when introducing a new rule"
+            )
+            print(f"  {rule}: found ? -> {c_found}  NEW RULE (unseeded)")
+            continue
+        p_found, p_rem = prev[rule]
         marker = ""
         if c_found > p_found or c_rem > p_rem:
             marker = "  REGRESSION"
@@ -80,6 +101,14 @@ def main() -> int:
         action="store_true",
         help="pass when the previous payload does not exist (first run)",
     )
+    parser.add_argument(
+        "--seed-rule",
+        nargs="+",
+        default=[],
+        metavar="RULE",
+        help="rules introduced by this change: absent from the previous "
+        "payload by construction, seeded at their current counts",
+    )
     args = parser.parse_args()
 
     try:
@@ -93,7 +122,7 @@ def main() -> int:
             )
             return 0
         fail(f"{args.previous}: not found (pass --missing-ok for first runs)")
-    return compare(args.previous, args.current)
+    return compare(args.previous, args.current, frozenset(args.seed_rule))
 
 
 if __name__ == "__main__":

@@ -11,7 +11,10 @@ than --tolerance (relative), or when a metric differs by more than
 --metric-tolerance (relative; only checked when the flag is given a value
 > 0 — domain metrics such as ASR are stochastic at bench scale). Labels
 present in only one file are reported; with --missing-ok they do not fail
-the comparison.
+the comparison. A label introduced by the change under test should be
+declared with --seed-label: it is reported as seeded and never fails,
+without loosening the check for every other unshared label the way
+--missing-ok does.
 
 Validate mode checks the zka-bench-v1 schema shape and exits 1 on the
 first malformed file. No third-party dependencies.
@@ -98,15 +101,22 @@ def compare(args: argparse.Namespace) -> int:
 
     base, cand = entries_by_label(base_doc), entries_by_label(cand_doc)
     failures = []
+    seed_labels = frozenset(args.seed_label)
     only_base = sorted(set(base) - set(cand))
-    only_cand = sorted(set(cand) - set(base))
+    only_cand = sorted(set(cand) - set(base) - seed_labels)
     for label in only_base:
         print(f"  only in baseline:  {label}")
     for label in only_cand:
         print(f"  only in candidate: {label}")
+    for label in sorted((set(cand) - set(base)) & seed_labels):
+        print(f"  seeded (new benchmark): {label}")
+    for label in sorted(seed_labels & set(base)):
+        print(f"bench_diff: WARNING: --seed-label {label} already exists "
+              f"in the baseline; it is compared normally", file=sys.stderr)
     if (only_base or only_cand) and not args.missing_ok:
         failures.append(f"{len(only_base) + len(only_cand)} label(s) not "
-                        "shared (pass --missing-ok to allow)")
+                        "shared (pass --missing-ok to allow, or "
+                        "--seed-label for benchmarks this change adds)")
 
     for label in sorted(set(base) & set(cand)):
         b_ns = base[label]["ns_op"]["mean"]
@@ -155,6 +165,11 @@ def main() -> int:
                              "metric checks (default)")
     parser.add_argument("--missing-ok", action="store_true",
                         help="labels present in only one file do not fail")
+    parser.add_argument("--seed-label", nargs="+", default=[],
+                        metavar="LABEL",
+                        help="benchmark labels introduced by this change: "
+                             "candidate-only by construction, never a "
+                             "failure")
     parser.add_argument("--validate", action="store_true",
                         help="only check schema validity of the given files")
     args = parser.parse_args()

@@ -69,7 +69,12 @@ ALLOW_RE = re.compile(r"zka-lint:\s*allow\(([A-Za-z0-9-]+)\)")
 
 # Rules owned by tools/zka_analyze (AST-level); escapes naming them are
 # validated here but their usage is checked by the analyzer itself.
-FOREIGN_RULES = {"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"}
+FOREIGN_RULES = {
+    "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10",
+    "A11", "A12", "A13", "A14", "A15",
+}
+
+TRUST_JSON = REPO / "tools" / "zka_analyze" / "trust.json"
 
 
 def cxx_files(root: Path):
@@ -271,8 +276,71 @@ def lint_build_files() -> list[str]:
     return findings
 
 
+def lint_trust_config() -> list[str]:
+    """tools/zka_analyze/trust.json must stay anchored to real code: a
+    taint source or sanitizer naming a function that no longer exists
+    silently turns its A11-A15 coverage off, which is exactly the failure
+    mode a trust declaration exists to prevent. Every declared entry,
+    parameter name and sanitizer must occur as an identifier somewhere in
+    src/, and every sink-scope prefix must match a real path."""
+    import json
+
+    rel = TRUST_JSON.relative_to(REPO).as_posix()
+    if not TRUST_JSON.exists():
+        return [f"{rel}: [trust-config] file is missing"]
+    try:
+        data = json.loads(TRUST_JSON.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        return [f"{rel}: [trust-config] unparseable JSON: {exc}"]
+
+    idents: set[str] = set()
+    for path in cxx_files(REPO / "src"):
+        idents.update(
+            re.findall(r"[A-Za-z_][A-Za-z0-9_]*", path.read_text(encoding="utf-8"))
+        )
+
+    findings = []
+
+    def check_symbol(name: str, what: str) -> None:
+        last = name.rsplit("::", 1)[-1]
+        if last not in idents:
+            findings.append(
+                f"{rel}: [trust-config] {what} '{name}' resolves to no "
+                f"identifier in src/; fix the name or delete the entry"
+            )
+
+    for src in data.get("sources", []):
+        entry = src.get("entry")
+        if not entry:
+            findings.append(f"{rel}: [trust-config] source without an 'entry'")
+            continue
+        check_symbol(entry, "source entry")
+        if src.get("what") not in (None, "params", "return"):
+            findings.append(
+                f"{rel}: [trust-config] source '{entry}' has unknown "
+                f"what={src['what']!r} (use 'params' or 'return')"
+            )
+        for pname in src.get("params") or []:
+            check_symbol(pname, f"source '{entry}' parameter")
+    for sn in data.get("sanitizers", []):
+        fn = sn.get("function")
+        if not fn:
+            findings.append(f"{rel}: [trust-config] sanitizer without a 'function'")
+            continue
+        check_symbol(fn, "sanitizer")
+    scope = data.get("sink_scope") or {}
+    for field in ("include", "exclude"):
+        for prefix in scope.get(field, []):
+            if not (REPO / prefix).exists():
+                findings.append(
+                    f"{rel}: [trust-config] sink_scope {field} prefix "
+                    f"'{prefix}' matches no path in the repo"
+                )
+    return findings
+
+
 def main() -> int:
-    findings = lint_cxx() + lint_build_files()
+    findings = lint_cxx() + lint_build_files() + lint_trust_config()
     if findings:
         print(f"check_invariants: {len(findings)} violation(s)\n")
         for f in findings:

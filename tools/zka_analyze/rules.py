@@ -426,7 +426,7 @@ class EntryContractRule:
 
     rule_id = "A4"
 
-    _ENTRY_NAMES = frozenset({"aggregate", "craft"})
+    _ENTRY_NAMES = frozenset({"aggregate", "do_aggregate", "craft"})
     _BASE_NAMES = frozenset({"Aggregator", "Attack"})
     _CONTRACT_TOKENS = frozenset(
         {

@@ -20,7 +20,7 @@ the call site, which covers every parallel_for site in the repo today.
 
 from __future__ import annotations
 
-from rules import peel
+from rules import binop_spelling, float_class, peel
 
 # Rng members that advance generator state. split() is the sanctioned way
 # to hand randomness to concurrent work, so it is exempt by design.
@@ -59,6 +59,67 @@ ALLOC_CALLS = frozenset(
 
 STREAM_METHODS = frozenset({"begin_stream", "stream_update", "finish_stream"})
 
+# -- taint extraction (rules A11-A15) ---------------------------------------
+
+# Member calls that copy element values from an argument into the
+# receiver: taint flows argument -> receiver container.
+TAINT_GROWTH = frozenset(
+    {
+        "push_back",
+        "emplace_back",
+        "push_front",
+        "emplace_front",
+        "insert",
+        "emplace",
+        "append",
+        "assign",
+    }
+)
+
+# Calls through which *value* taint does not flow. Sizes and counts are
+# server-controlled bookkeeping even when the container's elements are
+# attacker-controlled; keeping them opaque stops span-granularity
+# over-taint (`buf.reserve(updates.size())` is not an attacker-sized
+# allocation, `updates[0]` is an attacker value).
+SIZE_CALLS = frozenset(
+    {"size", "ssize", "length", "capacity", "empty", "max_size", "bytes"}
+)
+
+# Element/subrange accessors whose result carries the container's value
+# taint and whose *arguments* are index sinks (rule A14).
+INDEX_CALLS = frozenset({"at", "subspan", "first", "last", "operator[]"})
+
+# Value accessors taint flows straight through (receiver -> result).
+VALUE_HOPS = frozenset({"front", "back", "data", "raw", "begin", "end", "value"})
+
+# Bounding calls: std::min/max/clamp dominate their result, so a call
+# counts as a range guard on its argument keys (rule A11/A12/A14).
+CLAMP_CALLS = frozenset({"min", "max", "clamp"})
+
+# Finite-classification calls: a guard mentioning one sanitizes the
+# checked keys against non-finite values (rule A13).
+FINITE_CALLS = frozenset({"isfinite", "isnan", "isinf", "is_finite"})
+
+# Reduce-toolkit accumulation primitives (invariant R5 routes all
+# defense multiply-accumulate through these): folding a tainted float in
+# without finite sanitization is an A13 sink.
+ACCUM_FNS = frozenset(
+    {
+        "axpy",
+        "dot",
+        "fmadd",
+        "weighted_sum",
+        "squared_norm",
+        "squared_distance",
+        "gram_matrix",
+    }
+)
+
+# Functions matching these unqualified-name prefixes are sanitizers by
+# convention (trust.json documents/extends the set): their return value
+# is trusted and their argument keys are clean downstream of the call.
+SANITIZE_PREFIXES = ("validate_", "sanitize_", "admit_")
+
 CONTAINER_MARKERS = (
     "std::vector<",
     "std::deque<",
@@ -77,7 +138,24 @@ OWNER_MARKERS = CONTAINER_MARKERS + ("std::array<", "zka::tensor::Tensor")
 UNORDERED_MARKERS = ("unordered_map<", "unordered_set<")
 
 ENTRY_NAMES = frozenset(
-    {"aggregate", "craft", "begin_stream", "stream_update", "finish_stream"}
+    {
+        "aggregate",
+        "craft",
+        "begin_stream",
+        "stream_update",
+        "stream_replay",
+        "finish_stream",
+        "reported_weight",
+        # The protected virtual hooks behind the sanitizing public
+        # wrappers (template-method pattern in defense/aggregator.h).
+        # Marked so phase 2 can resolve wrapper -> hook virtual dispatch
+        # and treat hook implementations as dataflow roots; they are NOT
+        # taint sources — the wrapper sanitizes before dispatching.
+        "do_aggregate",
+        "do_begin_stream",
+        "do_stream_update",
+        "do_stream_replay",
+    }
 )
 ENTRY_BASES = frozenset({"Aggregator", "Attack"})
 
@@ -96,6 +174,13 @@ def new_facts() -> dict:
         "parallel_bodies": [],  # {line, facts}
         "parallel_params": [],  # USRs of own params whose callable runs in parallel
         "loops": [],  # {start, end} source-offset extents of loop statements
+        # -- taint facts (A11-A15) --
+        "params": [],  # {usr, name} in declaration order
+        "flows": [],  # {dst, srcs: [key...], off} value assignments/inserts
+        "taint_returns": [],  # {keys, off} keys feeding a return value
+        "sinks": [],  # {kind: alloc|div|accum|index|loop_bound, keys, line, off, what}
+        "guards": [],  # {kinds: [check|finite...], keys, off}
+        "sanitize_calls": [],  # {name, keys, off} calls to sanitizer functions
     }
 
 
@@ -113,6 +198,10 @@ def _canonical(type_obj) -> str:
     return type_obj.get_canonical().spelling
 
 
+def _dedup(keys):
+    return list(dict.fromkeys(k for k in keys if k))
+
+
 def _contains(type_obj, markers) -> bool:
     spelling = _canonical(type_obj)
     return any(m in spelling for m in markers)
@@ -127,6 +216,7 @@ class SummaryExtractor:
         self.cx = cindex
         self.scope = scope
         self.summaries: dict = {}
+        self._int_kinds = None
 
     # -- engine hook -------------------------------------------------------
 
@@ -145,17 +235,32 @@ class SummaryExtractor:
             self._on_call(node, fn, facts, collect_parallel=True)
         elif kind == cx.CursorKind.VAR_DECL:
             self._on_var_decl(node, facts)
+            self._taint_var_decl(node, facts)
         elif kind == cx.CursorKind.CXX_FOR_RANGE_STMT:
             self._on_loop(node, facts)
             self._on_range_for(node, facts)
+            self._taint_range_for(node, facts)
         elif kind in (
             cx.CursorKind.FOR_STMT,
             cx.CursorKind.WHILE_STMT,
             cx.CursorKind.DO_STMT,
         ):
             self._on_loop(node, facts)
+            self._taint_loop_bound(node, facts)
         elif kind == cx.CursorKind.RETURN_STMT:
             self._on_return(node, fn, facts)
+        elif kind in (
+            cx.CursorKind.BINARY_OPERATOR,
+            cx.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR,
+        ):
+            self._taint_binop(node, facts)
+        elif kind == cx.CursorKind.ARRAY_SUBSCRIPT_EXPR:
+            self._taint_subscript(node, facts)
+        elif kind in (
+            cx.CursorKind.IF_STMT,
+            cx.CursorKind.CONDITIONAL_OPERATOR,
+        ):
+            self._taint_guard(node, facts)
 
     @staticmethod
     def _on_loop(node, facts):
@@ -183,6 +288,11 @@ class SummaryExtractor:
                 "entry": self._entry_kind(fn),
                 "facts": new_facts(),
             }
+            record["facts"]["params"] = [
+                {"usr": p.get_usr(), "name": p.spelling}
+                for p in fn.get_arguments()
+                if p.get_usr()
+            ]
             self.summaries[usr] = record
         return record["facts"]
 
@@ -258,6 +368,7 @@ class SummaryExtractor:
             if recv_expr is not None and _contains(recv_expr.type, UNORDERED_MARKERS):
                 facts["unordered_iters"].append({"line": node.location.line})
 
+        self._taint_call(node, facts, name)
         self._maybe_rng_draw(node, fn, facts, name, boundary=None)
 
         # Cross-TU call edge, for callees defined in this repo only (std
@@ -277,6 +388,11 @@ class SummaryExtractor:
                         "line": node.location.line,
                         "off": node.location.offset,
                     }
+                    args = [
+                        _dedup(self._expr_keys(a)) for a in node.get_arguments()
+                    ]
+                    if any(args):
+                        entry["args"] = args
                     if collect_parallel:
                         lambdas = self._lambda_args(node, fn)
                         if lambdas:
@@ -529,6 +645,406 @@ class SummaryExtractor:
             scope_cursor.extent.start.offset <= off <= scope_cursor.extent.end.offset
         )
 
+    # -- taint extraction (A11-A15) ---------------------------------------
+    #
+    # Keys identify value-carrying storage: the USR of a variable,
+    # parameter or field, or "ret:<qualified-name>" for the result of a
+    # repo-internal call. Phase 2 (xtu.py) seeds keys from trust.json
+    # sources, propagates through `flows` / call `args` / `taint_returns`,
+    # and judges `sinks` against `guards` and `sanitize_calls`.
+
+    def _taint_call(self, node, facts, name):
+        """All taint-relevant facts at one call site. Recorded whether or
+        not the callee resolves into the analysis scope, so sanitizer
+        calls and sinks work in fixture mode too."""
+        callee = node.referenced
+        if name.startswith(SANITIZE_PREFIXES):
+            keys = []
+            for arg in node.get_arguments():
+                keys.extend(self._expr_keys(arg))
+            facts["sanitize_calls"].append(
+                {
+                    "name": qual_name(callee) if callee is not None else name,
+                    "keys": _dedup(keys),
+                    "off": node.location.offset,
+                }
+            )
+            return  # a sanitizer call is neither a sink nor a guard
+        if name in ("resize", "reserve"):
+            recv = self._member_receiver(node)
+            if recv is not None and _contains(recv.type, CONTAINER_MARKERS):
+                keys = []
+                for arg in node.get_arguments():
+                    keys.extend(self._typed_keys(arg, "int"))
+                self._sink(facts, "alloc", keys, node, name + "()")
+        elif name in INDEX_CALLS:
+            args = list(node.get_arguments())
+            if name == "operator[]" and args:
+                args = args[1:]  # operator calls pass the receiver as arg 0
+            keys = []
+            for arg in args:
+                keys.extend(self._typed_keys(arg, "int"))
+            self._sink(facts, "index", keys, node, name)
+        elif name in ACCUM_FNS:
+            keys = []
+            for arg in node.get_arguments():
+                keys.extend(self._expr_keys(arg))
+            self._sink(facts, "accum", keys, node, name + "()")
+        elif name in CLAMP_CALLS or name in FINITE_CALLS:
+            keys = []
+            for arg in node.get_arguments():
+                keys.extend(self._expr_keys(arg))
+            keys = _dedup(keys)
+            if keys:
+                kinds = ["check", "finite"] if name in FINITE_CALLS else ["check"]
+                facts["guards"].append(
+                    {"kinds": kinds, "keys": keys, "off": node.location.offset}
+                )
+        if name in TAINT_GROWTH:
+            recv = self._member_receiver(node)
+            if recv is not None:
+                dst = self._lvalue_key(recv)
+                srcs = []
+                for arg in node.get_arguments():
+                    srcs.extend(self._expr_keys(arg))
+                srcs = _dedup(srcs)
+                if dst and srcs:
+                    facts["flows"].append(
+                        {"dst": dst, "srcs": srcs, "off": node.location.offset}
+                    )
+
+    @staticmethod
+    def _sink(facts, kind, keys, node, what):
+        keys = _dedup(keys)
+        if not keys:
+            return
+        facts["sinks"].append(
+            {
+                "kind": kind,
+                "keys": keys,
+                "line": node.location.line,
+                "off": node.location.offset,
+                "what": what,
+            }
+        )
+
+    def _expr_keys(self, expr, depth=0):
+        """Taint keys read by a value expression. Size/count accessors
+        are opaque by design: element taint must not leak into
+        server-controlled bookkeeping quantities."""
+        cx = self.cx
+        if expr is None or depth > 24:
+            return []
+        expr = peel(cx, expr)
+        kind = expr.kind
+        if kind == cx.CursorKind.DECL_REF_EXPR:
+            decl = expr.referenced
+            if decl is not None and decl.kind in (
+                cx.CursorKind.VAR_DECL,
+                cx.CursorKind.PARM_DECL,
+                cx.CursorKind.FIELD_DECL,
+            ):
+                usr = decl.get_usr()
+                return [usr] if usr else []
+            return []
+        if kind == cx.CursorKind.MEMBER_REF_EXPR:
+            decl = expr.referenced
+            if decl is not None and decl.kind == cx.CursorKind.FIELD_DECL:
+                usr = decl.get_usr()
+                if usr:
+                    return [usr]
+            inner = list(expr.get_children())
+            return self._expr_keys(inner[0], depth + 1) if inner else []
+        if kind == cx.CursorKind.CALL_EXPR:
+            callee = expr.referenced
+            name = callee.spelling if callee is not None else ""
+            if name in SIZE_CALLS:
+                return []
+            if (
+                callee is not None
+                and callee.kind != cx.CursorKind.CONSTRUCTOR
+                and name not in ("move", "forward")
+                and self.scope.rel_path(callee) is not None
+            ):
+                # Repo-internal call: propagation happens at the callee's
+                # summary; the result is identified by its return key.
+                return ["ret:" + qual_name(callee)]
+            # std/constructor/move calls: value passes through the
+            # arguments (covers at/operator[]/front/data hops too).
+            out = []
+            for child in expr.get_children():
+                out.extend(self._expr_keys(child, depth + 1))
+            return out
+        out = []
+        for child in expr.get_children():
+            out.extend(self._expr_keys(child, depth + 1))
+        return out
+
+    def _typed_keys(self, expr, want, depth=0):
+        """Keys feeding an expression, restricted to reads whose own type
+        is in the wanted scalar class ('int' or 'float'). Casts adopt the
+        cast-to class, so every key under static_cast<size_t>(u[0])
+        counts as an integer read."""
+        cx = self.cx
+        if expr is None or depth > 24:
+            return []
+        expr = peel(cx, expr)
+        kind = expr.kind
+        cast_kinds = tuple(
+            getattr(cx.CursorKind, n)
+            for n in (
+                "CXX_STATIC_CAST_EXPR",
+                "CSTYLE_CAST_EXPR",
+                "CXX_FUNCTIONAL_CAST_EXPR",
+            )
+            if hasattr(cx.CursorKind, n)
+        )
+        if kind in cast_kinds:
+            if self._type_matches(expr.type, want):
+                return self._expr_keys(expr, depth + 1)
+            return []
+        if kind in (
+            cx.CursorKind.DECL_REF_EXPR,
+            cx.CursorKind.MEMBER_REF_EXPR,
+            cx.CursorKind.CALL_EXPR,
+            cx.CursorKind.ARRAY_SUBSCRIPT_EXPR,
+        ):
+            if self._type_matches(expr.type, want):
+                return self._expr_keys(expr, depth + 1)
+            return []
+        out = []
+        for child in expr.get_children():
+            out.extend(self._typed_keys(child, want, depth + 1))
+        return out
+
+    def _type_matches(self, type_obj, want) -> bool:
+        cx = self.cx
+        canonical = type_obj.get_canonical()
+        if canonical.kind in (
+            cx.TypeKind.LVALUEREFERENCE,
+            cx.TypeKind.RVALUEREFERENCE,
+        ):
+            canonical = canonical.get_pointee().get_canonical()
+        if want == "float":
+            return canonical.kind in (
+                cx.TypeKind.FLOAT,
+                cx.TypeKind.DOUBLE,
+                cx.TypeKind.LONGDOUBLE,
+            )
+        if self._int_kinds is None:
+            names = (
+                "BOOL",
+                "CHAR_U",
+                "UCHAR",
+                "CHAR16",
+                "CHAR32",
+                "USHORT",
+                "UINT",
+                "ULONG",
+                "ULONGLONG",
+                "UINT128",
+                "CHAR_S",
+                "SCHAR",
+                "WCHAR",
+                "SHORT",
+                "INT",
+                "LONG",
+                "LONGLONG",
+                "INT128",
+                "ENUM",
+            )
+            self._int_kinds = frozenset(
+                getattr(cx.TypeKind, n) for n in names if hasattr(cx.TypeKind, n)
+            )
+        return canonical.kind in self._int_kinds
+
+    def _lvalue_key(self, expr, depth=0):
+        """The storage key a store lands in: element stores taint the
+        whole container, member stores the field."""
+        cx = self.cx
+        if expr is None or depth > 10:
+            return None
+        expr = peel(cx, expr)
+        kind = expr.kind
+        if kind == cx.CursorKind.DECL_REF_EXPR:
+            decl = expr.referenced
+            if decl is not None and decl.kind in (
+                cx.CursorKind.VAR_DECL,
+                cx.CursorKind.PARM_DECL,
+                cx.CursorKind.FIELD_DECL,
+            ):
+                return decl.get_usr() or None
+            return None
+        if kind == cx.CursorKind.MEMBER_REF_EXPR:
+            decl = expr.referenced
+            if decl is not None and decl.kind == cx.CursorKind.FIELD_DECL:
+                return decl.get_usr() or None
+            inner = list(expr.get_children())
+            return self._lvalue_key(inner[0], depth + 1) if inner else None
+        if kind in (
+            cx.CursorKind.ARRAY_SUBSCRIPT_EXPR,
+            cx.CursorKind.UNARY_OPERATOR,
+        ):
+            children = list(expr.get_children())
+            return self._lvalue_key(children[0], depth + 1) if children else None
+        if kind == cx.CursorKind.CALL_EXPR:
+            callee = expr.referenced
+            name = callee.spelling if callee is not None else ""
+            if name in INDEX_CALLS and name != "operator[]" or name in VALUE_HOPS:
+                recv = self._member_receiver(expr)
+                return self._lvalue_key(recv, depth + 1) if recv is not None else None
+            if name == "operator[]":
+                children = list(expr.get_children())
+                if len(children) > 1:
+                    return self._lvalue_key(children[1], depth + 1)
+        return None
+
+    def _mentions_finite(self, node, depth=0) -> bool:
+        if depth > 24:
+            return False
+        ref = getattr(node, "referenced", None)
+        if ref is not None and ref.spelling in FINITE_CALLS:
+            return True
+        if node.spelling in FINITE_CALLS:
+            return True
+        return any(self._mentions_finite(c, depth + 1) for c in node.get_children())
+
+    def _taint_var_decl(self, node, facts):
+        usr = node.get_usr()
+        if not usr:
+            return
+        exprs = [c for c in node.get_children() if c.kind.is_expression()]
+        if not exprs:
+            return
+        srcs = _dedup(self._expr_keys(exprs[-1]))
+        if srcs:
+            facts["flows"].append(
+                {"dst": usr, "srcs": srcs, "off": node.location.offset}
+            )
+
+    def _taint_range_for(self, node, facts):
+        cx = self.cx
+        children = list(node.get_children())
+        if not children:
+            return
+        var = next((c for c in children if c.kind == cx.CursorKind.VAR_DECL), None)
+        if var is None:
+            return
+        usr = var.get_usr()
+        if not usr:
+            return
+        srcs = []
+        for child in children[:-1]:
+            if child is var:
+                continue
+            srcs.extend(self._expr_keys(child))
+        srcs = _dedup(s for s in srcs if s != usr)
+        if srcs:
+            facts["flows"].append(
+                {"dst": usr, "srcs": srcs, "off": node.location.offset}
+            )
+
+    def _taint_binop(self, node, facts):
+        cx = self.cx
+        children = list(node.get_children())
+        if len(children) != 2:
+            return
+        op = binop_spelling(node)
+        if not op:
+            return
+        lhs, rhs = children
+        if op in ("/", "%", "/=", "%="):
+            self._sink(
+                facts, "div", self._expr_keys(rhs), node, f"denominator of '{op}'"
+            )
+        if op == "=" or node.kind == cx.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR:
+            dst = self._lvalue_key(lhs)
+            srcs = _dedup(self._expr_keys(rhs))
+            if dst and srcs:
+                facts["flows"].append(
+                    {"dst": dst, "srcs": srcs, "off": node.location.offset}
+                )
+        if (
+            node.kind == cx.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR
+            and op in ("+=", "-=", "*=")
+            and float_class(cx, peel(cx, lhs).type) is not None
+        ):
+            # Integer reads cannot introduce NaN/Inf, so only float-typed
+            # keys make an accumulation sink (int64 weights folding into
+            # a double total are A12's business, not A13's).
+            self._sink(
+                facts,
+                "accum",
+                self._typed_keys(rhs, "float"),
+                node,
+                f"'{op}' accumulation",
+            )
+
+    def _taint_subscript(self, node, facts):
+        children = list(node.get_children())
+        if len(children) != 2:
+            return
+        self._sink(
+            facts, "index", self._typed_keys(children[1], "int"), node, "subscript"
+        )
+
+    def _taint_guard(self, node, facts):
+        """IF_STMT / ternary conditions (which is what a ZKA_CHECK expands
+        to) and clamp/finite calls are the only guard forms; loop
+        conditions are deliberately not guards, or a tainted loop bound
+        would dominate itself (A14)."""
+        cx = self.cx
+        children = list(node.get_children())
+        if not children:
+            return
+        if node.kind == cx.CursorKind.CONDITIONAL_OPERATOR:
+            cands = children[:1]
+        else:
+            # Condition (+ C++17 init-statement/condition variable): the
+            # leading expression/declaration children before the first
+            # statement child, which is the then-branch.
+            cands = []
+            for child in children:
+                if child.kind.is_expression() or child.kind in (
+                    cx.CursorKind.DECL_STMT,
+                    cx.CursorKind.VAR_DECL,
+                ):
+                    cands.append(child)
+                else:
+                    break
+        keys = []
+        finite = False
+        for cand in cands:
+            keys.extend(self._expr_keys(cand))
+            finite = finite or self._mentions_finite(cand)
+        keys = _dedup(keys)
+        if not keys:
+            return
+        kinds = ["check", "finite"] if finite else ["check"]
+        facts["guards"].append(
+            {"kinds": kinds, "keys": keys, "off": node.location.offset}
+        )
+
+    def _taint_loop_bound(self, node, facts):
+        cx = self.cx
+        children = list(node.get_children())
+        if not children:
+            return
+        if node.kind == cx.CursorKind.WHILE_STMT:
+            cands = children[:1]
+        elif node.kind == cx.CursorKind.DO_STMT:
+            cands = children[-1:]
+        else:
+            cands = children[:-1]
+        for cand in cands:
+            cond = peel(cx, cand)
+            if cond.kind != cx.CursorKind.BINARY_OPERATOR:
+                continue
+            if binop_spelling(cond) not in ("<", "<=", ">", ">=", "!="):
+                continue
+            self._sink(facts, "loop_bound", self._expr_keys(cond), node, "loop bound")
+            return
+
     # -- declarations, assignment, returns --------------------------------
 
     def _on_var_decl(self, node, facts):
@@ -552,8 +1068,13 @@ class SummaryExtractor:
                 if is_copy:
                     facts["allocs"].append(self._alloc(node, "copy-construct"))
                     return
-                if list(init.get_arguments()):
+                args = list(init.get_arguments())
+                if args:
                     facts["allocs"].append(self._alloc(node, "sized-construct"))
+                    keys = []
+                    for arg in args:
+                        keys.extend(self._typed_keys(arg, "int"))
+                    self._sink(facts, "alloc", keys, node, "sized-construct")
                 return
             if callee is not None and callee.spelling == "move":
                 return
@@ -578,6 +1099,12 @@ class SummaryExtractor:
                 return
             args = children[-2:]
         lhs, rhs = peel(cx, args[0]), peel(cx, args[1])
+        dst = self._lvalue_key(lhs)
+        srcs = _dedup(self._expr_keys(rhs))
+        if dst and srcs:
+            facts["flows"].append(
+                {"dst": dst, "srcs": srcs, "off": node.location.offset}
+            )
         if _contains(lhs.type, CONTAINER_MARKERS):
             if rhs.kind == cx.CursorKind.CALL_EXPR:
                 return  # move-assign / assigning a produced value
@@ -612,11 +1139,17 @@ class SummaryExtractor:
 
     def _on_return(self, node, fn, facts):
         cx = self.cx
+        children = list(node.get_children())
+        if children:
+            keys = _dedup(self._expr_keys(children[0]))
+            if keys:
+                facts["taint_returns"].append(
+                    {"keys": keys, "off": node.location.offset}
+                )
         result = fn.result_type.get_canonical()
         is_view = "std::span<" in result.spelling or result.kind == cx.TypeKind.POINTER
         if not is_view:
             return
-        children = list(node.get_children())
         if not children:
             return
         src = self._view_source(children[0])

@@ -1,0 +1,43 @@
+// zka-fixture-path: src/fixture/a11_tainted_alloc.cpp
+// A11 positive + negative: allocation sizes fed from entry-point values
+// (attacker-controlled under trust.json defaults) vs sizes bounded by a
+// dominating check. One declared weight of INT64_MAX must not become a
+// 9-exabyte resize.
+#include "fixture_support.h"
+
+namespace zka::defense {
+
+constexpr std::size_t kMaxClients = 4096;
+
+class BadSizer : public Aggregator {
+ public:
+  void begin_stream(std::size_t dim,
+                    std::span<const std::int64_t> weights) override {
+    (void)dim;
+    const std::size_t hint = static_cast<std::size_t>(weights[0]);
+    buf_.resize(hint);  // expect: A11
+    std::vector<float> scratch(hint, 0.0f);  // expect: A11
+    (void)scratch;
+  }
+
+ private:
+  std::vector<float> buf_;
+};
+
+class GoodSizer : public Aggregator {
+ public:
+  void begin_stream(std::size_t dim,
+                    std::span<const std::int64_t> weights) override {
+    (void)dim;
+    const std::size_t hint = static_cast<std::size_t>(weights[0]);
+    if (hint > kMaxClients) {
+      return;
+    }
+    buf_.resize(hint);  // bounded by the dominating check: fine
+  }
+
+ private:
+  std::vector<float> buf_;
+};
+
+}  // namespace zka::defense

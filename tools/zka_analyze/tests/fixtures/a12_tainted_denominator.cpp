@@ -1,0 +1,65 @@
+// zka-fixture-path: src/fixture/a12_tainted_denominator.cpp
+// A12 positive + negative: dividing by attacker-influenced values (stream
+// payload coordinates, attacker-reported weights) with no nonzero/positive
+// guard vs the guarded forms. A zero denominator turns the weighted mean
+// into Inf/NaN in one round.
+#include "fixture_support.h"
+
+namespace zka::attack {
+
+class Sybil : public Attack {
+ public:
+  Update craft(const AttackContext& ctx) override {
+    validate_context(*this, ctx);
+    return {};
+  }
+  std::int64_t reported_weight(const AttackContext& ctx) const {
+    (void)ctx;
+    return 1;
+  }
+};
+
+}  // namespace zka::attack
+
+namespace zka::defense {
+
+class BadNormalizer : public Aggregator {
+ public:
+  void stream_update(UpdateView update) override {
+    sum_ /= update[0];  // expect: A12
+  }
+
+  double coefficient(const zka::attack::Sybil& sybil,
+                     const zka::attack::AttackContext& ctx) {
+    return total_ /
+           static_cast<double>(sybil.reported_weight(ctx));  // expect: A12
+  }
+
+ private:
+  float sum_ = 1.0f;
+  double total_ = 1.0;
+};
+
+class GoodNormalizer : public Aggregator {
+ public:
+  void stream_update(UpdateView update) override {
+    if (update[0] > 0.0f) {
+      sum_ /= update[0];  // positive-guarded divide: fine
+    }
+  }
+
+  double coefficient(const zka::attack::Sybil& sybil,
+                     const zka::attack::AttackContext& ctx) {
+    const std::int64_t w = sybil.reported_weight(ctx);
+    if (w <= 0) {
+      return 0.0;
+    }
+    return total_ / static_cast<double>(w);  // nonzero-guarded: fine
+  }
+
+ private:
+  float sum_ = 1.0f;
+  double total_ = 1.0;
+};
+
+}  // namespace zka::defense

@@ -1,0 +1,42 @@
+// zka-fixture-path: src/fixture/a13_unsanitized_accum.cpp
+// A13 positive + negative: folding stream payload floats into an
+// accumulator (compound assignment and the reduce-toolkit primitives)
+// with no isfinite sanitization vs the finite-guarded fold. One NaN
+// coordinate poisons every coordinate the fold touches.
+#include "fixture_support.h"
+
+#include <cmath>
+
+namespace zka::defense {
+
+void axpy(float a, UpdateView x, std::span<float> y);
+
+class BadFolder : public Aggregator {
+ public:
+  void stream_update(UpdateView update) override {
+    for (std::size_t i = 0; i < update.size(); ++i) {
+      total_ += update[i];  // expect: A13
+    }
+    axpy(update[0], update, std::span<float>(scratch_));  // expect: A13
+  }
+
+ private:
+  float total_ = 0.0f;
+  std::vector<float> scratch_;
+};
+
+class GoodFolder : public Aggregator {
+ public:
+  void stream_update(UpdateView update) override {
+    for (std::size_t i = 0; i < update.size(); ++i) {
+      if (std::isfinite(update[i])) {
+        clean_ += update[i];  // finite-guarded fold: fine
+      }
+    }
+  }
+
+ private:
+  float clean_ = 0.0f;
+};
+
+}  // namespace zka::defense

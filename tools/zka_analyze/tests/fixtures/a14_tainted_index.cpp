@@ -1,0 +1,44 @@
+// zka-fixture-path: src/fixture/a14_tainted_index.cpp
+// A14 positive + negative: attacker-influenced values used as container
+// indexes or loop bounds without a dominating bounds check vs the
+// checked forms. An out-of-range slot is an out-of-bounds write; a
+// tainted trip count is unbounded server work.
+#include "fixture_support.h"
+
+namespace zka::defense {
+
+class BadRouter : public Aggregator {
+ public:
+  void stream_update(UpdateView update) override {
+    table_[static_cast<std::size_t>(update[0])] = 1.0f;  // expect: A14
+  }
+
+  void begin_stream(std::size_t dim,
+                    std::span<const std::int64_t> weights) override {
+    (void)dim;
+    const std::size_t rounds = static_cast<std::size_t>(weights[0]);
+    for (std::size_t r = 0; r < rounds; ++r) {  // expect: A14
+      ticks_ += 1.0f;
+    }
+  }
+
+ private:
+  std::vector<float> table_;
+  float ticks_ = 0.0f;
+};
+
+class GoodRouter : public Aggregator {
+ public:
+  void stream_update(UpdateView update) override {
+    const std::size_t slot = static_cast<std::size_t>(update[0]);
+    if (slot >= table_.size()) {
+      return;
+    }
+    table_[slot] = 1.0f;  // bounds-checked slot: fine
+  }
+
+ private:
+  std::vector<float> table_;
+};
+
+}  // namespace zka::defense

@@ -1,0 +1,47 @@
+// zka-fixture-path: src/fixture/a15_taint_laundering.cpp
+// A15 positive + negative: a validate_* function that forwards a tainted
+// parameter it never checked vs one that checks everything it forwards.
+// Callers treat the whole signature as clean once a sanitizer returns,
+// so the skipped parameter is laundered, not cleaned.
+#include "fixture_support.h"
+
+namespace zka::defense {
+
+void record_caps(std::span<const std::int64_t> weights, std::int64_t cap);
+
+void validate_caps(std::span<const std::int64_t> weights,  // expect: A15
+                   std::int64_t cap) {
+  if (weights[0] < 0) {
+    return;
+  }
+  record_caps(weights, cap);  // `cap` forwarded unchecked
+}
+
+void validate_caps_full(std::span<const std::int64_t> weights,
+                        std::int64_t cap) {
+  if (weights[0] < 0) {
+    return;
+  }
+  if (cap <= 0) {
+    return;
+  }
+  record_caps(weights, cap);  // every forwarded parameter checked: fine
+}
+
+class PartialGate : public Aggregator {
+ public:
+  void begin_stream(std::size_t dim,
+                    std::span<const std::int64_t> weights) override {
+    validate_caps(weights, static_cast<std::int64_t>(dim));
+  }
+};
+
+class FullGate : public Aggregator {
+ public:
+  void begin_stream(std::size_t dim,
+                    std::span<const std::int64_t> weights) override {
+    validate_caps_full(weights, static_cast<std::int64_t>(dim));
+  }
+};
+
+}  // namespace zka::defense

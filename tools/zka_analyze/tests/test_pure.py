@@ -15,6 +15,9 @@ behave correctly even on machines where the AST phase cannot run:
     salt invalidation, corrupt-entry recovery, and a measured re-run
     speedup with a simulated parse cost.
   * The phase-2 dataflow rules A6-A10 over synthetic summaries.
+  * The A11-A15 taint rules: propagation over >=2 call hops,
+    sanitizer laundering, guard-kind/order credit, and trust.json
+    source/scope filtering.
   * tools/analyze_diff.py growth detection.
 
 Exit codes: 0 all pass, 1 any failure.
@@ -77,10 +80,12 @@ def index_of(*summaries):
     return {s["usr"]: s for s in summaries}
 
 
-def mk_call(name, line=2, off=20, lambdas=None):
+def mk_call(name, line=2, off=20, lambdas=None, args=None):
     entry = {"usr": f"c:@{name}", "name": name, "line": line, "off": off}
     if lambdas is not None:
         entry["lambdas"] = lambdas
+    if args is not None:
+        entry["args"] = args
     return entry
 
 
@@ -88,8 +93,12 @@ def mk_alloc(line=10, off=100, what="push_back()", recv=None):
     return {"line": line, "off": off, "what": what, "recv": recv}
 
 
-def findings_for(summaries, config=None, only=None):
-    return xtu.run_xtu_rules(summaries, config, only=only)
+def mk_sink(kind, keys, line=10, off=100, what="sink"):
+    return {"kind": kind, "keys": keys, "line": line, "off": off, "what": what}
+
+
+def findings_for(summaries, config=None, only=None, trust=None):
+    return xtu.run_xtu_rules(summaries, config, only=only, trust=trust)
 
 
 # ---------------------------------------------------------------------------
@@ -435,6 +444,219 @@ def test_a10_entry_reach_only():
     # The same shape without an entry point is silent.
     plain = mk_summary("helper_caller", calls=[mk_call("fold")])
     assert findings_for(index_of(plain, fold), only=["A10"]) == []
+
+
+# ---------------------------------------------------------------------------
+# Taint rules A11-A15 on synthetic summaries (default trust: all params of
+# aggregate/begin_stream/stream_update/stream_replay are sources, so are
+# craft/reported_weight returns, everything is in sink scope)
+
+
+def test_taint_source_to_sink_two_hops():
+    # aggregate(updates) -> fold(rows) -> accum_row(row): the accumulation
+    # sink is two call hops from the source, with no guard anywhere.
+    agg = mk_summary(
+        "Mean::aggregate",
+        entry="aggregate",
+        params=[{"usr": "c:@u", "name": "updates"}],
+        calls=[mk_call("fold", args=[["c:@u"]])],
+    )
+    fold = mk_summary(
+        "fold",
+        params=[{"usr": "c:@fp", "name": "rows"}],
+        calls=[mk_call("accum_row", args=[["c:@fp"]])],
+    )
+    accum = mk_summary(
+        "accum_row",
+        params=[{"usr": "c:@ar", "name": "row"}],
+        sinks=[mk_sink("accum", ["c:@ar"], line=9, what="acc += row[i]")],
+    )
+    found = findings_for(index_of(agg, fold, accum), only=["A13"])
+    assert [(f.rule, f.line, f.function) for f in found] == [
+        ("A13", 9, "accum_row")
+    ], found
+    assert "param of Mean::aggregate" in found[0].message, found[0].message
+
+
+def test_taint_sanitizer_kills_flow():
+    # Handing the rows to a sanitize_* call before forwarding launders
+    # them: nothing downstream of the call is tainted. A sanitizer's own
+    # return key is clean by contract, too.
+    agg = mk_summary(
+        "Mean::aggregate",
+        entry="aggregate",
+        params=[{"usr": "c:@u", "name": "updates"}],
+        sanitize_calls=[{"name": "sanitize_rows", "keys": ["c:@u"], "off": 10}],
+        calls=[mk_call("accum_row", off=20, args=[["c:@u"]])],
+    )
+    accum = mk_summary(
+        "accum_row",
+        params=[{"usr": "c:@ar", "name": "row"}],
+        sinks=[
+            mk_sink("accum", ["c:@ar"], line=9),
+            mk_sink("accum", ["ret:zka::defense::sanitize::Ingress::admit_updates"]),
+        ],
+    )
+    assert findings_for(index_of(agg, accum), only=["A13"]) == []
+    # The same shape with the sanitize call AFTER the forwarding call
+    # does not help: the callee already has the dirty copy.
+    agg_late = mk_summary(
+        "Mean::aggregate",
+        entry="aggregate",
+        params=[{"usr": "c:@u", "name": "updates"}],
+        sanitize_calls=[{"name": "sanitize_rows", "keys": ["c:@u"], "off": 30}],
+        calls=[mk_call("accum_row", off=20, args=[["c:@u"]])],
+    )
+    found = findings_for(index_of(agg_late, accum), only=["A13"])
+    assert [(f.rule, f.line) for f in found] == [("A13", 9)], found
+
+
+def test_taint_sanitize_call_own_arguments_stay_raw():
+    # The extractor records the kill and the call edge of one sanitizer
+    # call at the SAME offset; the kill is strict, so the sanitizer's own
+    # params still receive the dirty values (that is its job, and the only
+    # way taint reaches a sanitizer body for A15), while a caller-side
+    # sink after the call is clean.
+    agg = mk_summary(
+        "Mean::aggregate",
+        entry="aggregate",
+        params=[{"usr": "c:@u", "name": "updates"}],
+        sanitize_calls=[{"name": "validate_rows", "keys": ["c:@u"], "off": 20}],
+        calls=[mk_call("validate_rows", off=20, args=[["c:@u"]])],
+        sinks=[mk_sink("accum", ["c:@u"], line=12, off=90)],
+    )
+    san = mk_summary(
+        "validate_rows",
+        params=[{"usr": "c:@vr", "name": "rows"}],
+        sinks=[mk_sink("div", ["c:@vr"], line=31, off=40)],
+    )
+    found = findings_for(index_of(agg, san), only=["A12", "A13"])
+    assert [(f.rule, f.line) for f in found] == [("A12", 31)], found
+
+
+def test_taint_guard_component_and_order():
+    # A dominating check on any flow-related key guards the sink; a check
+    # after the sink, or on an unrelated key, does not.
+    def agg(guards):
+        return mk_summary(
+            "WMean::aggregate",
+            entry="aggregate",
+            params=[{"usr": "c:@w", "name": "weights"}],
+            flows=[{"dst": "c:@total", "srcs": ["c:@w"], "off": 40}],
+            guards=guards,
+            sinks=[mk_sink("div", ["c:@total"], line=8, off=100, what="sum / total")],
+        )
+
+    bare = findings_for(index_of(agg([])), only=["A12"])
+    assert [(f.rule, f.line) for f in bare] == [("A12", 8)], bare
+    # Guarding the *source* credits the whole flow component.
+    guarded = agg([{"kinds": ["check"], "keys": ["c:@w"], "off": 50}])
+    assert findings_for(index_of(guarded), only=["A12"]) == []
+    late = agg([{"kinds": ["check"], "keys": ["c:@total"], "off": 150}])
+    assert len(findings_for(index_of(late), only=["A12"])) == 1
+    other = agg([{"kinds": ["check"], "keys": ["c:@other"], "off": 50}])
+    assert len(findings_for(index_of(other), only=["A12"])) == 1
+
+
+def test_taint_alloc_index_and_loop_bound():
+    s = mk_summary(
+        "Coord::stream_update",
+        entry="stream_update",
+        params=[{"usr": "c:@n", "name": "update"}],
+        sinks=[
+            mk_sink("alloc", ["c:@n"], line=5, what="resize()"),
+            mk_sink("index", ["c:@n"], line=6, what="operator[]"),
+            mk_sink("loop_bound", ["c:@n"], line=7, what="loop bound"),
+        ],
+    )
+    found = findings_for(index_of(s), only=["A11", "A14"])
+    assert sorted((f.rule, f.line) for f in found) == [
+        ("A11", 5),
+        ("A14", 6),
+        ("A14", 7),
+    ], found
+    # A finite guard is the wrong kind for range sinks -- still flagged.
+    s["facts"]["guards"] = [{"kinds": ["check", "finite"], "keys": ["c:@n"], "off": 1}]
+    assert findings_for(index_of(s), only=["A11", "A14"]) == []
+
+
+def test_taint_craft_return_source():
+    # A virtual-dispatch call of Attack::craft has no callee summary; the
+    # ret: key itself is a configured source.
+    sim = mk_summary(
+        "run_round",
+        path="src/fl/simulation.cpp",
+        flows=[{"dst": "c:@upd", "srcs": ["ret:zka::attack::Flip::craft"], "off": 10}],
+        sinks=[mk_sink("accum", ["c:@upd"], line=12, what="axpy()")],
+    )
+    found = findings_for(index_of(sim), only=["A13"])
+    assert [(f.rule, f.line) for f in found] == [("A13", 12)], found
+    assert "return of zka::attack::Flip::craft" in found[0].message
+
+
+def test_taint_a15_partial_sanitizer():
+    # validate_updates checks `updates` but forwards `weights` unchecked:
+    # taint laundering on the weights parameter only.
+    agg = mk_summary(
+        "Mean::aggregate",
+        entry="aggregate",
+        params=[{"usr": "c:@u", "name": "updates"}, {"usr": "c:@w", "name": "weights"}],
+        calls=[
+            mk_call("zka::defense::validate_updates", args=[["c:@u"], ["c:@w"]])
+        ],
+    )
+    san = mk_summary(
+        "zka::defense::validate_updates",
+        params=[
+            {"usr": "c:@vu", "name": "updates"},
+            {"usr": "c:@vw", "name": "weights"},
+        ],
+        guards=[{"kinds": ["check"], "keys": ["c:@vu"], "off": 5}],
+        calls=[mk_call("impl", off=30, args=[["c:@vu"], ["c:@vw"]])],
+    )
+    found = findings_for(index_of(agg, san), only=["A15"])
+    assert [(f.rule, f.function) for f in found] == [
+        ("A15", "zka::defense::validate_updates")
+    ], found
+    assert "'weights'" in found[0].message, found[0].message
+    # Checking the second parameter too clears the finding.
+    san["facts"]["guards"].append({"kinds": ["check"], "keys": ["c:@vw"], "off": 6})
+    assert findings_for(index_of(agg, san), only=["A15"]) == []
+
+
+def test_taint_trust_config_filters():
+    # An explicit trust config narrows begin_stream's sources to the named
+    # parameter and restricts sinks to the include scope.
+    trust = {
+        "sources": [
+            {"entry": "begin_stream", "what": "params", "params": ["weights"]}
+        ],
+        "sanitizers": [],
+        "sink_scope": {"include": ["src/defense/"], "exclude": []},
+    }
+    server = mk_summary(
+        "Mean::begin_stream",
+        entry="begin_stream",
+        path="src/defense/mean.cpp",
+        params=[{"usr": "c:@w", "name": "weights"}, {"usr": "c:@d", "name": "dim"}],
+        sinks=[
+            mk_sink("alloc", ["c:@d"], line=4, what="resize()"),
+            mk_sink("accum", ["c:@w"], line=5, what="w_sum +="),
+        ],
+    )
+    harness = mk_summary(
+        "drive",
+        path="tests/test_x.cpp",
+        entry="begin_stream",
+        params=[{"usr": "c:@hw", "name": "weights"}],
+        sinks=[mk_sink("accum", ["c:@hw"], line=9)],
+    )
+    found = findings_for(index_of(server, harness), trust=trust)
+    # dim is server-derived (not a source) and the tests/ sink is out of
+    # scope: only the weight accumulation fires.
+    assert [(f.rule, f.line, f.path) for f in found] == [
+        ("A13", 5, "src/defense/mean.cpp")
+    ], found
 
 
 # ---------------------------------------------------------------------------

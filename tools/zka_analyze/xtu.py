@@ -1,4 +1,4 @@
-"""Phase 2 of the cross-TU analyzer: call-graph dataflow rules A6-A10.
+"""Phase 2 of the cross-TU analyzer: call-graph dataflow rules A6-A15.
 
 Consumes the merged per-function summaries produced by summary.py (plain
 dicts — this module never touches libclang, so every rule here is
@@ -14,6 +14,18 @@ USR-keyed call graph:
   A10 unordered-container iteration feeding an aggregate/craft entry
       point through callees (A5 covers the direct case)
 
+plus the taint rules, driven by trust.json (sources, sanitizers, sink
+scope) over the extractor's flow/sink/guard facts:
+
+  A11 tainted value sizes an allocation (resize/reserve/sized-construct)
+      with no dominating range check
+  A12 tainted denominator with no nonzero/positive guard
+  A13 tainted float folded into an accumulation with no finite guard on
+      the flow — one crafted NaN owns the whole mean
+  A14 tainted index/offset or loop bound with no bounds check
+  A15 taint laundering: a sanitizer that forwards a tainted parameter it
+      never actually checked
+
 Roots and sanctioned call-boundaries for A6/A7 live in hotpaths.json;
 boundaries name functions whose internals are accepted allocation zones
 until ROADMAP item 3's arena allocator lands.
@@ -22,8 +34,11 @@ until ROADMAP item 3's arena allocator lands.
 from __future__ import annotations
 
 from engine import Finding
+from summary import ENTRY_NAMES, SANITIZE_PREFIXES
 
 XTU_RULE_IDS = ("A6", "A7", "A8", "A9", "A10")
+
+TAINT_RULE_IDS = ("A11", "A12", "A13", "A14", "A15")
 
 XTU_RULE_SUMMARIES = {
     "A6": "hot-path-alloc: heap allocation reachable from a parallel region or hot loop",
@@ -31,6 +46,11 @@ XTU_RULE_SUMMARIES = {
     "A8": "span-escape: view outlives the buffer that backs it",
     "A9": "stream-protocol: stream call without dominating begin_stream / unordered fold",
     "A10": "transitive-unordered: hash-ordered iteration feeding aggregation",
+    "A11": "tainted-alloc-size: untrusted value sizes an allocation unchecked",
+    "A12": "tainted-denominator: untrusted divisor without a nonzero guard",
+    "A13": "tainted-accumulation: untrusted float folded in without a finite guard",
+    "A14": "tainted-index: untrusted index/offset/loop bound without a bounds check",
+    "A15": "taint-laundering: sanitizer forwards a parameter it never checks",
 }
 
 # Rng's own methods legitimately mutate their own state; drawing *through*
@@ -364,7 +384,7 @@ def _check_a9(index, findings):
 def _check_a10(index, findings):
     reported = set()
     for usr, s in index.by_usr.items():
-        if s["entry"] not in ("aggregate", "craft"):
+        if s["entry"] not in ("aggregate", "do_aggregate", "craft"):
             continue
         for reached, chain in _walk(index, s["facts"], s["name"], boundaries=False):
             for it in reached["facts"].get("unordered_iters", ()):
@@ -389,6 +409,359 @@ def _check_a10(index, findings):
 
 
 # ---------------------------------------------------------------------------
+# A11-A15: taint propagation from trust.json sources
+
+
+# Defaults when no trust config is given (fixture mode): every parameter
+# of the public entry points is attacker-controlled, craft/reported_weight
+# results are attacker-controlled, sinks everywhere are in scope.
+_PARAM_SOURCE_ENTRIES = ("aggregate", "begin_stream", "stream_update", "stream_replay")
+_RET_SOURCE_NAMES = ("craft", "reported_weight")
+
+
+def _last(name: str) -> str:
+    return name.rsplit("::", 1)[-1]
+
+
+class _Trust:
+    """Parsed trust.json: taint sources, sanitizers, and sink scope."""
+
+    def __init__(self, trust):
+        self.param_sources: dict = {}  # entry -> None (all params) | set(names)
+        self.ret_sources: set = set()
+        self.sanitizers: set = set()
+        if trust:
+            for src in trust.get("sources", ()):
+                entry = src.get("entry")
+                if not entry:
+                    continue
+                if src.get("what") == "return":
+                    self.ret_sources.add(entry)
+                else:
+                    names = src.get("params")
+                    self.param_sources[entry] = set(names) if names else None
+            for sn in trust.get("sanitizers", ()):
+                if sn.get("function"):
+                    self.sanitizers.add(sn["function"])
+            scope = trust.get("sink_scope") or {}
+            self.include = tuple(scope.get("include", ()))
+            self.exclude = tuple(scope.get("exclude", ()))
+        else:
+            self.param_sources = {e: None for e in _PARAM_SOURCE_ENTRIES}
+            self.ret_sources = set(_RET_SOURCE_NAMES)
+            self.include = ()
+            self.exclude = ()
+
+    def is_sanitizer(self, name: str) -> bool:
+        return name in self.sanitizers or _last(name).startswith(SANITIZE_PREFIXES)
+
+    def in_scope(self, path: str) -> bool:
+        if any(path.startswith(e) for e in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(path.startswith(i) for i in self.include)
+
+
+def _kill_offsets(facts) -> dict:
+    """key -> earliest offset at which a sanitizer call launders it; the
+    key is clean at any use after that offset in the same function."""
+    kills: dict = {}
+    for sc in facts.get("sanitize_calls", ()):
+        for key in sc.get("keys", ()):
+            if key not in kills or sc["off"] < kills[key]:
+                kills[key] = sc["off"]
+    return kills
+
+
+def _killed(kills, key, off) -> bool:
+    """Strictly after the sanitize call: the arguments of the call itself
+    are still raw (the extractor records the kill and the call edge at the
+    same offset, and the sanitizer must receive the dirty values — that is
+    both its job and how taint reaches its params for A15)."""
+    return key in kills and kills[key] < off
+
+
+def _components(facts) -> dict:
+    """key -> set of locally flow-related keys (undirected closure over
+    this function's flows). A guard on any related key credits the whole
+    component: checking the element checks the container it came from."""
+    adj: dict = {}
+    for fl in facts.get("flows", ()):
+        for src in fl["srcs"]:
+            adj.setdefault(fl["dst"], set()).add(src)
+            adj.setdefault(src, set()).add(fl["dst"])
+    comp: dict = {}
+    for start in adj:
+        if start in comp:
+            continue
+        members: set = set()
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            if cur in members:
+                continue
+            members.add(cur)
+            stack.extend(adj.get(cur, ()))
+        for m in members:
+            comp[m] = members
+    return comp
+
+
+def _related(comp, keys) -> set:
+    out = set()
+    for key in keys:
+        out.add(key)
+        out.update(comp.get(key, ()))
+    return out
+
+
+class _TaintState:
+    """Global set-once taint map over decl USRs and ret:<name> keys,
+    computed to a fixpoint over flows, call arguments and returns.
+    Sanitizers block propagation: their return keys never taint, and
+    keys they were handed are clean downstream of the call. Guards do
+    NOT block propagation — a bounds check in a caller does not bound
+    what a callee does with its own copy; sinks must be guarded in the
+    function that owns them (or behind a sanitizer)."""
+
+    def __init__(self, index, trust):
+        self.index = index
+        self.trust = trust
+        self.tainted: dict = {}  # key -> origin label
+        self.vret: dict = {}  # entry-hook unqualified name -> origin
+        self.kills = {
+            usr: _kill_offsets(s["facts"]) for usr, s in index.by_usr.items()
+        }
+        self._seed()
+        self._propagate()
+
+    def origin(self, key):
+        o = self.tainted.get(key)
+        if o is not None:
+            return o
+        if key.startswith("ret:"):
+            name = key[4:]
+            if self.trust.is_sanitizer(name):
+                return None
+            last = _last(name)
+            if last in self.trust.ret_sources:
+                return f"return of {name}"
+            # Calls through a pure-virtual entry hook: any tainted
+            # implementation return taints the dispatch site.
+            return self.vret.get(last)
+        return None
+
+    def _seed(self):
+        for s in self.index.by_usr.values():
+            entry = s["entry"]
+            if entry not in self.trust.param_sources:
+                continue
+            selected = self.trust.param_sources[entry]
+            for p in s["facts"].get("params", ()):
+                if selected is None or p["name"] in selected:
+                    self.tainted[p["usr"]] = f"{p['name']}, param of {s['name']}"
+
+    def _flow_origin(self, keys, kills, off):
+        for key in keys:
+            if _killed(kills, key, off):
+                continue
+            o = self.origin(key)
+            if o is not None:
+                return o
+        return None
+
+    def _resolve(self, call):
+        """Callee summaries for a call edge: direct by USR, else — for
+        the Aggregator/Attack virtual hooks, whose base declarations have
+        no body and hence no summary — every implementation override."""
+        s = self.index.by_usr.get(call["usr"])
+        if s is not None:
+            return (s,)
+        last = _last(call["name"])
+        if last not in ENTRY_NAMES:
+            return ()
+        return tuple(
+            cs for cs in self.index.by_usr.values() if cs["entry"] == last
+        )
+
+    def _propagate(self):
+        changed = True
+        rounds = 0
+        while changed and rounds < 64:
+            changed = False
+            rounds += 1
+            for usr, s in self.index.by_usr.items():
+                facts = s["facts"]
+                kills = self.kills[usr]
+                for fl in facts.get("flows", ()):
+                    if fl["dst"] in self.tainted:
+                        continue
+                    o = self._flow_origin(fl["srcs"], kills, fl["off"])
+                    if o is not None:
+                        self.tainted[fl["dst"]] = o
+                        changed = True
+                for call in facts.get("calls", ()):
+                    args = call.get("args")
+                    if not args:
+                        continue
+                    for callee in self._resolve(call):
+                        params = callee["facts"].get("params", ())
+                        for i, keys in enumerate(args):
+                            if i >= len(params):
+                                break
+                            pusr = params[i]["usr"]
+                            if pusr in self.tainted:
+                                continue
+                            o = self._flow_origin(keys, kills, call["off"])
+                            if o is not None:
+                                self.tainted[pusr] = o
+                                changed = True
+                if self.trust.is_sanitizer(s["name"]):
+                    continue  # a sanitizer's return is trusted by contract
+                rkey = "ret:" + s["name"]
+                for tr in facts.get("taint_returns", ()):
+                    o = self._flow_origin(tr["keys"], kills, tr["off"])
+                    if o is None:
+                        continue
+                    if rkey not in self.tainted:
+                        self.tainted[rkey] = o
+                        changed = True
+                    if s["entry"] and _last(s["name"]) not in self.vret:
+                        self.vret[_last(s["name"])] = o
+                        changed = True
+                    break
+
+
+def _guarded(facts, comp, key, off, need) -> bool:
+    rel = _related(comp, (key,))
+    for g in facts.get("guards", ()):
+        if need not in g["kinds"] or g["off"] >= off:
+            continue
+        if rel & _related(comp, g["keys"]):
+            return True
+    return False
+
+
+_SINK_RULES = {
+    "alloc": (
+        "A11",
+        "check",
+        "ZKA_CHECK a bound on the size before allocating",
+    ),
+    "div": (
+        "A12",
+        "check",
+        "guard the denominator (nonzero/positive) before dividing",
+    ),
+    "accum": (
+        "A13",
+        "finite",
+        "finite-check the flow first (defense/sanitize.h ingress or std::isfinite)",
+    ),
+    "index": (
+        "A14",
+        "check",
+        "ZKA_CHECK the index against the valid range first",
+    ),
+    "loop_bound": (
+        "A14",
+        "check",
+        "ZKA_CHECK a bound on the trip count first",
+    ),
+}
+
+
+def _check_taint_sinks(index, taint, trust, findings, only):
+    for usr, s in index.by_usr.items():
+        if not trust.in_scope(s["path"]):
+            continue
+        facts = s["facts"]
+        comp = _components(facts)
+        kills = taint.kills.get(usr, {})
+        for sink in facts.get("sinks", ()):
+            rule, need, fix = _SINK_RULES[sink["kind"]]
+            if only and rule not in only:
+                continue
+            for key in sink["keys"]:
+                if _killed(kills, key, sink["off"]):
+                    continue
+                origin = taint.origin(key)
+                if origin is None:
+                    continue
+                if _guarded(facts, comp, key, sink["off"], need):
+                    continue
+                findings.append(
+                    Finding(
+                        path=s["path"],
+                        line=sink["line"],
+                        rule=rule,
+                        message=(
+                            f"untrusted value ({origin}) reaches "
+                            f"{sink['what']} with no dominating "
+                            f"{'finite' if need == 'finite' else 'range'} "
+                            f"guard; {fix}"
+                        ),
+                        function=s["name"],
+                    )
+                )
+                break  # one finding per sink site
+
+
+def _check_a15(index, taint, trust, findings):
+    """Taint laundering: a sanitizer that forwards (via a call, a nested
+    sanitizer hand-off, or its return value) a tainted parameter whose
+    flow component it never guarded or re-sanitized. Callers trust the
+    whole signature once the sanitizer returns, so a skipped parameter
+    is laundered, not cleaned."""
+    for usr, s in index.by_usr.items():
+        if not trust.in_scope(s["path"]):
+            continue
+        if not trust.is_sanitizer(s["name"]):
+            continue
+        facts = s["facts"]
+        comp = _components(facts)
+        forwarded: set = set()
+        for call in facts.get("calls", ()):
+            for keys in call.get("args", ()):
+                forwarded.update(keys)
+        for tr in facts.get("taint_returns", ()):
+            forwarded.update(tr["keys"])
+        for p in facts.get("params", ()):
+            if taint.origin(p["usr"]) is None:
+                continue
+            rel = _related(comp, (p["usr"],))
+            if not rel & forwarded:
+                continue
+            credited = False
+            for g in facts.get("guards", ()):
+                if rel & _related(comp, g["keys"]):
+                    credited = True
+                    break
+            if not credited:
+                for sc in facts.get("sanitize_calls", ()):
+                    if rel & _related(comp, sc.get("keys", ())):
+                        credited = True
+                        break
+            if not credited:
+                findings.append(
+                    Finding(
+                        path=s["path"],
+                        line=s["line"],
+                        rule="A15",
+                        message=(
+                            f"sanitizer {s['name']} forwards tainted "
+                            f"parameter '{p['name']}' without checking it; "
+                            f"callers trust every parameter once a "
+                            f"sanitizer returns — check it or rename the "
+                            f"function"
+                        ),
+                        function=s["name"],
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
 
 
 _CHECKS = {
@@ -400,14 +773,22 @@ _CHECKS = {
 }
 
 
-def run_xtu_rules(summaries, config=None, only=None):
-    """All A6-A10 findings over the merged summary index. `config` is the
+def run_xtu_rules(summaries, config=None, only=None, trust=None):
+    """All A6-A15 findings over the merged summary index. `config` is the
     parsed hotpaths.json ({"hot_roots": [...], "boundaries": [...]});
-    `only`, when set, restricts to that subset of rule ids."""
+    `trust` is the parsed trust.json (None selects the built-in defaults,
+    which is what the fixture driver runs under); `only`, when set,
+    restricts to that subset of rule ids."""
     index = _Index(summaries, config)
     findings: list = []
     for rule_id, check in _CHECKS.items():
         if only and rule_id not in only:
             continue
         check(index, findings)
+    if not only or any(r in only for r in TAINT_RULE_IDS):
+        trust_cfg = _Trust(trust)
+        taint = _TaintState(index, trust_cfg)
+        _check_taint_sinks(index, taint, trust_cfg, findings, only)
+        if not only or "A15" in only:
+            _check_a15(index, taint, trust_cfg, findings)
     return findings

@@ -73,6 +73,11 @@ def parse_args(argv):
         help="A6/A7 hot-root and boundary configuration",
     )
     parser.add_argument(
+        "--trust",
+        default=os.path.join(PKG_DIR, "trust.json"),
+        help="A11-A15 taint-source / sanitizer / sink-scope configuration",
+    )
+    parser.add_argument(
         "--strict-baseline",
         action="store_true",
         help="fail on stale baseline entries and unused allow() escapes "
@@ -205,6 +210,12 @@ def main(argv=None) -> int:
         print(f"zka_analyze: bad hotpaths config: {exc}", file=sys.stderr)
         return engine.EXIT_ENV
 
+    try:
+        trust_config = load_hotpaths(args.trust)
+    except (OSError, ValueError) as exc:
+        print(f"zka_analyze: bad trust config: {exc}", file=sys.stderr)
+        return engine.EXIT_ENV
+
     cindex = load_cindex()
     if cindex is None:
         print(
@@ -218,7 +229,11 @@ def main(argv=None) -> int:
     import summary as summary_mod
     import xtu
 
-    all_rule_ids = tuple(rules_mod.ALL_RULE_IDS) + tuple(xtu.XTU_RULE_IDS)
+    all_rule_ids = (
+        tuple(rules_mod.ALL_RULE_IDS)
+        + tuple(xtu.XTU_RULE_IDS)
+        + tuple(xtu.TAINT_RULE_IDS)
+    )
 
     scope = engine.Scope(REPO_ROOT)
     rule_set = rules_mod.build_rules(cindex, only=args.only)
@@ -275,7 +290,9 @@ def main(argv=None) -> int:
     phase1_s = time.monotonic() - phase1_start
 
     phase2_start = time.monotonic()
-    xtu_findings = xtu.run_xtu_rules(summaries, hot_config, only=args.only)
+    xtu_findings = xtu.run_xtu_rules(
+        summaries, hot_config, only=args.only, trust=trust_config
+    )
     for f in xtu_findings:
         analyzed_paths.add(f.path)
         all_findings.append(f)
